@@ -1,0 +1,47 @@
+//! Experiment E9 — ablation of the flush-invalidation penalty.
+//!
+//! The paper's key observation is that the first-amendment queues
+//! (UnlinkedQ/LinkedQ) do not beat DurableMSQ *because* flushed lines are
+//! invalidated and re-read from NVRAM, and that on a hypothetical platform
+//! whose flushes retain lines in the cache they would shine thanks to their
+//! minimal fence count. This bench runs the random-operations workload under
+//! both latency models (with and without the post-flush read penalty) so the
+//! two regimes can be compared directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::algorithms::Algorithm;
+use harness::workloads::Workload;
+use pmem::LatencyModel;
+use std::time::Duration;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/flush_invalidation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let threads = 2;
+    let models = [
+        ("invalidating-flush", LatencyModel::optane_like()),
+        ("retaining-flush", LatencyModel::no_invalidation_penalty()),
+    ];
+    for alg in [
+        Algorithm::DurableMsq,
+        Algorithm::Unlinked,
+        Algorithm::Linked,
+        Algorithm::OptUnlinked,
+        Algorithm::OptLinked,
+    ] {
+        for (label, latency) in models {
+            group.bench_function(BenchmarkId::new(alg.name(), label), |b| {
+                b.iter_custom(|iters| {
+                    bench::time_workload(alg, Workload::RandomOps, threads, latency, iters)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates the "pairs" panel of the paper's Figure 2 (experiment E-pairs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::workloads::Workload;
+
+fn panel(c: &mut Criterion) {
+    bench::fig2_panel(c, Workload::Pairs);
+}
+
+criterion_group!(benches, panel);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiments E7/E8 as latency microbenchmarks: the cost of a single
+//! enqueue and a single dequeue for every queue, plus the cost of the raw
+//! persistence primitives (simulated and, on x86-64, the real intrinsics
+//! against DRAM-backed memory).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use durable_queues::{DurableQueue, QueueConfig};
+use harness::algorithms::Algorithm;
+use pmem::{LatencyModel, PmemPool, PoolConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn queue_for(alg: Algorithm) -> Arc<dyn DurableQueue> {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size: 64 << 20,
+        latency: LatencyModel::optane_like(),
+        deferred_persist: true,
+        eviction_probability: 0.0,
+        eviction_seed: 1,
+    }));
+    alg.create(pool, QueueConfig { max_threads: 1, area_size: 4 << 20 })
+}
+
+fn per_operation_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_ops/queue_ops");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for alg in Algorithm::all() {
+        let queue = queue_for(alg);
+        // Keep the queue non-empty so dequeues in the pair always succeed.
+        for i in 0..1024u64 {
+            queue.enqueue(0, i);
+        }
+        group.bench_function(BenchmarkId::new("enqueue_dequeue_pair", alg.name()), |b| {
+            b.iter(|| {
+                queue.enqueue(0, 7);
+                std::hint::black_box(queue.dequeue(0));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn persistence_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_ops/primitives");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // Simulated primitives (with the Optane-like latency model).
+    let pool = PmemPool::new(PoolConfig::bench(1 << 20));
+    let off = pool.alloc_raw(64, 64);
+    group.bench_function("sim/flush+sfence", |b| {
+        b.iter(|| {
+            pool.store_u64(off, 1);
+            pool.flush(0, off);
+            pool.sfence(0);
+        })
+    });
+    group.bench_function("sim/nt_store+sfence", |b| {
+        b.iter(|| {
+            pool.nt_store_u64(0, off, 2);
+            pool.sfence(0);
+        })
+    });
+    group.bench_function("sim/post_flush_read", |b| {
+        b.iter(|| {
+            pool.flush(0, off);
+            pool.sfence(0);
+            std::hint::black_box(pool.load_u64(off));
+        })
+    });
+
+    // Real intrinsics against ordinary DRAM (the production code path).
+    let mut buf = vec![0u64; 1024];
+    group.bench_function("hw/clflush+sfence", |b| {
+        b.iter(|| {
+            buf[0] = buf[0].wrapping_add(1);
+            // SAFETY: `buf` is valid owned memory.
+            unsafe { pmem::hw::clflush(buf.as_ptr() as *const u8) };
+            pmem::hw::sfence();
+        })
+    });
+    group.bench_function("hw/nt_store+sfence", |b| {
+        b.iter(|| {
+            // SAFETY: `buf` is valid, 8-byte aligned owned memory.
+            unsafe { pmem::hw::nt_store_u64(buf.as_mut_ptr(), 42) };
+            pmem::hw::sfence();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, per_operation_latency, persistence_primitives);
+criterion_main!(benches);

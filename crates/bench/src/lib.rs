@@ -1,0 +1,107 @@
+//! Shared machinery for the Criterion benchmark targets.
+//!
+//! Every `fig2_*` bench regenerates one panel of the paper's Figure 2 using
+//! the same workload generators and thread sweep as the `harness` binary,
+//! but under Criterion's statistical sampling, so the series can be compared
+//! run-over-run. The benches report throughput in elements/second; the
+//! paper's "Million ops per second" axis is the same quantity scaled by 1e6,
+//! and the ratio-to-DurableMSQ graphs follow by dividing the series.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use durable_queues::QueueConfig;
+use harness::algorithms::Algorithm;
+use harness::runner::algorithm_runs_workload;
+use harness::workloads::{run_workload, RunConfig, Workload};
+use pmem::{LatencyModel, PmemPool, PoolConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Thread counts swept by the benchmark targets (kept small so a full
+/// `cargo bench` completes in minutes; the harness binary sweeps 1–16).
+pub const BENCH_THREADS: &[usize] = &[1, 2, 4];
+
+/// Operations per thread per Criterion iteration.
+pub const BENCH_OPS: u64 = 2_000;
+
+/// Builds a fresh queue for one measurement iteration.
+pub fn build_queue(
+    alg: Algorithm,
+    threads: usize,
+    latency: LatencyModel,
+) -> Arc<dyn durable_queues::DurableQueue> {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size: 96 << 20,
+        latency,
+        deferred_persist: true,
+        eviction_probability: 0.0,
+        eviction_seed: 0xBE7C,
+    }));
+    alg.create(pool, QueueConfig { max_threads: threads.max(1), area_size: 1 << 20 })
+}
+
+/// Times `iters` runs of `workload` on a fresh queue of `alg`.
+pub fn time_workload(
+    alg: Algorithm,
+    workload: Workload,
+    threads: usize,
+    latency: LatencyModel,
+    iters: u64,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for i in 0..iters {
+        let queue = build_queue(alg, threads, latency);
+        let cfg = RunConfig {
+            threads,
+            ops_per_thread: BENCH_OPS,
+            initial_size: workload.default_initial_size(threads, BENCH_OPS),
+            seed: 0xBE7C ^ i,
+        };
+        total += run_workload(&queue, workload, &cfg).elapsed;
+    }
+    total
+}
+
+/// Registers one Figure 2 panel as a Criterion benchmark group: one series
+/// per (algorithm, thread count), throughput in operations per second.
+pub fn fig2_panel(c: &mut Criterion, workload: Workload) {
+    let mut group = c.benchmark_group(format!("fig2/{}", workload.key()));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    for &threads in BENCH_THREADS {
+        for alg in Algorithm::figure2_set() {
+            if !algorithm_runs_workload(alg, workload) {
+                continue;
+            }
+            group.throughput(Throughput::Elements(threads as u64 * BENCH_OPS));
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        time_workload(alg, workload, threads, LatencyModel::optane_like(), iters)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_workload_produces_a_nonzero_duration() {
+        let d = time_workload(
+            Algorithm::OptUnlinked,
+            Workload::Pairs,
+            1,
+            LatencyModel::ZERO,
+            1,
+        );
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -1,0 +1,101 @@
+//! The common queue interface shared by every algorithm in the crate.
+
+use pmem::PmemPool;
+use std::sync::Arc;
+
+/// Configuration shared by all queue constructors.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// Maximum number of threads that will ever operate on the queue.
+    /// Thread ids passed to [`DurableQueue::enqueue`]/[`DurableQueue::dequeue`]
+    /// must be `< max_threads`.
+    pub max_threads: usize,
+    /// Designated-area size (bytes) used by the node allocator.
+    pub area_size: u32,
+}
+
+impl QueueConfig {
+    /// Small configuration for unit/property tests.
+    pub fn small_test() -> Self {
+        QueueConfig {
+            max_threads: 8,
+            area_size: 64 * 1024,
+        }
+    }
+
+    /// Configuration used by the benchmark harness.
+    pub fn bench(max_threads: usize) -> Self {
+        QueueConfig {
+            max_threads,
+            area_size: 4 * 1024 * 1024,
+        }
+    }
+
+    /// Overrides the number of threads.
+    pub fn with_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self::small_test()
+    }
+}
+
+/// A concurrent FIFO queue of `u64` items operating on a persistent pool.
+///
+/// Every operation takes the caller's thread id (`tid`), mirroring the
+/// per-thread arrays of the paper's implementations (`nodeToRetire`,
+/// `localData`, ...). Thread ids identify *logical* threads: a tid must not
+/// be used concurrently from two OS threads.
+pub trait DurableQueue: Send + Sync {
+    /// Appends `item` at the tail of the queue.
+    fn enqueue(&self, tid: usize, item: u64);
+
+    /// Removes and returns the item at the head of the queue, or `None` if
+    /// the queue is (observed) empty.
+    fn dequeue(&self, tid: usize) -> Option<u64>;
+
+    /// Algorithm name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// The persistent pool the queue operates on.
+    fn pool(&self) -> &Arc<PmemPool>;
+
+    /// The configuration the queue was created (or recovered) with.
+    fn config(&self) -> QueueConfig;
+
+    /// Whether the queue is durably linearizable (false only for the
+    /// volatile Michael–Scott baseline).
+    fn is_durable(&self) -> bool {
+        true
+    }
+}
+
+/// Construction and crash recovery, kept separate from [`DurableQueue`] so
+/// trait objects of the latter stay object-safe.
+pub trait RecoverableQueue: DurableQueue + Sized {
+    /// Creates a fresh, empty queue on a fresh pool.
+    fn create(pool: Arc<PmemPool>, config: QueueConfig) -> Self;
+
+    /// Runs the algorithm's recovery procedure on a pool that was recovered
+    /// from a crash (see [`PmemPool::simulate_crash`]), reconstructing the
+    /// queue from its persistent state.
+    fn recover(pool: Arc<PmemPool>, config: QueueConfig) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_builders() {
+        let c = QueueConfig::default();
+        assert!(c.max_threads >= 2);
+        let c2 = QueueConfig::bench(16).with_threads(4);
+        assert_eq!(c2.max_threads, 4);
+        assert!(c2.area_size >= c.area_size);
+    }
+}

@@ -1,0 +1,96 @@
+//! Helpers shared by the recovery procedures of the link-persisting queues
+//! (DurableMSQ, IzraelevitzQ, NVTraverseQ, LinkedQ).
+
+use pmem::{PmemPool, PRef};
+use ssmem::Ssmem;
+use std::collections::HashSet;
+
+/// Follows persisted `next` links starting from `head` and returns the whole
+/// chain (including `head`), stopping at the first node whose `next` is null
+/// or for which `keep_going` returns false.
+pub fn traverse_chain(
+    pool: &PmemPool,
+    head: PRef,
+    next_field: u32,
+    mut keep_going: impl FnMut(PRef) -> bool,
+) -> Vec<PRef> {
+    let mut chain = Vec::new();
+    let mut seen = HashSet::new();
+    let mut cur = head;
+    loop {
+        chain.push(cur);
+        seen.insert(cur);
+        let next = PRef::from_u64(pool.load_u64(cur.offset() + next_field));
+        // Stop on a null link, on the caller's predicate, or on a cycle
+        // (stale links under the eviction adversary must never hang
+        // recovery).
+        if next.is_null() || seen.contains(&next) || !keep_going(next) {
+            return chain;
+        }
+        cur = next;
+    }
+}
+
+/// Returns every object slot of the durable allocator that is *not* in
+/// `live` to the allocator's free lists, distributing them round-robin over
+/// the threads. Runs single-threaded during recovery. Returns the number of
+/// reclaimed slots.
+pub fn reclaim_dead(nodes: &Ssmem, live: &HashSet<PRef>, max_threads: usize) -> usize {
+    let mut reclaimed = 0usize;
+    let mut tid = 0usize;
+    nodes.for_each_object(|obj| {
+        if !live.contains(&obj) {
+            nodes.free_immediate(tid, obj);
+            tid = (tid + 1) % max_threads;
+            reclaimed += 1;
+        }
+    });
+    reclaimed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+    use ssmem::SsmemConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn traverse_follows_links_until_null() {
+        let pool = Arc::new(pmem::PmemPool::new(PoolConfig::small_test()));
+        let nodes = Ssmem::new(Arc::clone(&pool), SsmemConfig::small(2));
+        let a = nodes.alloc(0);
+        let b = nodes.alloc(0);
+        let c = nodes.alloc(0);
+        pool.store_u64(a.offset() + 8, b.to_u64());
+        pool.store_u64(b.offset() + 8, c.to_u64());
+        pool.store_u64(c.offset() + 8, 0);
+        let chain = traverse_chain(&pool, a, 8, |_| true);
+        assert_eq!(chain, vec![a, b, c]);
+        // A predicate can cut the traversal short.
+        let chain = traverse_chain(&pool, a, 8, |n| n != c);
+        assert_eq!(chain, vec![a, b]);
+    }
+
+    #[test]
+    fn reclaim_dead_frees_everything_outside_the_live_set() {
+        let pool = Arc::new(pmem::PmemPool::new(PoolConfig::small_test()));
+        let cfg = SsmemConfig {
+            obj_size: 64,
+            area_size: 1024,
+            max_threads: 2,
+        };
+        let nodes = Ssmem::new(Arc::clone(&pool), cfg);
+        let keep = nodes.alloc(0);
+        let _drop1 = nodes.alloc(0);
+        let _drop2 = nodes.alloc(0);
+        let live: HashSet<_> = [keep].into_iter().collect();
+        let reclaimed = reclaim_dead(&nodes, &live, 2);
+        let total: u32 = nodes.areas().iter().map(|a| a.num_objects).sum();
+        assert_eq!(reclaimed, total as usize - 1);
+        // The live slot is never handed out again before the dead ones run out.
+        for _ in 0..reclaimed {
+            assert_ne!(nodes.alloc(0), keep);
+        }
+    }
+}

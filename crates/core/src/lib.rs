@@ -1,0 +1,65 @@
+//! # durable_queues — durably linearizable lock-free FIFO queues for NVRAM
+//!
+//! A from-scratch Rust implementation of the queue family of *"Durable
+//! Queues: The Second Amendment"* (Sela & Petrank, SPAA 2021), together with
+//! the baselines the paper evaluates against. All queues share one public
+//! interface ([`DurableQueue`] / [`RecoverableQueue`]), operate on a
+//! simulated persistent-memory pool ([`pmem::PmemPool`]) and allocate their
+//! nodes through the durable epoch-based allocator of the [`ssmem`] crate.
+//!
+//! | Queue | Paper section | Blocking persists per update | Accesses to flushed content |
+//! |---|---|---|---|
+//! | [`MsQueue`] | §3.1 (volatile baseline) | 0 (not durable) | 0 |
+//! | [`DurableMsQueue`] | §10 baseline (Friedman et al., thinned) | ≥2 per enqueue, 1 per dequeue | several per op |
+//! | [`IzraelevitzQueue`] | §10 baseline (general transform) | one per shared access | several per op |
+//! | [`NvTraverseQueue`] | §10 baseline | one per shared write | several per op |
+//! | [`UnlinkedQueue`] | §5.1 (first amendment) | **1 per op** (lower bound) | several per op |
+//! | [`LinkedQueue`] | §5.2 / App. A (first amendment) | **1 per op** | several per op |
+//! | [`OptUnlinkedQueue`] | §6.1 / App. B (second amendment) | **1 per op** | **0** |
+//! | [`OptLinkedQueue`] | §6.2 / App. C (second amendment) | **1 per op** | **0** |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
+//! use pmem::{PmemPool, PoolConfig};
+//! use std::sync::Arc;
+//!
+//! let pool = Arc::new(PmemPool::new(PoolConfig::small_test()));
+//! let queue = OptUnlinkedQueue::create(Arc::clone(&pool), QueueConfig::small_test());
+//! queue.enqueue(0, 7);
+//! queue.enqueue(0, 8);
+//!
+//! // A crash wipes caches; the recovery procedure rebuilds the queue from
+//! // what had persistently reached the (simulated) NVRAM.
+//! let recovered_pool = Arc::new(pool.simulate_crash());
+//! let recovered = OptUnlinkedQueue::recover(recovered_pool, QueueConfig::small_test());
+//! assert_eq!(recovered.dequeue(0), Some(7));
+//! assert_eq!(recovered.dequeue(0), Some(8));
+//! assert_eq!(recovered.dequeue(0), None);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod api;
+pub mod chain;
+pub mod durable_msq;
+pub mod izraelevitz;
+pub mod linked;
+pub mod msq;
+pub mod node;
+pub mod opt_linked;
+pub mod opt_unlinked;
+pub mod root;
+pub mod testkit;
+pub mod unlinked;
+
+pub use api::{DurableQueue, QueueConfig, RecoverableQueue};
+pub use durable_msq::DurableMsQueue;
+pub use izraelevitz::{IzraelevitzQueue, NvTraverseQueue};
+pub use linked::LinkedQueue;
+pub use msq::MsQueue;
+pub use opt_linked::OptLinkedQueue;
+pub use opt_unlinked::OptUnlinkedQueue;
+pub use unlinked::UnlinkedQueue;

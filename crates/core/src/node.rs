@@ -1,0 +1,21 @@
+//! Node sizing shared by every queue implementation.
+//!
+//! Every queue node (and every `Persistent`/`Volatile` half of the split
+//! nodes used by the Opt queues) occupies exactly one 64-byte slot, so that a
+//! node never spans cache lines. This is the pre-condition for Assumption 1
+//! of the paper (whole-node persistence ordering within a line) and it also
+//! prevents false sharing between nodes.
+
+/// Size in bytes of every queue node / node half.
+pub const NODE_SIZE: u32 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::CACHE_LINE;
+
+    #[test]
+    fn node_fits_exactly_one_cache_line() {
+        assert_eq!(NODE_SIZE as usize, CACHE_LINE);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fixed locations of the queue's persistent roots inside the pool.
+//!
+//! A recovery procedure starts from nothing but the pool, so the global
+//! persistent state of the queue — or offsets leading to it — lives at fixed
+//! offsets inside the pool's queue-root block
+//! ([`pmem::layout::QUEUE_ROOT`]). Head and tail live on separate cache
+//! lines, as in the paper's implementation, to avoid false sharing.
+
+use pmem::layout::{CACHE_LINE, QUEUE_ROOT};
+use pmem::{PmemPool, MAX_THREADS};
+
+/// Offset of the queue head word (one cache line).
+pub const ROOT_HEAD: u32 = QUEUE_ROOT;
+
+/// Offset of the queue tail word (one cache line).
+pub const ROOT_TAIL: u32 = QUEUE_ROOT + CACHE_LINE as u32;
+
+/// Offset of the metadata line.
+pub const ROOT_META: u32 = QUEUE_ROOT + 2 * CACHE_LINE as u32;
+
+/// Metadata word: pool offset of the per-thread persistent local-data array.
+pub const META_LOCALDATA: u32 = ROOT_META;
+
+/// Metadata word: stride in bytes of one thread's local-data record.
+pub const META_LOCALDATA_STRIDE: u32 = ROOT_META + 8;
+
+/// Allocates (from pool raw space) and durably publishes a per-thread
+/// persistent local-data array of `stride` bytes per thread, recording its
+/// offset and stride in the root metadata line. Returns the array's offset.
+///
+/// The array space is zeroed and persisted, so recovery can rely on
+/// never-written records reading as zero.
+pub fn create_local_data(pool: &PmemPool, stride: u32) -> u32 {
+    assert_eq!(stride % CACHE_LINE as u32, 0);
+    let len = stride * MAX_THREADS as u32;
+    let off = pool.alloc_raw(len, CACHE_LINE as u32);
+    pool.zero_range(off, len);
+    pool.flush_range(0, off, len);
+    pool.store_u64(META_LOCALDATA, off as u64);
+    pool.store_u64(META_LOCALDATA_STRIDE, stride as u64);
+    pool.flush(0, ROOT_META);
+    pool.sfence(0);
+    off
+}
+
+/// Reads back the local-data array location published by
+/// [`create_local_data`]. Returns `(offset, stride)`.
+pub fn read_local_data(pool: &PmemPool) -> (u32, u32) {
+    (
+        pool.load_u64(META_LOCALDATA) as u32,
+        pool.load_u64(META_LOCALDATA_STRIDE) as u32,
+    )
+}
+
+/// Offset of thread `tid`'s record within the local-data array at
+/// `(base, stride)`.
+#[inline]
+pub fn local_data_slot(base: u32, stride: u32, tid: usize) -> u32 {
+    base + stride * tid as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{PmemPool, PoolConfig};
+
+    #[test]
+    fn root_lines_are_distinct() {
+        assert_ne!(ROOT_HEAD / 64, ROOT_TAIL / 64);
+        assert_ne!(ROOT_TAIL / 64, ROOT_META / 64);
+    }
+
+    #[test]
+    fn local_data_roundtrip_survives_crash() {
+        let pool = PmemPool::new(PoolConfig::small_test());
+        let off = create_local_data(&pool, 128);
+        let recovered = pool.simulate_crash();
+        let (r_off, r_stride) = read_local_data(&recovered);
+        assert_eq!(r_off, off);
+        assert_eq!(r_stride, 128);
+        // Zeroed content is durable.
+        assert_eq!(recovered.load_u64(local_data_slot(r_off, r_stride, 5)), 0);
+        assert_eq!(local_data_slot(r_off, r_stride, 2), off + 256);
+    }
+}

@@ -1,0 +1,93 @@
+//! Durable-linearizability crash checking across all algorithms.
+//!
+//! This is a thin, CLI-invokable wrapper around the generic checks of
+//! [`durable_queues::testkit`]: for every durable queue it runs concurrent
+//! workloads, crashes the pool mid-flight (optionally with the
+//! implicit-eviction adversary), recovers, and validates that completed
+//! operations survived, nothing was duplicated or invented, and per-producer
+//! FIFO order holds.
+
+use crate::algorithms::Algorithm;
+use durable_queues::testkit;
+use durable_queues::{
+    DurableMsQueue, IzraelevitzQueue, LinkedQueue, NvTraverseQueue, OptLinkedQueue,
+    OptUnlinkedQueue, UnlinkedQueue,
+};
+use ptm::{OneFileLiteQueue, RedoOptLiteQueue};
+
+/// Parameters of one crash-check campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashCheckConfig {
+    /// Worker threads per run.
+    pub threads: usize,
+    /// Operations per worker per run.
+    pub ops_per_thread: usize,
+    /// Independent runs (different seeds) per algorithm and adversary mode.
+    pub rounds: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for CrashCheckConfig {
+    fn default() -> Self {
+        CrashCheckConfig {
+            threads: 4,
+            ops_per_thread: 400,
+            rounds: 3,
+            seed: 0xC4A5,
+        }
+    }
+}
+
+/// Runs the crash campaign for one algorithm. Panics (with a descriptive
+/// message) if any durable-linearizability condition is violated.
+pub fn check_algorithm(alg: Algorithm, cfg: &CrashCheckConfig) {
+    for round in 0..cfg.rounds {
+        let seed = cfg.seed ^ (round << 32) ^ alg.name().len() as u64;
+        macro_rules! run {
+            ($t:ty) => {{
+                testkit::check_crash_during_concurrent_ops::<$t>(cfg.threads, cfg.ops_per_thread, seed);
+                testkit::check_crash_with_evictions::<$t>(cfg.threads, cfg.ops_per_thread, seed ^ 0xE);
+                testkit::check_recovery_preserves_completed_ops::<$t>(120, 40 + round);
+            }};
+        }
+        match alg {
+            Algorithm::Msq => testkit::check_volatile_recovery_is_empty::<durable_queues::MsQueue>(),
+            Algorithm::DurableMsq => run!(DurableMsQueue),
+            Algorithm::Izraelevitz => run!(IzraelevitzQueue),
+            Algorithm::NvTraverse => run!(NvTraverseQueue),
+            Algorithm::Unlinked => run!(UnlinkedQueue),
+            Algorithm::Linked => run!(LinkedQueue),
+            Algorithm::OptUnlinked => run!(OptUnlinkedQueue),
+            Algorithm::OptLinked => run!(OptLinkedQueue),
+            Algorithm::OneFileLite => run!(OneFileLiteQueue),
+            Algorithm::RedoOptLite => run!(RedoOptLiteQueue),
+        }
+    }
+}
+
+/// Runs the crash campaign for every implemented algorithm.
+pub fn check_all(cfg: &CrashCheckConfig) {
+    for alg in Algorithm::all() {
+        println!("crash-checking {} ...", alg.name());
+        check_algorithm(alg, cfg);
+    }
+    println!("all algorithms passed the durable-linearizability crash checks");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_crash_check_of_the_two_headline_queues() {
+        let cfg = CrashCheckConfig {
+            threads: 3,
+            ops_per_thread: 150,
+            rounds: 1,
+            seed: 0x77,
+        };
+        check_algorithm(Algorithm::OptUnlinked, &cfg);
+        check_algorithm(Algorithm::OptLinked, &cfg);
+    }
+}

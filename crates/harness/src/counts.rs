@@ -1,0 +1,106 @@
+//! Experiment E7/E8: per-operation persistence-event counts.
+//!
+//! The paper's analytic claims (Sections 5–6): UnlinkedQ, LinkedQ,
+//! OptUnlinkedQ and OptLinkedQ execute exactly one blocking persist operation
+//! per queue operation (the Cohen et al. lower bound), and the two Opt queues
+//! additionally perform zero accesses to explicitly flushed cache lines
+//! (which Section 2.1 shows is simultaneously achievable). This module
+//! measures those quantities for every implemented queue.
+
+use crate::algorithms::Algorithm;
+use durable_queues::testkit::{persist_counts, PersistCounts};
+use durable_queues::{
+    DurableMsQueue, IzraelevitzQueue, LinkedQueue, MsQueue, NvTraverseQueue, OptLinkedQueue,
+    OptUnlinkedQueue, UnlinkedQueue,
+};
+use ptm::{OneFileLiteQueue, RedoOptLiteQueue};
+
+/// Per-operation persistence profile of one algorithm.
+pub struct CountsRow {
+    /// The algorithm measured.
+    pub algorithm: Algorithm,
+    /// Measured averages (enqueue phase, dequeue phase, combined).
+    pub counts: PersistCounts,
+}
+
+/// Measures every implemented algorithm over `ops` single-threaded
+/// enqueue/dequeue pairs.
+pub fn persist_counts_table(ops: u64) -> Vec<CountsRow> {
+    Algorithm::all()
+        .into_iter()
+        .map(|algorithm| CountsRow {
+            algorithm,
+            counts: match algorithm {
+                Algorithm::Msq => persist_counts::<MsQueue>(ops),
+                Algorithm::DurableMsq => persist_counts::<DurableMsQueue>(ops),
+                Algorithm::Izraelevitz => persist_counts::<IzraelevitzQueue>(ops),
+                Algorithm::NvTraverse => persist_counts::<NvTraverseQueue>(ops),
+                Algorithm::Unlinked => persist_counts::<UnlinkedQueue>(ops),
+                Algorithm::Linked => persist_counts::<LinkedQueue>(ops),
+                Algorithm::OptUnlinked => persist_counts::<OptUnlinkedQueue>(ops),
+                Algorithm::OptLinked => persist_counts::<OptLinkedQueue>(ops),
+                Algorithm::OneFileLite => persist_counts::<OneFileLiteQueue>(ops),
+                Algorithm::RedoOptLite => persist_counts::<RedoOptLiteQueue>(ops),
+            },
+        })
+        .collect()
+}
+
+/// Renders the counts table.
+pub fn render_counts(rows: &[CountsRow]) -> String {
+    let mut out = String::new();
+    out.push_str("\n=== Persistence operations per queue operation (single-threaded steady state) ===\n");
+    out.push_str(&format!(
+        "{:<16}{:>14}{:>14}{:>14}{:>14}{:>18}\n",
+        "queue", "enq fences", "deq fences", "enq flushes", "nt-stores/op", "post-flush/op"
+    ));
+    for row in rows {
+        let c = &row.counts;
+        out.push_str(&format!(
+            "{:<16}{:>14.2}{:>14.2}{:>14.2}{:>14.2}{:>18.3}\n",
+            row.algorithm.name(),
+            c.enqueue.fences,
+            c.dequeue.fences,
+            c.enqueue.flushes,
+            c.total.nt_stores,
+            c.total.post_flush_accesses,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_table_reproduces_the_papers_analytic_claims() {
+        let rows = persist_counts_table(400);
+        let get = |a: Algorithm| rows.iter().find(|r| r.algorithm == a).unwrap();
+
+        // The four new queues meet the one-fence lower bound.
+        for alg in [
+            Algorithm::Unlinked,
+            Algorithm::Linked,
+            Algorithm::OptUnlinked,
+            Algorithm::OptLinked,
+        ] {
+            let c = &get(alg).counts;
+            assert!((c.enqueue.fences - 1.0).abs() < 0.05, "{}: {}", alg.name(), c.enqueue.fences);
+            assert!((c.dequeue.fences - 1.0).abs() < 0.05, "{}: {}", alg.name(), c.dequeue.fences);
+        }
+        // The second amendment eliminates post-flush accesses; the first does not.
+        assert_eq!(get(Algorithm::OptUnlinked).counts.total.post_flush_accesses, 0.0);
+        assert_eq!(get(Algorithm::OptLinked).counts.total.post_flush_accesses, 0.0);
+        assert!(get(Algorithm::Unlinked).counts.total.post_flush_accesses > 0.5);
+        assert!(get(Algorithm::DurableMsq).counts.total.post_flush_accesses > 0.5);
+        // The baselines fence more than the lower bound.
+        assert!(get(Algorithm::DurableMsq).counts.enqueue.fences > 1.5);
+        assert!(get(Algorithm::Izraelevitz).counts.enqueue.fences > 3.0);
+        // The volatile queue persists nothing.
+        assert_eq!(get(Algorithm::Msq).counts.total.fences, 0.0);
+
+        let rendered = render_counts(&rows);
+        assert!(rendered.contains("OptLinkedQ"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # harness — evaluation harness for the durable-queue reproduction
+//!
+//! Workload generators for the five panels of the paper's Figure 2
+//! ([`workloads`]), a thread-sweep runner producing the throughput and
+//! ratio-to-DurableMSQ tables ([`runner`]), the per-operation
+//! persistence-count experiment ([`counts`]), and a crash/durable-
+//! linearizability checker spanning every implemented queue ([`checker`]).
+//!
+//! The `harness` binary exposes all of it on the command line; the `bench`
+//! crate drives the same code from Criterion benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod checker;
+pub mod counts;
+pub mod runner;
+pub mod workloads;
+
+pub use algorithms::Algorithm;
+pub use workloads::Workload;

@@ -1,0 +1,141 @@
+//! Command-line harness that regenerates the paper's evaluation.
+//!
+//! ```text
+//! harness fig2 [--workload random|pairs|enqueues|dequeues|prodcons|all]
+//!              [--threads 1,2,4,8,12,16] [--ops N] [--initial-size N]
+//!              [--algorithms OptUnlinkedQ,DurableMSQ,...]
+//!              [--nvram-read-ns N] [--quick]
+//! harness counts [--ops N]
+//! harness crashtest [--threads N] [--ops N] [--rounds N]
+//! harness all [--quick]
+//! ```
+
+use harness::algorithms::Algorithm;
+use harness::checker::{check_all, CrashCheckConfig};
+use harness::counts::{persist_counts_table, render_counts};
+use harness::runner::{render_panel, run_panel, SweepConfig};
+use harness::workloads::Workload;
+use pmem::LatencyModel;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                String::from("true")
+            };
+            flags.insert(name.to_string(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn sweep_from_flags(flags: &HashMap<String, String>) -> SweepConfig {
+    let mut sweep = if flags.contains_key("quick") {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper_like()
+    };
+    if let Some(t) = flags.get("threads") {
+        sweep.threads = t
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --threads"))
+            .collect();
+    }
+    if let Some(ops) = flags.get("ops") {
+        sweep.ops_per_thread = ops.parse().expect("bad --ops");
+    }
+    if let Some(init) = flags.get("initial-size") {
+        sweep.initial_size = Some(init.parse().expect("bad --initial-size"));
+    }
+    if let Some(ns) = flags.get("nvram-read-ns") {
+        sweep.latency.nvram_read_ns = ns.parse().expect("bad --nvram-read-ns");
+    }
+    if flags.contains_key("no-latency") {
+        sweep.latency = LatencyModel::ZERO;
+    }
+    if let Some(algs) = flags.get("algorithms") {
+        sweep.algorithms = algs
+            .split(',')
+            .map(|s| Algorithm::parse(s).unwrap_or_else(|| panic!("unknown algorithm {s}")))
+            .collect();
+    }
+    sweep
+}
+
+fn workloads_from_flags(flags: &HashMap<String, String>) -> Vec<Workload> {
+    match flags.get("workload").map(|s| s.as_str()) {
+        None | Some("all") => Workload::all(),
+        Some(key) => vec![Workload::parse(key).unwrap_or_else(|| {
+            eprintln!("unknown workload '{key}' (expected random|pairs|enqueues|dequeues|prodcons|all)");
+            exit(2);
+        })],
+    }
+}
+
+fn cmd_fig2(flags: &HashMap<String, String>) {
+    let sweep = sweep_from_flags(flags);
+    for workload in workloads_from_flags(flags) {
+        let rows = run_panel(workload, &sweep);
+        print!("{}", render_panel(workload, &sweep, &rows));
+    }
+}
+
+fn cmd_counts(flags: &HashMap<String, String>) {
+    let ops = flags
+        .get("ops")
+        .map(|s| s.parse().expect("bad --ops"))
+        .unwrap_or(2_000);
+    let rows = persist_counts_table(ops);
+    print!("{}", render_counts(&rows));
+}
+
+fn cmd_crashtest(flags: &HashMap<String, String>) {
+    let mut cfg = CrashCheckConfig::default();
+    if let Some(t) = flags.get("threads") {
+        cfg.threads = t.parse().expect("bad --threads");
+    }
+    if let Some(o) = flags.get("ops") {
+        cfg.ops_per_thread = o.parse().expect("bad --ops");
+    }
+    if let Some(r) = flags.get("rounds") {
+        cfg.rounds = r.parse().expect("bad --rounds");
+    }
+    check_all(&cfg);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(|s| s.as_str()).unwrap_or("help");
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    match command {
+        "fig2" => cmd_fig2(&flags),
+        "counts" => cmd_counts(&flags),
+        "crashtest" => cmd_crashtest(&flags),
+        "all" => {
+            cmd_counts(&flags);
+            cmd_fig2(&flags);
+        }
+        _ => {
+            eprintln!(
+                "usage: harness <fig2|counts|crashtest|all> [flags]\n\
+                 \n\
+                 fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
+                 counts     per-operation persistence counts (experiments E7/E8)\n\
+                 crashtest  durable-linearizability crash checks for every queue\n\
+                 all        counts followed by every fig2 panel\n\
+                 \n\
+                 common flags: --quick --workload W --threads 1,2,4 --ops N\n\
+                               --initial-size N --algorithms A,B --nvram-read-ns N --no-latency"
+            );
+            exit(2);
+        }
+    }
+}

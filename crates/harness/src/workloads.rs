@@ -1,0 +1,293 @@
+//! The five workloads of the paper's evaluation (Section 10, Figure 2).
+
+use durable_queues::testkit::TestRng;
+use durable_queues::DurableQueue;
+use pmem::StatsSnapshot;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One panel of Figure 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// "Random operations": every operation is an enqueue or a dequeue with
+    /// probability 1/2, on a queue initialised with 10 items.
+    RandomOps,
+    /// "Enqueue-dequeue pairs": each thread alternates enqueue and dequeue,
+    /// on a queue initialised with 10 items.
+    Pairs,
+    /// "Enqueues": enqueue-only threads on an initially empty queue.
+    EnqueueOnly,
+    /// "Dequeues": dequeue-only threads on a pre-filled queue (12M items in
+    /// the paper; configurable here).
+    DequeueOnly,
+    /// "Producers-consumers": a fixed operation count per thread; a quarter
+    /// of the threads dequeue then enqueue, the rest enqueue then dequeue.
+    ProducerConsumer,
+}
+
+impl Workload {
+    /// All five panels, in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload::RandomOps,
+            Workload::Pairs,
+            Workload::EnqueueOnly,
+            Workload::DequeueOnly,
+            Workload::ProducerConsumer,
+        ]
+    }
+
+    /// The panel title used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::RandomOps => "Random operations (on queue size 10)",
+            Workload::Pairs => "Enqueue-dequeue pairs (on queue size 10)",
+            Workload::EnqueueOnly => "Enqueues (on empty queue)",
+            Workload::DequeueOnly => "Dequeues (on pre-filled queue)",
+            Workload::ProducerConsumer => "Producers-consumers (on queue size 10)",
+        }
+    }
+
+    /// Short identifier used on the command line and in bench names.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Workload::RandomOps => "random",
+            Workload::Pairs => "pairs",
+            Workload::EnqueueOnly => "enqueues",
+            Workload::DequeueOnly => "dequeues",
+            Workload::ProducerConsumer => "prodcons",
+        }
+    }
+
+    /// Parses a workload key.
+    pub fn parse(s: &str) -> Option<Workload> {
+        Workload::all().into_iter().find(|w| w.key() == s.to_ascii_lowercase())
+    }
+
+    /// The initial queue size the paper uses for this panel (with the
+    /// dequeue-only pre-fill scaled down by default; the harness lets the
+    /// caller override it).
+    pub fn default_initial_size(&self, threads: usize, ops_per_thread: u64) -> u64 {
+        match self {
+            Workload::RandomOps | Workload::Pairs | Workload::ProducerConsumer => 10,
+            Workload::EnqueueOnly => 0,
+            // Enough that dequeuers never run dry, mirroring the paper's
+            // oversized pre-fill.
+            Workload::DequeueOnly => threads as u64 * ops_per_thread + 16,
+        }
+    }
+}
+
+/// Parameters of one workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Operations performed by each thread.
+    pub ops_per_thread: u64,
+    /// Items enqueued (by thread 0) before the measured phase.
+    pub initial_size: u64,
+    /// Seed for the per-thread operation mix.
+    pub seed: u64,
+}
+
+/// The outcome of one workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunResult {
+    /// Total operations applied by all threads.
+    pub total_ops: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// Persistence events during the measured phase.
+    pub stats: StatsSnapshot,
+}
+
+impl RunResult {
+    /// Throughput in million operations per second — the y axis of the
+    /// paper's left-hand graphs.
+    pub fn mops(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Runs `workload` on `queue` and returns throughput and persistence
+/// statistics for the measured phase (the pre-fill is excluded).
+pub fn run_workload(queue: &Arc<dyn DurableQueue>, workload: Workload, cfg: &RunConfig) -> RunResult {
+    assert!(cfg.threads >= 1);
+    // Pre-fill (not measured).
+    for i in 0..cfg.initial_size {
+        queue.enqueue(0, i + 1);
+    }
+    queue.pool().reset_stats();
+    let before = queue.pool().stats();
+
+    // Each worker reports the instants at which it started and finished its
+    // share; the measured interval is [earliest start, latest finish]. Timing
+    // inside the workers (rather than around the joins) keeps the measurement
+    // correct even when the coordinating thread is descheduled for a long
+    // time, which happens routinely on machines with few cores.
+    let barrier = Arc::new(Barrier::new(cfg.threads));
+    let mut handles = Vec::new();
+    for tid in 0..cfg.threads {
+        let queue = Arc::clone(queue);
+        let barrier = Arc::clone(&barrier);
+        let cfg = *cfg;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TestRng::new(cfg.seed ^ ((tid as u64 + 1) << 20));
+            barrier.wait();
+            let start = Instant::now();
+            run_thread(&*queue, workload, tid, cfg.threads, cfg.ops_per_thread, &mut rng);
+            (start, Instant::now())
+        }));
+    }
+    let mut earliest_start: Option<Instant> = None;
+    let mut latest_end: Option<Instant> = None;
+    for h in handles {
+        let (start, end) = h.join().unwrap();
+        earliest_start = Some(earliest_start.map_or(start, |s| s.min(start)));
+        latest_end = Some(latest_end.map_or(end, |e| e.max(end)));
+    }
+    let elapsed = latest_end.unwrap().duration_since(earliest_start.unwrap());
+    let stats = queue.pool().stats() - before;
+    RunResult {
+        total_ops: cfg.threads as u64 * cfg.ops_per_thread,
+        elapsed,
+        stats,
+    }
+}
+
+fn run_thread(
+    queue: &dyn DurableQueue,
+    workload: Workload,
+    tid: usize,
+    threads: usize,
+    ops: u64,
+    rng: &mut TestRng,
+) {
+    let mut value = (tid as u64) << 40;
+    match workload {
+        Workload::RandomOps => {
+            for _ in 0..ops {
+                if rng.below(2) == 0 {
+                    value += 1;
+                    queue.enqueue(tid, value);
+                } else {
+                    std::hint::black_box(queue.dequeue(tid));
+                }
+            }
+        }
+        Workload::Pairs => {
+            for i in 0..ops {
+                if i % 2 == 0 {
+                    value += 1;
+                    queue.enqueue(tid, value);
+                } else {
+                    std::hint::black_box(queue.dequeue(tid));
+                }
+            }
+        }
+        Workload::EnqueueOnly => {
+            for _ in 0..ops {
+                value += 1;
+                queue.enqueue(tid, value);
+            }
+        }
+        Workload::DequeueOnly => {
+            for _ in 0..ops {
+                std::hint::black_box(queue.dequeue(tid));
+            }
+        }
+        Workload::ProducerConsumer => {
+            // A quarter of the threads (at least one) dequeue first and then
+            // enqueue; the rest enqueue first and then dequeue, so the queue
+            // is never drained for long.
+            let consumers_first = (threads / 4).max(1);
+            let half = ops / 2;
+            if tid < consumers_first {
+                for _ in 0..half {
+                    std::hint::black_box(queue.dequeue(tid));
+                }
+                for _ in 0..half {
+                    value += 1;
+                    queue.enqueue(tid, value);
+                }
+            } else {
+                for _ in 0..half {
+                    value += 1;
+                    queue.enqueue(tid, value);
+                }
+                for _ in 0..half {
+                    std::hint::black_box(queue.dequeue(tid));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use durable_queues::QueueConfig;
+    use pmem::{PmemPool, PoolConfig};
+
+    fn small_queue(alg: Algorithm) -> Arc<dyn DurableQueue> {
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(32 << 20)));
+        alg.create(pool, QueueConfig::small_test().with_threads(4))
+    }
+
+    #[test]
+    fn workload_keys_parse() {
+        for w in Workload::all() {
+            assert_eq!(Workload::parse(w.key()), Some(w));
+            assert!(!w.name().is_empty());
+        }
+        assert_eq!(Workload::parse("bogus"), None);
+    }
+
+    #[test]
+    fn every_workload_runs_and_reports_throughput() {
+        for w in Workload::all() {
+            let q = small_queue(Algorithm::OptUnlinked);
+            let cfg = RunConfig {
+                threads: 2,
+                ops_per_thread: 500,
+                initial_size: w.default_initial_size(2, 500),
+                seed: 7,
+            };
+            let r = run_workload(&q, w, &cfg);
+            assert_eq!(r.total_ops, 1000, "{}", w.name());
+            assert!(r.mops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn dequeue_only_never_runs_dry_with_default_prefill() {
+        let q = small_queue(Algorithm::DurableMsq);
+        let threads = 2;
+        let ops = 300;
+        let init = Workload::DequeueOnly.default_initial_size(threads, ops);
+        let r = run_workload(
+            &q,
+            Workload::DequeueOnly,
+            &RunConfig { threads, ops_per_thread: ops, initial_size: init, seed: 3 },
+        );
+        // Every dequeue succeeded, so the queue still holds the surplus.
+        assert!(r.total_ops == threads as u64 * ops);
+        let mut remaining = 0;
+        while q.dequeue(0).is_some() {
+            remaining += 1;
+        }
+        assert_eq!(remaining, init - threads as u64 * ops);
+    }
+
+    #[test]
+    fn measured_stats_exclude_the_prefill() {
+        let q = small_queue(Algorithm::OptUnlinked);
+        let cfg = RunConfig { threads: 1, ops_per_thread: 100, initial_size: 50, seed: 1 };
+        let r = run_workload(&q, Workload::DequeueOnly, &cfg);
+        // 100 dequeues at one fence each; the 50 pre-fill enqueues are not
+        // counted.
+        assert!(r.stats.fences >= 100 && r.stats.fences <= 110, "fences {}", r.stats.fences);
+    }
+}

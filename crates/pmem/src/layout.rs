@@ -1,0 +1,88 @@
+//! Pool layout constants shared by every crate that stores data in the pool.
+//!
+//! The pool is divided into a handful of fixed regions so that a recovery
+//! procedure, starting from nothing but the pool itself, can locate the
+//! persistent roots of the data structures that live in it:
+//!
+//! ```text
+//! offset 0                        reserved (PRef::NULL points here)
+//! offset 64    .. 64 + 4096       queue root block   (QUEUE_ROOT)
+//! offset 4160  .. 4160 + 4096     ssmem directory    (SSMEM_DIR)
+//! offset HEAP_START ..            general heap, handed out by alloc_raw()
+//! ```
+
+/// Size of a cache line in bytes. All persistence is modelled at this
+/// granularity, exactly as on the paper's Cascade Lake platform.
+pub const CACHE_LINE: usize = 64;
+
+/// Maximum number of threads that may operate on a single pool.
+///
+/// Per-thread persistent records (head indices, last-enqueue records,
+/// node-to-retire slots) are sized by this constant, mirroring the fixed
+/// `tid`-indexed arrays of the paper's implementation.
+pub const MAX_THREADS: usize = 64;
+
+/// Byte offset of the queue root block. A queue stores its persistent global
+/// state (or offsets leading to it) starting here, so that `recover()` can
+/// find it after a crash without any volatile help.
+pub const QUEUE_ROOT: u32 = CACHE_LINE as u32;
+
+/// Size in bytes of the queue root block (64 cache lines).
+pub const QUEUE_ROOT_LEN: u32 = 4096;
+
+/// Byte offset of the ssmem allocator directory (the persistent list of
+/// designated allocation areas).
+pub const SSMEM_DIR: u32 = QUEUE_ROOT + QUEUE_ROOT_LEN;
+
+/// Size in bytes of the ssmem allocator directory (room for ~500 designated
+/// areas at one cache line per directory entry).
+pub const SSMEM_DIR_LEN: u32 = 32768;
+
+/// First byte offset handed out by [`crate::PmemPool::alloc_raw`].
+pub const HEAP_START: u32 = SSMEM_DIR + SSMEM_DIR_LEN;
+
+/// Rounds `n` up to the next multiple of `align` (which must be a power of
+/// two).
+#[inline]
+pub const fn align_up(n: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+/// Returns the cache-line index containing byte offset `off`.
+#[inline]
+pub const fn line_of(off: u32) -> u32 {
+    off / CACHE_LINE as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(QUEUE_ROOT as usize >= CACHE_LINE);
+        assert!(SSMEM_DIR >= QUEUE_ROOT + QUEUE_ROOT_LEN);
+        assert!(HEAP_START >= SSMEM_DIR + SSMEM_DIR_LEN);
+        assert_eq!(QUEUE_ROOT % CACHE_LINE as u32, 0);
+        assert_eq!(SSMEM_DIR % CACHE_LINE as u32, 0);
+        assert_eq!(HEAP_START % CACHE_LINE as u32, 0);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+        assert_eq!(align_up(100, 8), 104);
+    }
+
+    #[test]
+    fn line_of_works() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_of(130), 2);
+    }
+}

@@ -1,0 +1,898 @@
+//! The simulated persistent-memory pool.
+//!
+//! A [`PmemPool`] owns two images of the same address range:
+//!
+//! * the **working image** — what loads, stores and CASes observe. It plays
+//!   the role of "the cache hierarchy plus whatever has already been written
+//!   back": the most recent value of every location.
+//! * the **persistent image** — what would survive a full-system crash. Only
+//!   explicit persistence (flush + fence, or a non-temporal store + fence)
+//!   and simulated implicit cache evictions copy data from the working image
+//!   into the persistent image.
+//!
+//! All persistence is tracked at cache-line (64-byte) granularity, and a line
+//! is always copied as a whole snapshot of its current working content. This
+//! realises Assumption 1 of the paper: the persistent content of a line is a
+//! prefix of the stores performed to it (here: always the full prefix up to
+//! the copy), never a torn or reordered mixture.
+//!
+//! Flushes model the CLWB/CLFLUSHOPT behaviour the paper measured on Cascade
+//! Lake: issuing a flush *invalidates* the line, so the next access to it
+//! counts as a [post-flush access](crate::StatsSnapshot::post_flush_accesses)
+//! and pays the configured NVRAM read latency.
+
+use crate::latency::{spin_delay, LatencyModel};
+use crate::layout::{self, CACHE_LINE, MAX_THREADS};
+use crate::stats::{Stats, StatsSnapshot};
+use crossbeam_utils::CachePadded;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Line state: present in the cache (normal access cost).
+const LINE_CACHED: u8 = 0;
+/// Line state: explicitly flushed, hence invalidated; the next access pays
+/// the NVRAM read latency.
+const LINE_FLUSHED: u8 = 1;
+
+/// Configuration of a [`PmemPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Pool size in bytes. Rounded up to a whole number of cache lines.
+    pub size: usize,
+    /// Latency charged for persistence events.
+    pub latency: LatencyModel,
+    /// If `true` (the default), an explicit flush only reaches the persistent
+    /// image once the issuing thread executes a fence — exactly the
+    /// asynchronous-flush-plus-SFENCE discipline of the paper. If `false`,
+    /// flushes persist immediately (a legal, stronger behaviour).
+    pub deferred_persist: bool,
+    /// Probability, per store/CAS, that the touched cache line is implicitly
+    /// written back to the persistent image (a simulated cache eviction).
+    /// `0.0` disables the adversary; crash tests sweep this.
+    pub eviction_probability: f64,
+    /// Seed for the implicit-eviction pseudo-random stream.
+    pub eviction_seed: u64,
+}
+
+impl PoolConfig {
+    /// A small, zero-latency pool for unit and property tests.
+    pub fn small_test() -> Self {
+        PoolConfig {
+            size: 1 << 20,
+            latency: LatencyModel::ZERO,
+            deferred_persist: true,
+            eviction_probability: 0.0,
+            eviction_seed: 0x5EED,
+        }
+    }
+
+    /// A zero-latency pool of the given size.
+    pub fn test_with_size(size: usize) -> Self {
+        PoolConfig {
+            size,
+            ..Self::small_test()
+        }
+    }
+
+    /// A pool configured for benchmarking: Optane-like latencies.
+    pub fn bench(size: usize) -> Self {
+        PoolConfig {
+            size,
+            latency: LatencyModel::optane_like(),
+            deferred_persist: true,
+            eviction_probability: 0.0,
+            eviction_seed: 0x5EED,
+        }
+    }
+
+    /// Overrides the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the implicit-eviction probability.
+    pub fn with_evictions(mut self, probability: f64, seed: u64) -> Self {
+        self.eviction_probability = probability;
+        self.eviction_seed = seed;
+        self
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::small_test()
+    }
+}
+
+/// A cache-line-aligned, zero-initialised raw memory arena.
+struct RawArena {
+    ptr: *mut u8,
+    layout: Layout,
+}
+
+impl RawArena {
+    fn new(size: usize) -> Self {
+        let layout = Layout::from_size_align(size, CACHE_LINE).expect("invalid arena layout");
+        // SAFETY: layout has non-zero size (callers guarantee size > 0).
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "pmem arena allocation failed ({size} bytes)");
+        RawArena { ptr, layout }
+    }
+}
+
+impl Drop for RawArena {
+    fn drop(&mut self) {
+        // SAFETY: `ptr` was allocated with exactly this layout in `new`.
+        unsafe { dealloc(self.ptr, self.layout) };
+    }
+}
+
+// SAFETY: the arena is only ever accessed through atomic operations (see the
+// accessors on `PmemPool`), so concurrent access from multiple threads cannot
+// produce data races.
+unsafe impl Send for RawArena {}
+unsafe impl Sync for RawArena {}
+
+/// Per-thread record of persistence work that has been issued but not yet
+/// ordered by a fence: lines with outstanding asynchronous flushes, and the
+/// (offset, value) pairs of outstanding non-temporal stores.
+#[derive(Default)]
+struct PendingPersists {
+    flushed_lines: Vec<u32>,
+    nt_writes: Vec<(u32, u64)>,
+}
+
+/// Interior-mutability wrapper for the per-thread pending-persist slots.
+///
+/// Only the thread that owns thread id `tid` may call
+/// [`PmemPool::flush`]/[`PmemPool::sfence`]/[`PmemPool::nt_store_u64`] with
+/// that `tid`; this single-owner discipline (identical to how the paper's
+/// per-thread arrays are used) is what makes the unsynchronised interior
+/// access sound.
+struct PendingCell(UnsafeCell<PendingPersists>);
+
+// SAFETY: each slot is only accessed by the single thread that owns the
+// corresponding tid (documented contract of the persist API).
+unsafe impl Sync for PendingCell {}
+
+/// The simulated persistent-memory pool. See the [module docs](self).
+pub struct PmemPool {
+    working: RawArena,
+    persistent: RawArena,
+    line_states: Box<[AtomicU8]>,
+    pending: Box<[CachePadded<PendingCell>]>,
+    size: usize,
+    watermark: AtomicU32,
+    stats: Stats,
+    config: PoolConfig,
+    eviction_threshold: u64,
+    rng: AtomicU64,
+}
+
+impl PmemPool {
+    /// Creates a fresh, zeroed pool.
+    pub fn new(config: PoolConfig) -> Self {
+        assert!(
+            config.size <= u32::MAX as usize,
+            "pool size must be addressable by a 32-bit PRef"
+        );
+        let min = layout::HEAP_START as usize + CACHE_LINE;
+        let size = layout::align_up(config.size.max(min) as u32, CACHE_LINE as u32) as usize;
+        let lines = size / CACHE_LINE;
+        let line_states = (0..lines).map(|_| AtomicU8::new(LINE_CACHED)).collect();
+        let pending = (0..MAX_THREADS)
+            .map(|_| CachePadded::new(PendingCell(UnsafeCell::new(PendingPersists::default()))))
+            .collect();
+        let eviction_threshold = probability_to_threshold(config.eviction_probability);
+        PmemPool {
+            working: RawArena::new(size),
+            persistent: RawArena::new(size),
+            line_states,
+            pending,
+            size,
+            watermark: AtomicU32::new(layout::HEAP_START),
+            stats: Stats::default(),
+            config,
+            eviction_threshold,
+            rng: AtomicU64::new(config.eviction_seed | 1),
+        }
+    }
+
+    /// Pool size in bytes.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` if the pool has zero capacity (never the case).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The configuration this pool was created with.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Address translation
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn check_bounds(&self, off: u32, bytes: u32) {
+        debug_assert!(off as usize + bytes as usize <= self.size, "pmem access out of bounds");
+        debug_assert_eq!(off % bytes, 0, "unaligned pmem access");
+        debug_assert_eq!(
+            (off as usize) / CACHE_LINE,
+            (off as usize + bytes as usize - 1) / CACHE_LINE,
+            "pmem access crosses a cache line"
+        );
+    }
+
+    #[inline]
+    fn working_u64(&self, off: u32) -> &AtomicU64 {
+        self.check_bounds(off, 8);
+        // SAFETY: in bounds, 8-byte aligned, and the arena lives as long as
+        // `self`; the arena is only accessed through atomics.
+        unsafe { &*(self.working.ptr.add(off as usize) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn persistent_u64(&self, off: u32) -> &AtomicU64 {
+        self.check_bounds(off, 8);
+        // SAFETY: as above.
+        unsafe { &*(self.persistent.ptr.add(off as usize) as *const AtomicU64) }
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumented access (the "did we touch a flushed line?" check)
+    // ------------------------------------------------------------------
+
+    /// Applies the post-flush-access accounting and penalty to the cache line
+    /// containing `off`, then (re)marks it as cached.
+    #[inline]
+    fn touch(&self, off: u32) {
+        let line = layout::line_of(off) as usize;
+        let state = &self.line_states[line];
+        if state.load(Ordering::Relaxed) == LINE_FLUSHED {
+            state.store(LINE_CACHED, Ordering::Relaxed);
+            self.stats.post_flush_accesses.fetch_add(1, Ordering::Relaxed);
+            spin_delay(self.config.latency.nvram_read_ns);
+        }
+    }
+
+    /// Possibly persists the line containing `off`, simulating an implicit
+    /// cache eviction, when the adversary is enabled.
+    #[inline]
+    fn maybe_evict(&self, off: u32) {
+        if self.eviction_threshold != 0 && self.next_rand() < self.eviction_threshold {
+            self.persist_line(layout::line_of(off));
+            self.stats.implicit_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn next_rand(&self) -> u64 {
+        // SplitMix64 over a Weyl sequence; statistical quality is more than
+        // enough for an eviction adversary and it is wait-free.
+        let mut z = self
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    // ------------------------------------------------------------------
+    // Loads / stores / CAS on the working image
+    // ------------------------------------------------------------------
+
+    /// Loads a 64-bit value from persistent memory (acquire ordering).
+    #[inline]
+    pub fn load_u64(&self, off: u32) -> u64 {
+        self.touch(off);
+        self.stats.loads.fetch_add(1, Ordering::Relaxed);
+        self.working_u64(off).load(Ordering::Acquire)
+    }
+
+    /// Stores a 64-bit value to persistent memory (release ordering). The
+    /// store reaches the working image only; it survives a crash only if the
+    /// containing line is later flushed (or implicitly evicted).
+    #[inline]
+    pub fn store_u64(&self, off: u32, val: u64) {
+        self.touch(off);
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.working_u64(off).store(val, Ordering::Release);
+        self.maybe_evict(off);
+    }
+
+    /// Compare-and-swap on a 64-bit persistent word. Returns `Ok(current)` on
+    /// success and `Err(actual)` on failure, like
+    /// [`std::sync::atomic::AtomicU64::compare_exchange`].
+    #[inline]
+    pub fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
+        self.touch(off);
+        self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        let r = self
+            .working_u64(off)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        if r.is_ok() {
+            self.maybe_evict(off);
+        }
+        r
+    }
+
+    /// Atomic fetch-and-add on a 64-bit persistent word.
+    #[inline]
+    pub fn fetch_add_u64(&self, off: u32, val: u64) -> u64 {
+        self.touch(off);
+        self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        let r = self.working_u64(off).fetch_add(val, Ordering::AcqRel);
+        self.maybe_evict(off);
+        r
+    }
+
+    /// Atomic swap on a 64-bit persistent word.
+    #[inline]
+    pub fn swap_u64(&self, off: u32, val: u64) -> u64 {
+        self.touch(off);
+        self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        let r = self.working_u64(off).swap(val, Ordering::AcqRel);
+        self.maybe_evict(off);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence primitives
+    // ------------------------------------------------------------------
+
+    fn pending_mut(&self, tid: usize) -> &mut PendingPersists {
+        assert!(tid < MAX_THREADS, "tid {tid} exceeds MAX_THREADS");
+        // SAFETY: by the documented contract, only the owner of `tid` calls
+        // the persist API with this tid, so there is no concurrent access.
+        unsafe { &mut *self.pending[tid].0.get() }
+    }
+
+    /// Copies the current working content of `line` into the persistent
+    /// image. Whole-line, so Assumption 1 holds by construction.
+    fn persist_line(&self, line: u32) {
+        let base = line * CACHE_LINE as u32;
+        for i in 0..(CACHE_LINE as u32 / 8) {
+            let off = base + i * 8;
+            let v = self.working_u64(off).load(Ordering::Acquire);
+            self.persistent_u64(off).store(v, Ordering::Release);
+        }
+    }
+
+    /// Issues an asynchronous flush (CLWB/CLFLUSHOPT) of the cache line
+    /// containing `off`, on behalf of thread `tid`.
+    ///
+    /// The line is marked invalidated immediately (the Cascade Lake
+    /// behaviour); its content reaches the persistent image when `tid` next
+    /// executes [`sfence`](Self::sfence) (or immediately, if the pool was
+    /// configured with `deferred_persist = false`).
+    #[inline]
+    pub fn flush(&self, tid: usize, off: u32) {
+        debug_assert!((off as usize) < self.size);
+        let line = layout::line_of(off);
+        self.line_states[line as usize].store(LINE_FLUSHED, Ordering::Relaxed);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        if self.config.deferred_persist {
+            self.pending_mut(tid).flushed_lines.push(line);
+        } else {
+            self.persist_line(line);
+        }
+        spin_delay(self.config.latency.flush_ns);
+    }
+
+    /// Issues asynchronous flushes for every cache line overlapping
+    /// `[off, off + len)`.
+    pub fn flush_range(&self, tid: usize, off: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = layout::line_of(off);
+        let last = layout::line_of(off + len - 1);
+        for line in first..=last {
+            self.flush(tid, line * CACHE_LINE as u32);
+        }
+    }
+
+    /// Store fence (SFENCE): blocks until every flush and non-temporal store
+    /// previously issued by thread `tid` has reached the persistent image.
+    pub fn sfence(&self, tid: usize) {
+        self.stats.fences.fetch_add(1, Ordering::Relaxed);
+        let pending = self.pending_mut(tid);
+        let lines = std::mem::take(&mut pending.flushed_lines);
+        let nt = std::mem::take(&mut pending.nt_writes);
+        for line in lines {
+            self.persist_line(line);
+        }
+        for (off, val) in nt {
+            self.persistent_u64(off).store(val, Ordering::Release);
+        }
+        spin_delay(self.config.latency.fence_ns);
+    }
+
+    /// Non-temporal 64-bit store (`movnti`): writes the working image and
+    /// schedules the value to reach the persistent image at the next fence,
+    /// without fetching or invalidating the containing cache line.
+    #[inline]
+    pub fn nt_store_u64(&self, tid: usize, off: u32, val: u64) {
+        self.stats.nt_stores.fetch_add(1, Ordering::Relaxed);
+        self.working_u64(off).store(val, Ordering::Release);
+        if self.config.deferred_persist {
+            self.pending_mut(tid).nt_writes.push((off, val));
+        } else {
+            self.persistent_u64(off).store(val, Ordering::Release);
+        }
+        spin_delay(self.config.latency.nt_store_ns);
+    }
+
+    /// Immediately persists the line containing `off`, bypassing the
+    /// asynchronous-flush bookkeeping. Used by recovery code (which runs
+    /// single-threaded before normal operation resumes) and by tests.
+    pub fn persist_now(&self, off: u32) {
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let line = layout::line_of(off);
+        self.line_states[line as usize].store(LINE_FLUSHED, Ordering::Relaxed);
+        self.persist_line(line);
+    }
+
+    /// Clears the flushed/invalidated marker of the cache line containing
+    /// `off` without charging a post-flush access.
+    ///
+    /// This models bringing a line into the cache as part of (re)allocating
+    /// the object that lives on it: the paper's "access to flushed content"
+    /// metric captures an algorithm re-reading data *it* persisted (head
+    /// indices, node fields of live nodes), not the allocator handing the
+    /// same slot to a fresh, unrelated object. The `ssmem` allocator calls
+    /// this for every slot it returns so that all queue algorithms are
+    /// accounted identically.
+    pub fn mark_line_cached(&self, off: u32) {
+        let line = layout::line_of(off) as usize;
+        self.line_states[line].store(LINE_CACHED, Ordering::Relaxed);
+    }
+
+    /// Zeroes `[off, off + len)` in the working image (plain stores; callers
+    /// that need the zeroes to be durable must flush + fence afterwards, as
+    /// ssmem does when it prepares a designated area).
+    pub fn zero_range(&self, off: u32, len: u32) {
+        assert_eq!(off % 8, 0);
+        assert_eq!(len % 8, 0);
+        assert!(off as usize + len as usize <= self.size);
+        for i in 0..(len / 8) {
+            let o = off + i * 8;
+            self.working_u64(o).store(0, Ordering::Release);
+        }
+        self.stats.stores.fetch_add((len / 8) as u64, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Raw space management
+    // ------------------------------------------------------------------
+
+    /// Reserves `len` bytes of pool space aligned to `align` and returns its
+    /// byte offset. This is a volatile bump allocator; higher-level,
+    /// crash-recoverable allocation (designated areas, free lists) is built
+    /// on top of it by the `ssmem` crate, which records every reservation in
+    /// its persistent directory.
+    pub fn alloc_raw(&self, len: u32, align: u32) -> u32 {
+        assert!(align.is_power_of_two() && align >= 8);
+        let mut cur = self.watermark.load(Ordering::Relaxed);
+        loop {
+            let start = layout::align_up(cur, align);
+            let end = start
+                .checked_add(len)
+                .expect("pmem pool exhausted (offset overflow)");
+            assert!(
+                (end as usize) <= self.size,
+                "pmem pool exhausted: need {} bytes at {}, pool size {}",
+                len,
+                start,
+                self.size
+            );
+            match self.watermark.compare_exchange_weak(cur, end, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return start,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current watermark (first never-reserved byte offset).
+    pub fn watermark(&self) -> u32 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Moves the watermark forward to at least `off`. Used by recovery to
+    /// make sure re-created volatile bookkeeping does not hand out space that
+    /// pre-crash data already occupies.
+    pub fn set_watermark(&self, off: u32) {
+        let mut cur = self.watermark.load(Ordering::Relaxed);
+        while cur < off {
+            match self
+                .watermark
+                .compare_exchange_weak(cur, off, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// A snapshot of the persistence counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets all persistence counters to zero.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Crash simulation
+    // ------------------------------------------------------------------
+
+    /// Reads a 64-bit value directly from the persistent image (what a crash
+    /// right now would preserve). Intended for tests and debugging.
+    pub fn persistent_u64_at(&self, off: u32) -> u64 {
+        self.persistent_u64(off).load(Ordering::Acquire)
+    }
+
+    /// Simulates a full-system crash followed by a restart: returns a new
+    /// pool whose contents are exactly the persistent image of this one.
+    ///
+    /// The original pool is left untouched, so a test can crash the same
+    /// execution repeatedly (e.g. at different adversary settings).
+    pub fn simulate_crash(&self) -> PmemPool {
+        self.simulate_crash_with_evictions(0.0, 0)
+    }
+
+    /// Simulates a crash in which, additionally, each cache line has
+    /// independently been written back by an implicit eviction with the given
+    /// probability before the power failed. This explores legal NVRAM states
+    /// *beyond* what the algorithm explicitly persisted, which is exactly
+    /// what a recovery procedure must tolerate.
+    pub fn simulate_crash_with_evictions(&self, probability: f64, seed: u64) -> PmemPool {
+        let recovered = PmemPool::new(self.config);
+        recovered.set_watermark(self.watermark());
+        let threshold = probability_to_threshold(probability);
+        let mut rng_state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let lines = self.size / CACHE_LINE;
+        for line in 0..lines as u32 {
+            let evicted = threshold != 0 && next() < threshold;
+            let base = line * CACHE_LINE as u32;
+            for i in 0..(CACHE_LINE as u32 / 8) {
+                let off = base + i * 8;
+                let src = if evicted {
+                    // The line was written back at crash time: its working
+                    // content survives.
+                    self.working_u64(off).load(Ordering::Acquire)
+                } else {
+                    self.persistent_u64(off).load(Ordering::Acquire)
+                };
+                recovered.working_u64(off).store(src, Ordering::Release);
+                recovered.persistent_u64(off).store(src, Ordering::Release);
+            }
+        }
+        recovered
+    }
+}
+
+fn probability_to_threshold(probability: f64) -> u64 {
+    if probability <= 0.0 {
+        0
+    } else if probability >= 1.0 {
+        u64::MAX
+    } else {
+        (probability * u64::MAX as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::HEAP_START;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_test())
+    }
+
+    #[test]
+    fn fresh_pool_is_zeroed() {
+        let p = pool();
+        assert_eq!(p.load_u64(HEAP_START), 0);
+        assert_eq!(p.persistent_u64_at(HEAP_START), 0);
+    }
+
+    #[test]
+    fn alloc_raw_respects_alignment_and_watermark() {
+        let p = pool();
+        let a = p.alloc_raw(24, 8);
+        let b = p.alloc_raw(64, 64);
+        let c = p.alloc_raw(8, 8);
+        assert!(a >= HEAP_START);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 24);
+        assert!(c >= b + 64);
+        assert!(p.watermark() >= c + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_raw_panics_when_exhausted() {
+        let p = PmemPool::new(PoolConfig::test_with_size(1 << 12));
+        // The pool is padded to a minimum size; allocate more than it holds.
+        for _ in 0..1024 {
+            p.alloc_raw(4096, 64);
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 0xABCD);
+        assert_eq!(p.load_u64(off), 0xABCD);
+    }
+
+    #[test]
+    fn unflushed_store_does_not_survive_a_crash() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 7);
+        let r = p.simulate_crash();
+        assert_eq!(r.load_u64(off), 0);
+    }
+
+    #[test]
+    fn flush_without_fence_does_not_persist_when_deferred() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 7);
+        p.flush(0, off);
+        assert_eq!(p.persistent_u64_at(off), 0);
+        let r = p.simulate_crash();
+        assert_eq!(r.load_u64(off), 0);
+    }
+
+    #[test]
+    fn flush_plus_fence_persists() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 7);
+        p.flush(0, off);
+        p.sfence(0);
+        assert_eq!(p.persistent_u64_at(off), 7);
+        let r = p.simulate_crash();
+        assert_eq!(r.load_u64(off), 7);
+    }
+
+    #[test]
+    fn eager_persist_mode_persists_at_flush() {
+        let mut cfg = PoolConfig::small_test();
+        cfg.deferred_persist = false;
+        let p = PmemPool::new(cfg);
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 9);
+        p.flush(0, off);
+        assert_eq!(p.persistent_u64_at(off), 9);
+    }
+
+    #[test]
+    fn fence_only_persists_own_threads_flushes() {
+        let p = pool();
+        let a = p.alloc_raw(64, 64);
+        let b = p.alloc_raw(64, 64);
+        p.store_u64(a, 1);
+        p.store_u64(b, 2);
+        p.flush(0, a);
+        p.flush(1, b);
+        p.sfence(0);
+        assert_eq!(p.persistent_u64_at(a), 1);
+        assert_eq!(p.persistent_u64_at(b), 0);
+        p.sfence(1);
+        assert_eq!(p.persistent_u64_at(b), 2);
+    }
+
+    #[test]
+    fn whole_line_is_persisted_prefix_semantics() {
+        // Two fields on the same line, written in order; flushing via the
+        // first field's address persists both (Assumption 1).
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 1);
+        p.store_u64(off + 8, 2);
+        p.flush(0, off);
+        p.sfence(0);
+        let r = p.simulate_crash();
+        assert_eq!(r.load_u64(off), 1);
+        assert_eq!(r.load_u64(off + 8), 2);
+    }
+
+    #[test]
+    fn flush_captures_content_at_fence_time() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 1);
+        p.flush(0, off);
+        p.store_u64(off, 2); // store between flush issue and fence
+        p.sfence(0);
+        // Either 1 or 2 would be legal on hardware; the simulator persists
+        // the content at fence time.
+        assert_eq!(p.persistent_u64_at(off), 2);
+    }
+
+    #[test]
+    fn nt_store_persists_after_fence_without_invalidation() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.nt_store_u64(0, off, 42);
+        assert_eq!(p.load_u64(off), 42);
+        assert_eq!(p.persistent_u64_at(off), 0);
+        p.sfence(0);
+        assert_eq!(p.persistent_u64_at(off), 42);
+        // No post-flush access was charged by any of this.
+        assert_eq!(p.stats().post_flush_accesses, 0);
+    }
+
+    #[test]
+    fn post_flush_access_is_counted_once_until_next_flush() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 5);
+        p.flush(0, off);
+        p.sfence(0);
+        assert_eq!(p.stats().post_flush_accesses, 0);
+        let _ = p.load_u64(off); // first access after the flush: counted
+        let _ = p.load_u64(off); // line is cached again: not counted
+        assert_eq!(p.stats().post_flush_accesses, 1);
+        p.flush(0, off);
+        p.store_u64(off, 6); // store after flush: counted too
+        assert_eq!(p.stats().post_flush_accesses, 2);
+    }
+
+    #[test]
+    fn accesses_to_other_lines_are_not_penalised() {
+        let p = pool();
+        let a = p.alloc_raw(64, 64);
+        let b = p.alloc_raw(64, 64);
+        p.store_u64(a, 1);
+        p.flush(0, a);
+        p.sfence(0);
+        let _ = p.load_u64(b);
+        assert_eq!(p.stats().post_flush_accesses, 0);
+    }
+
+    #[test]
+    fn stats_count_all_event_kinds() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 1);
+        let _ = p.load_u64(off);
+        let _ = p.cas_u64(off, 1, 2);
+        let _ = p.fetch_add_u64(off, 1);
+        p.flush(0, off);
+        p.sfence(0);
+        p.nt_store_u64(0, off + 8, 3);
+        let s = p.stats();
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.cas_ops, 2);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.nt_stores, 1);
+        p.reset_stats();
+        assert_eq!(p.stats(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 10);
+        assert_eq!(p.cas_u64(off, 10, 11), Ok(10));
+        assert_eq!(p.cas_u64(off, 10, 12), Err(11));
+        assert_eq!(p.load_u64(off), 11);
+    }
+
+    #[test]
+    fn swap_and_fetch_add() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        assert_eq!(p.fetch_add_u64(off, 5), 0);
+        assert_eq!(p.swap_u64(off, 100), 5);
+        assert_eq!(p.load_u64(off), 100);
+    }
+
+    #[test]
+    fn implicit_evictions_persist_unflushed_data() {
+        let cfg = PoolConfig::small_test().with_evictions(1.0, 1234);
+        let p = PmemPool::new(cfg);
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 77);
+        // With probability 1 every store's line is evicted, so the value is
+        // already persistent without any flush.
+        assert_eq!(p.persistent_u64_at(off), 77);
+        assert!(p.stats().implicit_evictions >= 1);
+    }
+
+    #[test]
+    fn crash_with_evictions_can_expose_working_content() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 31);
+        let r_all = p.simulate_crash_with_evictions(1.0, 99);
+        assert_eq!(r_all.load_u64(off), 31);
+        let r_none = p.simulate_crash_with_evictions(0.0, 99);
+        assert_eq!(r_none.load_u64(off), 0);
+    }
+
+    #[test]
+    fn crash_preserves_watermark_and_config() {
+        let p = pool();
+        let off = p.alloc_raw(640, 64);
+        let r = p.simulate_crash();
+        assert!(r.watermark() >= off + 640);
+        assert_eq!(r.config().size, p.config().size);
+    }
+
+    #[test]
+    fn zero_range_clears_working_image() {
+        let p = pool();
+        let off = p.alloc_raw(128, 64);
+        p.store_u64(off, 1);
+        p.store_u64(off + 120, 2);
+        p.zero_range(off, 128);
+        assert_eq!(p.load_u64(off), 0);
+        assert_eq!(p.load_u64(off + 120), 0);
+    }
+
+    #[test]
+    fn flush_range_covers_every_line() {
+        let p = pool();
+        let off = p.alloc_raw(256, 64);
+        for i in 0..32 {
+            p.store_u64(off + i * 8, i as u64 + 1);
+        }
+        p.flush_range(0, off, 256);
+        p.sfence(0);
+        let r = p.simulate_crash();
+        for i in 0..32 {
+            assert_eq!(r.load_u64(off + i * 8), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn persist_now_is_immediate() {
+        let p = pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 8);
+        p.persist_now(off);
+        assert_eq!(p.persistent_u64_at(off), 8);
+    }
+
+    #[test]
+    fn watermark_never_moves_backwards() {
+        let p = pool();
+        let w = p.watermark();
+        p.set_watermark(w.saturating_sub(100));
+        assert_eq!(p.watermark(), w);
+        p.set_watermark(w + 4096);
+        assert_eq!(p.watermark(), w + 4096);
+    }
+}

@@ -1,0 +1,103 @@
+//! Position-independent persistent references.
+
+use std::fmt;
+
+/// A persistent reference: a 32-bit byte offset into a [`crate::PmemPool`].
+///
+/// Persistent data structures must not store raw pointers, because the pool
+/// can be re-mapped (here: re-created by [`crate::PmemPool::simulate_crash`])
+/// at a different address after a restart. `PRef` is the stable name of a
+/// location; it is translated to an address only at access time, by the pool.
+///
+/// Offset `0` is reserved by the pool and never handed out, so it doubles as
+/// the null reference ([`PRef::NULL`]). A `PRef` is freely convertible to and
+/// from a `u64` so it can be packed next to other fields inside a single
+/// atomic word (the packed head pointer + head index of UnlinkedQ, for
+/// example).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PRef(pub u32);
+
+impl PRef {
+    /// The null reference (offset 0, which the pool reserves).
+    pub const NULL: PRef = PRef(0);
+
+    /// Returns `true` if this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw byte offset.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a reference from a raw byte offset.
+    #[inline]
+    pub fn from_offset(off: u32) -> Self {
+        PRef(off)
+    }
+
+    /// Returns the reference to `self + bytes`, for addressing a field at a
+    /// fixed byte offset within an object.
+    #[inline]
+    pub fn field(self, bytes: u32) -> PRef {
+        debug_assert!(!self.is_null());
+        PRef(self.0 + bytes)
+    }
+
+    /// Packs the reference into the low 32 bits of a `u64`.
+    #[inline]
+    pub fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Unpacks a reference from the low 32 bits of a `u64`.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        PRef(v as u32)
+    }
+}
+
+impl Default for PRef {
+    fn default() -> Self {
+        PRef::NULL
+    }
+}
+
+impl fmt::Debug for PRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PRef(NULL)")
+        } else {
+            write!(f, "PRef({:#x})", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_roundtrip() {
+        assert!(PRef::NULL.is_null());
+        assert!(PRef::default().is_null());
+        assert_eq!(PRef::from_u64(PRef::NULL.to_u64()), PRef::NULL);
+    }
+
+    #[test]
+    fn field_addressing() {
+        let r = PRef::from_offset(128);
+        assert_eq!(r.field(8).offset(), 136);
+        assert_eq!(r.field(0), r);
+    }
+
+    #[test]
+    fn u64_packing_preserves_offset() {
+        let r = PRef::from_offset(0xDEAD_BEE0);
+        let packed = r.to_u64() | (7u64 << 32);
+        assert_eq!(PRef::from_u64(packed & 0xFFFF_FFFF), r);
+    }
+}

@@ -1,0 +1,220 @@
+//! Persistence-event statistics.
+//!
+//! The paper argues about two per-operation quantities: the number of
+//! blocking persist operations (fences) and the number of accesses to
+//! previously flushed content. The pool counts both — plus flushes,
+//! non-temporal stores and plain accesses — so that experiment E7/E8
+//! (see DESIGN.md) can verify the analytic claims directly:
+//! one fence per update operation for the four new queues, and zero
+//! post-flush accesses for OptUnlinkedQ and OptLinkedQ.
+
+use crossbeam_utils::CachePadded;
+use std::fmt;
+use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters, one cache line each to avoid false sharing on
+/// the hot path.
+#[derive(Default)]
+pub(crate) struct Stats {
+    pub flushes: CachePadded<AtomicU64>,
+    pub fences: CachePadded<AtomicU64>,
+    pub nt_stores: CachePadded<AtomicU64>,
+    pub post_flush_accesses: CachePadded<AtomicU64>,
+    pub loads: CachePadded<AtomicU64>,
+    pub stores: CachePadded<AtomicU64>,
+    pub cas_ops: CachePadded<AtomicU64>,
+    pub implicit_evictions: CachePadded<AtomicU64>,
+}
+
+impl Stats {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            nt_stores: self.nt_stores.load(Ordering::Relaxed),
+            post_flush_accesses: self.post_flush_accesses.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            cas_ops: self.cas_ops.load(Ordering::Relaxed),
+            implicit_evictions: self.implicit_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.flushes.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.nt_stores.store(0, Ordering::Relaxed);
+        self.post_flush_accesses.store(0, Ordering::Relaxed);
+        self.loads.store(0, Ordering::Relaxed);
+        self.stores.store(0, Ordering::Relaxed);
+        self.cas_ops.store(0, Ordering::Relaxed);
+        self.implicit_evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the pool's persistence counters.
+///
+/// Snapshots can be subtracted to obtain the events attributable to a region
+/// of an experiment: `let delta = pool.stats() - before;`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Asynchronous cache-line flushes issued (CLWB/CLFLUSHOPT).
+    pub flushes: u64,
+    /// Blocking store fences issued (SFENCE).
+    pub fences: u64,
+    /// Non-temporal stores issued (`movnti`).
+    pub nt_stores: u64,
+    /// Loads/stores/CASes that touched a cache line previously invalidated by
+    /// an explicit flush — the quantity the second amendment drives to zero.
+    pub post_flush_accesses: u64,
+    /// Plain persistent-memory loads.
+    pub loads: u64,
+    /// Plain persistent-memory stores.
+    pub stores: u64,
+    /// Compare-and-swap operations on persistent memory.
+    pub cas_ops: u64,
+    /// Cache lines persisted by the simulated implicit-eviction adversary.
+    pub implicit_evictions: u64,
+}
+
+impl StatsSnapshot {
+    /// Blocking persist operations (the quantity lower-bounded by Cohen et
+    /// al.): one per fence.
+    pub fn blocking_persists(&self) -> u64 {
+        self.fences
+    }
+
+    /// Divides every counter by `ops`, yielding per-operation averages.
+    pub fn per_op(&self, ops: u64) -> PerOpStats {
+        let d = |v: u64| v as f64 / ops.max(1) as f64;
+        PerOpStats {
+            flushes: d(self.flushes),
+            fences: d(self.fences),
+            nt_stores: d(self.nt_stores),
+            post_flush_accesses: d(self.post_flush_accesses),
+        }
+    }
+}
+
+impl Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            flushes: self.flushes - rhs.flushes,
+            fences: self.fences - rhs.fences,
+            nt_stores: self.nt_stores - rhs.nt_stores,
+            post_flush_accesses: self.post_flush_accesses - rhs.post_flush_accesses,
+            loads: self.loads - rhs.loads,
+            stores: self.stores - rhs.stores,
+            cas_ops: self.cas_ops - rhs.cas_ops,
+            implicit_evictions: self.implicit_evictions - rhs.implicit_evictions,
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flushes={} fences={} nt_stores={} post_flush_accesses={} loads={} stores={} cas={} evictions={}",
+            self.flushes,
+            self.fences,
+            self.nt_stores,
+            self.post_flush_accesses,
+            self.loads,
+            self.stores,
+            self.cas_ops,
+            self.implicit_evictions
+        )
+    }
+}
+
+/// Per-operation averages of the persistence events that matter for the
+/// paper's analysis (experiments E7/E8).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PerOpStats {
+    /// Average flushes per operation.
+    pub flushes: f64,
+    /// Average blocking fences per operation.
+    pub fences: f64,
+    /// Average non-temporal stores per operation.
+    pub nt_stores: f64,
+    /// Average post-flush accesses per operation.
+    pub post_flush_accesses: f64,
+}
+
+impl fmt::Display for PerOpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fences/op={:.3} flushes/op={:.3} nt_stores/op={:.3} post_flush_accesses/op={:.3}",
+            self.fences, self.flushes, self.nt_stores, self.post_flush_accesses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_subtraction() {
+        let a = StatsSnapshot {
+            flushes: 10,
+            fences: 5,
+            nt_stores: 2,
+            post_flush_accesses: 7,
+            loads: 100,
+            stores: 50,
+            cas_ops: 20,
+            implicit_evictions: 1,
+        };
+        let b = StatsSnapshot {
+            flushes: 4,
+            fences: 2,
+            nt_stores: 1,
+            post_flush_accesses: 3,
+            loads: 40,
+            stores: 20,
+            cas_ops: 10,
+            implicit_evictions: 0,
+        };
+        let d = a - b;
+        assert_eq!(d.flushes, 6);
+        assert_eq!(d.fences, 3);
+        assert_eq!(d.post_flush_accesses, 4);
+        assert_eq!(d.blocking_persists(), 3);
+    }
+
+    #[test]
+    fn per_op_averages() {
+        let s = StatsSnapshot {
+            fences: 100,
+            flushes: 200,
+            ..Default::default()
+        };
+        let p = s.per_op(100);
+        assert!((p.fences - 1.0).abs() < 1e-9);
+        assert!((p.flushes - 2.0).abs() < 1e-9);
+        // Guard against division by zero.
+        let _ = s.per_op(0);
+    }
+
+    #[test]
+    fn stats_reset_clears_counters() {
+        let s = Stats::default();
+        s.flushes.fetch_add(3, Ordering::Relaxed);
+        s.fences.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(s.snapshot().flushes, 3);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = StatsSnapshot::default();
+        assert!(format!("{s}").contains("fences=0"));
+        assert!(format!("{}", s.per_op(1)).contains("fences/op"));
+    }
+}

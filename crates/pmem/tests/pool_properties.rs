@@ -1,0 +1,176 @@
+//! Property-based tests of the persistent-memory simulator.
+//!
+//! These check the invariants every queue algorithm in the workspace relies
+//! on: persistence is at line granularity and prefix-consistent
+//! (Assumption 1), flushed+fenced data always survives a crash, never-flushed
+//! data survives only under the eviction adversary, and the persistence
+//! counters add up.
+
+use pmem::{layout, PmemPool, PoolConfig};
+use proptest::prelude::*;
+
+/// A small script of operations against a handful of 64-bit slots spread
+/// over a few cache lines.
+#[derive(Clone, Debug)]
+enum Op {
+    Store { slot: usize, val: u64 },
+    Flush { slot: usize },
+    Fence,
+    NtStore { slot: usize, val: u64 },
+}
+
+const SLOTS: usize = 16; // 16 slots × 8 bytes = 2 cache lines per group of 8
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SLOTS, any::<u64>()).prop_map(|(slot, val)| Op::Store { slot, val }),
+        (0..SLOTS).prop_map(|slot| Op::Flush { slot }),
+        Just(Op::Fence),
+        (0..SLOTS, any::<u64>()).prop_map(|(slot, val)| Op::NtStore { slot, val }),
+    ]
+}
+
+/// A model of what must be persistent: for every slot, the set of values
+/// that would be acceptable after a crash (either the last value known
+/// persistent, or — because whole lines are persisted together — any value
+/// persisted by a later flush of the same line).
+struct Model {
+    /// Last written (working) value per slot.
+    working: Vec<u64>,
+    /// Guaranteed-persistent value per slot.
+    persistent: Vec<u64>,
+    /// Lines flushed but not yet fenced (per single simulated thread).
+    pending_lines: Vec<usize>,
+    /// NT stores not yet fenced.
+    pending_nt: Vec<(usize, u64)>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            working: vec![0; SLOTS],
+            persistent: vec![0; SLOTS],
+            pending_lines: Vec::new(),
+            pending_nt: Vec::new(),
+        }
+    }
+    fn line_of(slot: usize) -> usize {
+        slot * 8 / layout::CACHE_LINE
+    }
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Store { slot, val } => self.working[*slot] = *val,
+            Op::NtStore { slot, val } => {
+                self.working[*slot] = *val;
+                self.pending_nt.push((*slot, *val));
+            }
+            Op::Flush { slot } => self.pending_lines.push(Self::line_of(*slot)),
+            Op::Fence => {
+                for line in self.pending_lines.drain(..) {
+                    for slot in 0..SLOTS {
+                        if Self::line_of(slot) == line {
+                            self.persistent[slot] = self.working[slot];
+                        }
+                    }
+                }
+                for (slot, val) in self.pending_nt.drain(..) {
+                    self.persistent[slot] = val;
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any sequence of stores/flushes/fences/nt-stores by one thread,
+    /// a crash recovers exactly the model's guaranteed-persistent values
+    /// (the simulator persists *at fence time*, which the model mirrors).
+    #[test]
+    fn crash_recovers_exactly_the_fenced_state(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let pool = PmemPool::new(PoolConfig::small_test());
+        let base = pool.alloc_raw((SLOTS * 8) as u32, 64);
+        let mut model = Model::new();
+        for op in &ops {
+            match op {
+                Op::Store { slot, val } => pool.store_u64(base + (*slot as u32) * 8, *val),
+                Op::NtStore { slot, val } => pool.nt_store_u64(0, base + (*slot as u32) * 8, *val),
+                Op::Flush { slot } => pool.flush(0, base + (*slot as u32) * 8),
+                Op::Fence => pool.sfence(0),
+            }
+            model.apply(op);
+        }
+        let recovered = pool.simulate_crash();
+        for slot in 0..SLOTS {
+            prop_assert_eq!(recovered.load_u64(base + (slot as u32) * 8), model.persistent[slot],
+                "slot {} diverged", slot);
+        }
+    }
+
+    /// The working image always reflects program order, regardless of
+    /// flushes/fences.
+    #[test]
+    fn working_image_reflects_last_store(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let pool = PmemPool::new(PoolConfig::small_test());
+        let base = pool.alloc_raw((SLOTS * 8) as u32, 64);
+        let mut model = Model::new();
+        for op in &ops {
+            match op {
+                Op::Store { slot, val } => pool.store_u64(base + (*slot as u32) * 8, *val),
+                Op::NtStore { slot, val } => pool.nt_store_u64(0, base + (*slot as u32) * 8, *val),
+                Op::Flush { slot } => pool.flush(0, base + (*slot as u32) * 8),
+                Op::Fence => pool.sfence(0),
+            }
+            model.apply(op);
+        }
+        for slot in 0..SLOTS {
+            prop_assert_eq!(pool.load_u64(base + (slot as u32) * 8), model.working[slot]);
+        }
+    }
+
+    /// With the eviction adversary at probability 1.0 every store is
+    /// immediately persistent; with 0.0 and no flushes nothing is.
+    #[test]
+    fn eviction_probability_extremes(vals in proptest::collection::vec(any::<u64>(), 1..32)) {
+        let evict = PmemPool::new(PoolConfig::small_test().with_evictions(1.0, 7));
+        let keep = PmemPool::new(PoolConfig::small_test());
+        let base_e = evict.alloc_raw(64 * 32, 64);
+        let base_k = keep.alloc_raw(64 * 32, 64);
+        for (i, v) in vals.iter().enumerate() {
+            evict.store_u64(base_e + (i as u32) * 64, *v);
+            keep.store_u64(base_k + (i as u32) * 64, *v);
+        }
+        let re = evict.simulate_crash();
+        let rk = keep.simulate_crash();
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(re.load_u64(base_e + (i as u32) * 64), *v);
+            prop_assert_eq!(rk.load_u64(base_k + (i as u32) * 64), 0);
+        }
+    }
+
+    /// Counters: fences and flushes equal the number issued; post-flush
+    /// accesses only arise from touching a flushed line.
+    #[test]
+    fn counters_are_consistent(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let pool = PmemPool::new(PoolConfig::small_test());
+        let base = pool.alloc_raw((SLOTS * 8) as u32, 64);
+        let mut flushes = 0u64;
+        let mut fences = 0u64;
+        let mut nt = 0u64;
+        for op in &ops {
+            match op {
+                Op::Store { slot, val } => pool.store_u64(base + (*slot as u32) * 8, *val),
+                Op::NtStore { slot, val } => { pool.nt_store_u64(0, base + (*slot as u32) * 8, *val); nt += 1; }
+                Op::Flush { slot } => { pool.flush(0, base + (*slot as u32) * 8); flushes += 1; }
+                Op::Fence => { pool.sfence(0); fences += 1; }
+            }
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.flushes, flushes);
+        prop_assert_eq!(s.fences, fences);
+        prop_assert_eq!(s.nt_stores, nt);
+        // Every post-flush access must be explained by at least one flush.
+        prop_assert!(s.post_flush_accesses <= s.flushes.max(1) * SLOTS as u64);
+    }
+}

@@ -1,0 +1,464 @@
+//! The per-thread durable allocator.
+
+use crate::dir::{self, AreaInfo};
+use crate::epoch::EpochManager;
+use crossbeam_utils::CachePadded;
+use pmem::{PmemPool, PRef};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a [`Ssmem`] allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct SsmemConfig {
+    /// Size of every object in bytes. Must be a non-zero multiple of the
+    /// cache-line size so that no two objects share a cache line (required by
+    /// Assumption 1 and by the false-sharing discipline of the paper).
+    pub obj_size: u32,
+    /// Size of a designated area in bytes.
+    pub area_size: u32,
+    /// Maximum number of threads.
+    pub max_threads: usize,
+}
+
+impl SsmemConfig {
+    /// 64-byte objects, 256 KiB areas — suitable for tests.
+    pub fn small(max_threads: usize) -> Self {
+        SsmemConfig {
+            obj_size: 64,
+            area_size: 256 * 1024,
+            max_threads,
+        }
+    }
+
+    /// 64-byte objects, 4 MiB areas — suitable for benchmarks.
+    pub fn bench(max_threads: usize) -> Self {
+        SsmemConfig {
+            obj_size: 64,
+            area_size: 4 * 1024 * 1024,
+            max_threads,
+        }
+    }
+
+    fn objects_per_area(&self) -> u32 {
+        self.area_size / self.obj_size
+    }
+}
+
+/// Per-thread allocator state. Only the owning thread touches it (same
+/// single-owner discipline as the paper's per-thread allocators).
+struct PerThread {
+    bump: u32,
+    area_end: u32,
+    free: Vec<PRef>,
+    limbo: VecDeque<(u64, PRef)>,
+    retires_since_advance: u32,
+}
+
+impl PerThread {
+    fn new() -> Self {
+        PerThread {
+            bump: 0,
+            area_end: 0,
+            free: Vec::new(),
+            limbo: VecDeque::new(),
+            retires_since_advance: 0,
+        }
+    }
+}
+
+struct PerThreadCell(UnsafeCell<PerThread>);
+
+// SAFETY: each cell is only accessed by the thread owning the corresponding
+// tid (documented contract of every method taking `tid`).
+unsafe impl Sync for PerThreadCell {}
+
+/// The durable epoch-based allocator. See the [crate documentation](crate).
+///
+/// One `Ssmem` instance manages the object heap of one pool (it owns the
+/// pool's persistent area directory).
+pub struct Ssmem {
+    pool: Arc<PmemPool>,
+    config: SsmemConfig,
+    epoch: Arc<EpochManager>,
+    per_thread: Box<[CachePadded<PerThreadCell>]>,
+    next_dir_slot: AtomicU32,
+    /// When `false`, the allocator manages *volatile* objects: areas are not
+    /// zero-persisted and not published in the persistent directory, so the
+    /// recovery procedures never scan them. Used for the `Volatile` halves of
+    /// the split nodes of OptUnlinkedQ/OptLinkedQ.
+    durable: bool,
+}
+
+/// How many retires between attempts to advance the global epoch.
+const ADVANCE_PERIOD: u32 = 64;
+
+impl Ssmem {
+    /// Creates a fresh allocator on a fresh pool.
+    pub fn new(pool: Arc<PmemPool>, config: SsmemConfig) -> Self {
+        Self::build(pool, config, 0, true)
+    }
+
+    /// Creates an allocator for **volatile** objects that merely live inside
+    /// the pool's address space: its areas are not recorded in the persistent
+    /// directory and are not zero-persisted, so they are invisible to
+    /// recovery. It shares the given epoch manager so that one pin/unpin per
+    /// operation protects persistent and volatile nodes alike.
+    pub fn new_volatile(pool: Arc<PmemPool>, config: SsmemConfig, epoch: Arc<EpochManager>) -> Self {
+        let mut s = Self::build(pool, config, 0, false);
+        s.epoch = epoch;
+        s
+    }
+
+    /// Re-creates the allocator after a crash: re-reads the persistent area
+    /// directory so that already-carved areas are known and never re-carved.
+    /// Free lists start empty; the data structure's recovery procedure
+    /// returns dead object slots with [`free_immediate`](Self::free_immediate).
+    pub fn recover(pool: Arc<PmemPool>, config: SsmemConfig) -> Self {
+        let entries = dir::read_all(&pool);
+        let next_slot = entries.iter().map(|(s, _)| s + 1).max().unwrap_or(0);
+        let max_end = entries
+            .iter()
+            .map(|(_, a)| a.offset + a.len())
+            .max()
+            .unwrap_or(0);
+        pool.set_watermark(max_end);
+        Self::build(pool, config, next_slot, true)
+    }
+
+    fn build(pool: Arc<PmemPool>, config: SsmemConfig, next_slot: u32, durable: bool) -> Self {
+        assert!(config.obj_size > 0 && config.obj_size % 64 == 0, "obj_size must be a multiple of 64");
+        assert!(config.area_size >= config.obj_size, "area_size must hold at least one object");
+        assert!(config.max_threads <= pmem::MAX_THREADS);
+        let per_thread = (0..config.max_threads)
+            .map(|_| CachePadded::new(PerThreadCell(UnsafeCell::new(PerThread::new()))))
+            .collect();
+        Ssmem {
+            pool,
+            config,
+            epoch: Arc::new(EpochManager::new(config.max_threads)),
+            per_thread,
+            next_dir_slot: AtomicU32::new(next_slot),
+            durable,
+        }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// The allocator configuration.
+    pub fn config(&self) -> &SsmemConfig {
+        &self.config
+    }
+
+    /// The epoch manager, shared so that volatile-node allocators (used by
+    /// the Opt queues) can participate in the same reclamation epochs.
+    pub fn epoch(&self) -> &Arc<EpochManager> {
+        &self.epoch
+    }
+
+    /// Announces the start of an operation by thread `tid` (protects every
+    /// node the operation may read from being reused).
+    pub fn pin(&self, tid: usize) {
+        self.epoch.pin(tid);
+    }
+
+    /// Announces the end of an operation by thread `tid`.
+    pub fn unpin(&self, tid: usize) {
+        self.epoch.unpin(tid);
+    }
+
+    fn per_thread_mut(&self, tid: usize) -> &mut PerThread {
+        // SAFETY: single-owner contract — only the thread owning `tid` calls
+        // allocator methods with this tid.
+        unsafe { &mut *self.per_thread[tid].0.get() }
+    }
+
+    /// Allocates one object slot for thread `tid`.
+    ///
+    /// Slots taken from a freshly carved area are persistently zeroed (the
+    /// area is zeroed, flushed and fenced before its directory entry is
+    /// published). Slots recycled from the free list keep whatever content
+    /// their previous user left; the queues rely on their own discipline
+    /// (piggybacked flag clearing, head-index comparison) for those, exactly
+    /// as in the paper.
+    pub fn alloc(&self, tid: usize) -> PRef {
+        let inner = self.per_thread_mut(tid);
+        self.collect(inner);
+        let obj = if let Some(p) = inner.free.pop() {
+            p
+        } else {
+            if inner.bump + self.config.obj_size > inner.area_end || inner.area_end == 0 {
+                self.new_area(tid, inner);
+            }
+            let off = inner.bump;
+            inner.bump += self.config.obj_size;
+            PRef::from_offset(off)
+        };
+        // A slot handed to a new object starts its life "in cache": its
+        // previous life's flush must not be billed to the new object's first
+        // access (see `PmemPool::mark_line_cached`).
+        let mut line_off = obj.offset();
+        while line_off < obj.offset() + self.config.obj_size {
+            self.pool.mark_line_cached(line_off);
+            line_off += 64;
+        }
+        obj
+    }
+
+    /// Retires an object: it will be reused only after every thread has
+    /// passed through a quiescent state (two epoch advancements).
+    pub fn retire(&self, tid: usize, obj: PRef) {
+        debug_assert!(!obj.is_null());
+        let inner = self.per_thread_mut(tid);
+        inner.limbo.push_back((self.epoch.current(), obj));
+        inner.retires_since_advance += 1;
+        if inner.retires_since_advance >= ADVANCE_PERIOD {
+            inner.retires_since_advance = 0;
+            self.epoch.try_advance();
+        }
+    }
+
+    /// Returns an object directly to thread `tid`'s free list, bypassing the
+    /// epoch scheme. Only safe when no other thread can hold a reference —
+    /// i.e. during single-threaded recovery, which is its only caller.
+    pub fn free_immediate(&self, tid: usize, obj: PRef) {
+        debug_assert!(!obj.is_null());
+        self.per_thread_mut(tid).free.push(obj);
+    }
+
+    /// Number of objects waiting in thread `tid`'s limbo list (retired but
+    /// not yet safe to reuse). Exposed for tests.
+    pub fn limbo_len(&self, tid: usize) -> usize {
+        self.per_thread_mut(tid).limbo.len()
+    }
+
+    /// Moves limbo objects whose retirement epoch is old enough to the free
+    /// list.
+    fn collect(&self, inner: &mut PerThread) {
+        while let Some(&(epoch, obj)) = inner.limbo.front() {
+            if self.epoch.is_safe_to_reuse(epoch) {
+                inner.free.push(obj);
+                inner.limbo.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Carves a new designated area out of the pool for thread `tid`: zeroes
+    /// it, persists the zeroes, and publishes it in the persistent directory.
+    fn new_area(&self, tid: usize, inner: &mut PerThread) {
+        let num_objects = self.config.objects_per_area();
+        let len = num_objects * self.config.obj_size;
+        let offset = self.pool.alloc_raw(len, 64);
+        if self.durable {
+            let slot = self.next_dir_slot.fetch_add(1, Ordering::AcqRel);
+            self.pool.zero_range(offset, len);
+            self.pool.flush_range(tid, offset, len);
+            self.pool.sfence(tid);
+            let area = AreaInfo {
+                offset,
+                obj_size: self.config.obj_size,
+                num_objects,
+                owner_tid: tid as u32,
+            };
+            dir::publish_entry(&self.pool, tid, slot, &area);
+        }
+        inner.bump = offset;
+        inner.area_end = offset + len;
+    }
+
+    /// All designated areas recorded in the persistent directory.
+    pub fn areas(&self) -> Vec<AreaInfo> {
+        dir::read_all(&self.pool).into_iter().map(|(_, a)| a).collect()
+    }
+
+    /// Calls `f` for every object slot in every designated area (used by the
+    /// recovery procedures to classify slots as live or dead).
+    pub fn for_each_object(&self, mut f: impl FnMut(PRef)) {
+        for area in self.areas() {
+            for obj in area.objects() {
+                f(obj);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+    use std::collections::HashSet;
+
+    fn setup() -> (Arc<PmemPool>, Ssmem) {
+        let pool = Arc::new(PmemPool::new(PoolConfig::small_test()));
+        let cfg = SsmemConfig {
+            obj_size: 64,
+            area_size: 1024, // 16 objects per area: forces multi-area paths
+            max_threads: 4,
+        };
+        let ssmem = Ssmem::new(Arc::clone(&pool), cfg);
+        (pool, ssmem)
+    }
+
+    #[test]
+    fn alloc_returns_distinct_aligned_slots() {
+        let (_pool, ssmem) = setup();
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let p = ssmem.alloc(0);
+            assert!(!p.is_null());
+            assert_eq!(p.offset() % 64, 0);
+            assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn exhausting_an_area_carves_a_new_one() {
+        let (_pool, ssmem) = setup();
+        for _ in 0..40 {
+            ssmem.alloc(0);
+        }
+        assert!(ssmem.areas().len() >= 2);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_slots() {
+        let (_pool, ssmem) = setup();
+        let a: Vec<_> = (0..20).map(|_| ssmem.alloc(0)).collect();
+        let b: Vec<_> = (0..20).map(|_| ssmem.alloc(1)).collect();
+        let all: HashSet<_> = a.iter().chain(b.iter()).collect();
+        assert_eq!(all.len(), 40);
+    }
+
+    #[test]
+    fn fresh_slots_are_persistently_zero() {
+        let (pool, ssmem) = setup();
+        let p = ssmem.alloc(0);
+        for i in 0..8 {
+            assert_eq!(pool.load_u64(p.offset() + i * 8), 0);
+            assert_eq!(pool.persistent_u64_at(p.offset() + i * 8), 0);
+        }
+    }
+
+    #[test]
+    fn free_immediate_recycles_before_new_slots() {
+        let (_pool, ssmem) = setup();
+        let p = ssmem.alloc(0);
+        ssmem.free_immediate(0, p);
+        assert_eq!(ssmem.alloc(0), p);
+    }
+
+    #[test]
+    fn retired_slot_is_not_reused_while_a_thread_is_pinned_in_an_old_epoch() {
+        let (_pool, ssmem) = setup();
+        ssmem.pin(1); // thread 1 sits in the current epoch forever
+        let p = ssmem.alloc(0);
+        ssmem.retire(0, p);
+        for _ in 0..10 {
+            ssmem.epoch().try_advance();
+            let q = ssmem.alloc(0);
+            assert_ne!(q, p, "retired slot reused while a stale reader exists");
+        }
+        assert!(ssmem.limbo_len(0) >= 1);
+    }
+
+    #[test]
+    fn retired_slot_is_reused_after_epochs_advance() {
+        let (_pool, ssmem) = setup();
+        let p = ssmem.alloc(0);
+        ssmem.retire(0, p);
+        ssmem.epoch().try_advance();
+        ssmem.epoch().try_advance();
+        let allocated: Vec<_> = (0..64).map(|_| ssmem.alloc(0)).collect();
+        assert!(allocated.contains(&p), "retired slot never reused");
+    }
+
+    #[test]
+    fn areas_survive_a_crash_and_recovery_does_not_recarve_them() {
+        let (pool, ssmem) = setup();
+        for _ in 0..40 {
+            ssmem.alloc(0);
+        }
+        let areas_before = ssmem.areas();
+        let recovered_pool = Arc::new(pool.simulate_crash());
+        let recovered = Ssmem::recover(Arc::clone(&recovered_pool), *ssmem.config());
+        assert_eq!(recovered.areas(), areas_before);
+        // New allocations must not overlap any pre-crash area.
+        let pre_crash_ranges: Vec<_> = areas_before.iter().map(|a| (a.offset, a.offset + a.len())).collect();
+        for _ in 0..40 {
+            let p = recovered.alloc(0);
+            let in_old_area = pre_crash_ranges.iter().any(|&(s, e)| p.offset() >= s && p.offset() < e);
+            assert!(!in_old_area, "recovered allocator handed out a slot from an old area without free_immediate");
+        }
+    }
+
+    #[test]
+    fn for_each_object_enumerates_every_slot() {
+        let (_pool, ssmem) = setup();
+        for _ in 0..20 {
+            ssmem.alloc(0);
+        }
+        let mut count = 0;
+        ssmem.for_each_object(|p| {
+            assert!(!p.is_null());
+            count += 1;
+        });
+        let expected: u32 = ssmem.areas().iter().map(|a| a.num_objects).sum();
+        assert_eq!(count, expected);
+        assert!(count >= 20);
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_unique_slots() {
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(4 << 20)));
+        let cfg = SsmemConfig {
+            obj_size: 64,
+            area_size: 4096,
+            max_threads: 4,
+        };
+        let ssmem = Arc::new(Ssmem::new(pool, cfg));
+        let mut handles = Vec::new();
+        for tid in 0..4 {
+            let s = Arc::clone(&ssmem);
+            handles.push(std::thread::spawn(move || {
+                (0..500).map(|_| s.alloc(tid)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for p in h.join().unwrap() {
+                assert!(all.insert(p), "slot handed out twice");
+            }
+        }
+        assert_eq!(all.len(), 2000);
+    }
+}
+
+#[cfg(test)]
+mod volatile_tests {
+    use super::*;
+    use pmem::PoolConfig;
+
+    #[test]
+    fn volatile_allocator_publishes_no_areas_and_shares_epochs() {
+        let pool = Arc::new(PmemPool::new(PoolConfig::small_test()));
+        let cfg = SsmemConfig { obj_size: 64, area_size: 1024, max_threads: 2 };
+        let durable = Ssmem::new(Arc::clone(&pool), cfg);
+        let volatile = Ssmem::new_volatile(Arc::clone(&pool), cfg, Arc::clone(durable.epoch()));
+        for _ in 0..40 {
+            let v = volatile.alloc(0);
+            assert!(!v.is_null());
+        }
+        // Only the durable allocator's areas appear in the directory.
+        assert!(volatile.areas().is_empty());
+        let _ = durable.alloc(0);
+        assert_eq!(durable.areas().len(), 1);
+        // The two allocators share one epoch manager.
+        assert!(Arc::ptr_eq(durable.epoch(), volatile.epoch()));
+    }
+}

@@ -25,7 +25,13 @@ fn prefilled(alg: Algorithm, size: u64) -> Arc<dyn DurableQueue> {
         eviction_probability: 0.0,
         eviction_seed: 1,
     }));
-    let q = alg.create(pool, QueueConfig { max_threads: 1, area_size: 4 << 20 });
+    let q = alg.create(
+        pool,
+        QueueConfig {
+            max_threads: 1,
+            area_size: 4 << 20,
+        },
+    );
     for i in 0..size {
         q.enqueue(0, i + 1);
     }
@@ -38,19 +44,26 @@ fn ablation(c: &mut Criterion) {
         .sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for alg in [Algorithm::Linked, Algorithm::OptLinked, Algorithm::DurableMsq] {
+    for alg in [
+        Algorithm::Linked,
+        Algorithm::OptLinked,
+        Algorithm::DurableMsq,
+    ] {
         for size in [10u64, 1_000, 100_000] {
             let q = prefilled(alg, size);
-            group.bench_function(BenchmarkId::new(alg.name(), format!("prefill-{size}")), |b| {
-                // An enqueue immediately followed by a dequeue keeps the
-                // queue at its pre-filled size, so the measurement can run
-                // for arbitrarily many iterations without growing the pool
-                // while still being dominated by the enqueue's suffix walk.
-                b.iter(|| {
-                    q.enqueue(0, 7);
-                    std::hint::black_box(q.dequeue(0));
-                })
-            });
+            group.bench_function(
+                BenchmarkId::new(alg.name(), format!("prefill-{size}")),
+                |b| {
+                    // An enqueue immediately followed by a dequeue keeps the
+                    // queue at its pre-filled size, so the measurement can run
+                    // for arbitrarily many iterations without growing the pool
+                    // while still being dominated by the enqueue's suffix walk.
+                    b.iter(|| {
+                        q.enqueue(0, 7);
+                        std::hint::black_box(q.dequeue(0));
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -18,7 +18,13 @@ fn queue_for(alg: Algorithm) -> Arc<dyn DurableQueue> {
         eviction_probability: 0.0,
         eviction_seed: 1,
     }));
-    alg.create(pool, QueueConfig { max_threads: 1, area_size: 4 << 20 })
+    alg.create(
+        pool,
+        QueueConfig {
+            max_threads: 1,
+            area_size: 4 << 20,
+        },
+    )
 }
 
 fn per_operation_latency(c: &mut Criterion) {

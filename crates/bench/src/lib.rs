@@ -36,7 +36,13 @@ pub fn build_queue(
         eviction_probability: 0.0,
         eviction_seed: 0xBE7C,
     }));
-    alg.create(pool, QueueConfig { max_threads: threads.max(1), area_size: 1 << 20 })
+    alg.create(
+        pool,
+        QueueConfig {
+            max_threads: threads.max(1),
+            area_size: 1 << 20,
+        },
+    )
 }
 
 /// Times `iters` runs of `workload` on a fresh queue of `alg`.

@@ -46,7 +46,11 @@ fn tour<Q: RecoverableQueue>() {
         stats.flushes,
         stats.post_flush_accesses,
     );
-    assert_eq!(surviving, (21..=60).collect::<Vec<_>>(), "completed operations must survive");
+    assert_eq!(
+        surviving,
+        (21..=60).collect::<Vec<_>>(),
+        "completed operations must survive"
+    );
 }
 
 fn main() {

@@ -1,7 +1,7 @@
 //! Helpers shared by the recovery procedures of the link-persisting queues
 //! (DurableMSQ, IzraelevitzQ, NVTraverseQ, LinkedQ).
 
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 use ssmem::Ssmem;
 use std::collections::HashSet;
 

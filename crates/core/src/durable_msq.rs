@@ -21,7 +21,7 @@ use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use crate::chain;
 use crate::node;
 use crate::root::{ROOT_HEAD, ROOT_TAIL};
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 use ssmem::{Ssmem, SsmemConfig};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -137,7 +137,11 @@ impl RecoverableQueue for DurableMsQueue {
         pool.flush(0, ROOT_HEAD);
         pool.flush(0, ROOT_TAIL);
         pool.sfence(0);
-        DurableMsQueue { pool, nodes, config }
+        DurableMsQueue {
+            pool,
+            nodes,
+            config,
+        }
     }
 
     fn recover(pool: Arc<PmemPool>, config: QueueConfig) -> Self {
@@ -156,7 +160,11 @@ impl RecoverableQueue for DurableMsQueue {
         pool.sfence(0);
         let live: HashSet<PRef> = chain.into_iter().collect();
         chain::reclaim_dead(&nodes, &live, config.max_threads);
-        DurableMsQueue { pool, nodes, config }
+        DurableMsQueue {
+            pool,
+            nodes,
+            config,
+        }
     }
 }
 
@@ -216,8 +224,19 @@ mod tests {
         // a non-zero number of post-flush accesses (the weakness the second
         // amendment removes).
         let counts = testkit::persist_counts::<DurableMsQueue>(1000);
-        assert!((counts.enqueue.fences - 2.0).abs() < 0.1, "enqueue fences {}", counts.enqueue.fences);
-        assert!((counts.dequeue.fences - 1.0).abs() < 0.1, "dequeue fences {}", counts.dequeue.fences);
-        assert!(counts.total.post_flush_accesses > 0.5, "expected post-flush accesses");
+        assert!(
+            (counts.enqueue.fences - 2.0).abs() < 0.1,
+            "enqueue fences {}",
+            counts.enqueue.fences
+        );
+        assert!(
+            (counts.dequeue.fences - 1.0).abs() < 0.1,
+            "dequeue fences {}",
+            counts.dequeue.fences
+        );
+        assert!(
+            counts.total.post_flush_accesses > 0.5,
+            "expected post-flush accesses"
+        );
     }
 }

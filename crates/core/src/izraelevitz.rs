@@ -22,7 +22,7 @@ use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use crate::chain;
 use crate::node;
 use crate::root::{ROOT_HEAD, ROOT_TAIL};
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 use ssmem::{Ssmem, SsmemConfig};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -90,7 +90,9 @@ impl<const FENCE_AFTER_READ_FLUSH: bool> TransformedMsQueue<FENCE_AFTER_READ_FLU
     }
 }
 
-impl<const FENCE_AFTER_READ_FLUSH: bool> DurableQueue for TransformedMsQueue<FENCE_AFTER_READ_FLUSH> {
+impl<const FENCE_AFTER_READ_FLUSH: bool> DurableQueue
+    for TransformedMsQueue<FENCE_AFTER_READ_FLUSH>
+{
     fn enqueue(&self, tid: usize, item: u64) {
         self.nodes.pin(tid);
         let new = self.nodes.alloc(tid);
@@ -103,7 +105,10 @@ impl<const FENCE_AFTER_READ_FLUSH: bool> DurableQueue for TransformedMsQueue<FEN
                 continue;
             }
             if tail_next == 0 {
-                if self.p_cas(tid, tail.offset() + f::NEXT, 0, new.to_u64()).is_ok() {
+                if self
+                    .p_cas(tid, tail.offset() + f::NEXT, 0, new.to_u64())
+                    .is_ok()
+                {
                     let _ = self.p_cas(tid, ROOT_TAIL, tail.to_u64(), new.to_u64());
                     break;
                 }
@@ -149,7 +154,9 @@ impl<const FENCE_AFTER_READ_FLUSH: bool> DurableQueue for TransformedMsQueue<FEN
     }
 }
 
-impl<const FENCE_AFTER_READ_FLUSH: bool> RecoverableQueue for TransformedMsQueue<FENCE_AFTER_READ_FLUSH> {
+impl<const FENCE_AFTER_READ_FLUSH: bool> RecoverableQueue
+    for TransformedMsQueue<FENCE_AFTER_READ_FLUSH>
+{
     fn create(pool: Arc<PmemPool>, config: QueueConfig) -> Self {
         let nodes = Ssmem::new(Arc::clone(&pool), Self::ssmem_config(&config));
         let dummy = nodes.alloc(0);
@@ -161,7 +168,11 @@ impl<const FENCE_AFTER_READ_FLUSH: bool> RecoverableQueue for TransformedMsQueue
         pool.flush(0, ROOT_HEAD);
         pool.flush(0, ROOT_TAIL);
         pool.sfence(0);
-        TransformedMsQueue { pool, nodes, config }
+        TransformedMsQueue {
+            pool,
+            nodes,
+            config,
+        }
     }
 
     fn recover(pool: Arc<PmemPool>, config: QueueConfig) -> Self {
@@ -177,7 +188,11 @@ impl<const FENCE_AFTER_READ_FLUSH: bool> RecoverableQueue for TransformedMsQueue
         pool.sfence(0);
         let live: HashSet<PRef> = chain.into_iter().collect();
         chain::reclaim_dead(&nodes, &live, config.max_threads);
-        TransformedMsQueue { pool, nodes, config }
+        TransformedMsQueue {
+            pool,
+            nodes,
+            config,
+        }
     }
 }
 
@@ -232,8 +247,16 @@ mod tests {
         let nv = testkit::persist_counts::<NvTraverseQueue>(500);
         // The original transform fences on every access; the NVTraverse
         // variant drops read/CAS-failure fences but still fences every write.
-        assert!(iz.enqueue.fences >= 5.0, "IzraelevitzQ enqueue fences {}", iz.enqueue.fences);
-        assert!(nv.enqueue.fences >= 3.0, "NVTraverseQ enqueue fences {}", nv.enqueue.fences);
+        assert!(
+            iz.enqueue.fences >= 5.0,
+            "IzraelevitzQ enqueue fences {}",
+            iz.enqueue.fences
+        );
+        assert!(
+            nv.enqueue.fences >= 3.0,
+            "NVTraverseQ enqueue fences {}",
+            nv.enqueue.fences
+        );
         assert!(iz.enqueue.fences > nv.enqueue.fences);
         assert!(iz.total.post_flush_accesses > 1.0);
     }

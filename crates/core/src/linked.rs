@@ -23,7 +23,7 @@ use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use crate::node;
 use crate::root::{ROOT_HEAD, ROOT_TAIL};
 use crossbeam_utils::CachePadded;
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 use ssmem::{Ssmem, SsmemConfig};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -316,8 +316,16 @@ mod tests {
     #[test]
     fn one_blocking_persist_per_operation() {
         let counts = testkit::persist_counts::<LinkedQueue>(1000);
-        assert!((counts.enqueue.fences - 1.0).abs() < 0.05, "enqueue fences {}", counts.enqueue.fences);
-        assert!((counts.dequeue.fences - 1.0).abs() < 0.05, "dequeue fences {}", counts.dequeue.fences);
+        assert!(
+            (counts.enqueue.fences - 1.0).abs() < 0.05,
+            "enqueue fences {}",
+            counts.enqueue.fences
+        );
+        assert!(
+            (counts.dequeue.fences - 1.0).abs() < 0.05,
+            "dequeue fences {}",
+            counts.dequeue.fences
+        );
         // Like UnlinkedQ, the first amendment still touches flushed lines.
         assert!(counts.total.post_flush_accesses > 0.5);
     }

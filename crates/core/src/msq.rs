@@ -8,7 +8,7 @@
 
 use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use crate::node;
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 use ssmem::{Ssmem, SsmemConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,16 +67,24 @@ impl DurableQueue for MsQueue {
                 continue;
             }
             if tail_next == 0 {
-                if p.cas_u64(tail_ref.offset() + f::NEXT, 0, new.to_u64()).is_ok() {
-                    let _ = self
-                        .tail
-                        .compare_exchange(tail, new.to_u64(), Ordering::AcqRel, Ordering::Acquire);
+                if p.cas_u64(tail_ref.offset() + f::NEXT, 0, new.to_u64())
+                    .is_ok()
+                {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        new.to_u64(),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
                     break;
                 }
             } else {
-                let _ = self
-                    .tail
-                    .compare_exchange(tail, tail_next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    tail_next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
             }
         }
         self.nodes.unpin(tid);

@@ -24,7 +24,7 @@ use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use crate::node;
 use crate::root;
 use crossbeam_utils::CachePadded;
-use pmem::{PmemPool, PRef, MAX_THREADS};
+use pmem::{PRef, PmemPool, MAX_THREADS};
 use ssmem::{Ssmem, SsmemConfig};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -120,7 +120,14 @@ impl OptLinkedQueue {
     }
 
     /// Allocates and initialises a `Volatile` object.
-    fn alloc_volatile(&self, tid: usize, item: u64, index: u64, pred: u64, persistent: PRef) -> PRef {
+    fn alloc_volatile(
+        &self,
+        tid: usize,
+        item: u64,
+        index: u64,
+        pred: u64,
+        persistent: PRef,
+    ) -> PRef {
         let vv = self.vnodes.alloc(tid);
         let o = vv.offset();
         self.pool.store_u64(o + v::ITEM, item);
@@ -186,7 +193,10 @@ impl DurableQueue for OptLinkedQueue {
                 // `index` is the staleness stamp: it is written after every
                 // other Persistent field (Assumption 1 keeps that order).
                 pl.store_u64(pnew.offset() + p::INDEX, index);
-                if pl.cas_u64(tail.offset() + v::NEXT, 0, vnew.to_u64()).is_ok() {
+                if pl
+                    .cas_u64(tail.offset() + v::NEXT, 0, vnew.to_u64())
+                    .is_ok()
+                {
                     let _ = self.tail.compare_exchange(
                         tail.to_u64(),
                         vnew.to_u64(),
@@ -228,7 +238,12 @@ impl DurableQueue for OptLinkedQueue {
             }
             if self
                 .head
-                .compare_exchange(head.to_u64(), head_next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    head.to_u64(),
+                    head_next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 let next = PRef::from_u64(head_next);
@@ -238,10 +253,13 @@ impl DurableQueue for OptLinkedQueue {
                 pl.sfence(tid);
                 // The new dummy must not be reachable by backward walks.
                 pl.store_u64(next.offset() + v::PRED, 0);
-                let previous = self.threads[tid].node_to_retire.swap(head.to_u64(), Ordering::Relaxed);
+                let previous = self.threads[tid]
+                    .node_to_retire
+                    .swap(head.to_u64(), Ordering::Relaxed);
                 if previous != 0 {
                     let prev = PRef::from_u64(previous);
-                    let prev_persistent = PRef::from_u64(pl.load_u64(prev.offset() + v::PERSISTENT));
+                    let prev_persistent =
+                        PRef::from_u64(pl.load_u64(prev.offset() + v::PERSISTENT));
                     self.pnodes.retire(tid, prev_persistent);
                     self.vnodes.retire(tid, prev);
                 }
@@ -307,7 +325,9 @@ impl RecoverableQueue for OptLinkedQueue {
         assert_eq!(stride, LOCAL_STRIDE);
 
         let head_index = (0..MAX_THREADS)
-            .map(|tid| pool.load_u64(root::local_data_slot(local_data, stride, tid) + LD_HEAD_INDEX))
+            .map(|tid| {
+                pool.load_u64(root::local_data_slot(local_data, stride, tid) + LD_HEAD_INDEX)
+            })
             .max()
             .unwrap_or(0);
 
@@ -331,7 +351,7 @@ impl RecoverableQueue for OptLinkedQueue {
                 }
             }
         }
-        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_unstable_by_key(|candidate| std::cmp::Reverse(candidate.0));
 
         // Try each potential tail: accept the first one from which a backward
         // walk with strictly consecutive indices reaches headIndex + 1.
@@ -418,7 +438,13 @@ impl RecoverableQueue for OptLinkedQueue {
         let threads = Self::thread_states(&config);
         for tid in 0..MAX_THREADS {
             for cell in 0..2u32 {
-                if winner == Some((tid, cell, pool.load_u64(Self::last_enq_cell(local_data, tid, cell)) & 1)) {
+                if winner
+                    == Some((
+                        tid,
+                        cell,
+                        pool.load_u64(Self::last_enq_cell(local_data, tid, cell)) & 1,
+                    ))
+                {
                     continue;
                 }
                 let cell_off = Self::last_enq_cell(local_data, tid, cell);
@@ -518,12 +544,31 @@ mod tests {
     #[test]
     fn optimal_persistence_profile() {
         let counts = testkit::persist_counts::<OptLinkedQueue>(1000);
-        assert!((counts.enqueue.fences - 1.0).abs() < 0.05, "enqueue fences {}", counts.enqueue.fences);
-        assert!((counts.dequeue.fences - 1.0).abs() < 0.05, "dequeue fences {}", counts.dequeue.fences);
+        assert!(
+            (counts.enqueue.fences - 1.0).abs() < 0.05,
+            "enqueue fences {}",
+            counts.enqueue.fences
+        );
+        assert!(
+            (counts.dequeue.fences - 1.0).abs() < 0.05,
+            "dequeue fences {}",
+            counts.dequeue.fences
+        );
         // Each enqueue issues exactly two non-temporal stores (its
         // lastEnqueues record) and each dequeue one (its head index).
-        assert!((counts.enqueue.nt_stores - 2.0).abs() < 0.05, "enqueue nt stores {}", counts.enqueue.nt_stores);
-        assert!((counts.dequeue.nt_stores - 1.0).abs() < 0.05, "dequeue nt stores {}", counts.dequeue.nt_stores);
-        assert_eq!(counts.total.post_flush_accesses, 0.0, "OptLinkedQ must never touch flushed content");
+        assert!(
+            (counts.enqueue.nt_stores - 2.0).abs() < 0.05,
+            "enqueue nt stores {}",
+            counts.enqueue.nt_stores
+        );
+        assert!(
+            (counts.dequeue.nt_stores - 1.0).abs() < 0.05,
+            "dequeue nt stores {}",
+            counts.dequeue.nt_stores
+        );
+        assert_eq!(
+            counts.total.post_flush_accesses, 0.0,
+            "OptLinkedQ must never touch flushed content"
+        );
     }
 }

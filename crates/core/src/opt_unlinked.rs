@@ -21,7 +21,7 @@ use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use crate::node;
 use crate::root;
 use crossbeam_utils::CachePadded;
-use pmem::{PmemPool, PRef, MAX_THREADS};
+use pmem::{PRef, PmemPool, MAX_THREADS};
 use ssmem::{Ssmem, SsmemConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -111,7 +111,10 @@ impl DurableQueue for OptUnlinkedQueue {
                 let index = pl.load_u64(tail.offset() + v::INDEX) + 1;
                 pl.store_u64(pnew.offset() + p::INDEX, index);
                 pl.store_u64(vnew.offset() + v::INDEX, index);
-                if pl.cas_u64(tail.offset() + v::NEXT, 0, vnew.to_u64()).is_ok() {
+                if pl
+                    .cas_u64(tail.offset() + v::NEXT, 0, vnew.to_u64())
+                    .is_ok()
+                {
                     pl.store_u64(pnew.offset() + p::LINKED, 1);
                     // The single blocking persist: the Persistent object is
                     // flushed once and never accessed again outside recovery.
@@ -153,7 +156,12 @@ impl DurableQueue for OptUnlinkedQueue {
             }
             if self
                 .head
-                .compare_exchange(head.to_u64(), head_next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    head.to_u64(),
+                    head_next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 let next = PRef::from_u64(head_next);
@@ -166,7 +174,8 @@ impl DurableQueue for OptUnlinkedQueue {
                 let previous = self.node_to_retire[tid].swap(head.to_u64(), Ordering::Relaxed);
                 if previous != 0 {
                     let prev = PRef::from_u64(previous);
-                    let prev_persistent = PRef::from_u64(pl.load_u64(prev.offset() + v::PERSISTENT));
+                    let prev_persistent =
+                        PRef::from_u64(pl.load_u64(prev.offset() + v::PERSISTENT));
                     self.pnodes.retire(tid, prev_persistent);
                     self.vnodes.retire(tid, prev);
                 }
@@ -346,10 +355,29 @@ mod tests {
         // The theoretical optimum (Section 2.1): one blocking persist per
         // update operation AND zero accesses to flushed content.
         let counts = testkit::persist_counts::<OptUnlinkedQueue>(1000);
-        assert!((counts.enqueue.fences - 1.0).abs() < 0.05, "enqueue fences {}", counts.enqueue.fences);
-        assert!((counts.dequeue.fences - 1.0).abs() < 0.05, "dequeue fences {}", counts.dequeue.fences);
-        assert!((counts.enqueue.flushes - 1.0).abs() < 0.05, "enqueue flushes {}", counts.enqueue.flushes);
-        assert!((counts.dequeue.nt_stores - 1.0).abs() < 0.05, "dequeue nt stores {}", counts.dequeue.nt_stores);
-        assert_eq!(counts.total.post_flush_accesses, 0.0, "OptUnlinkedQ must never touch flushed content");
+        assert!(
+            (counts.enqueue.fences - 1.0).abs() < 0.05,
+            "enqueue fences {}",
+            counts.enqueue.fences
+        );
+        assert!(
+            (counts.dequeue.fences - 1.0).abs() < 0.05,
+            "dequeue fences {}",
+            counts.dequeue.fences
+        );
+        assert!(
+            (counts.enqueue.flushes - 1.0).abs() < 0.05,
+            "enqueue flushes {}",
+            counts.enqueue.flushes
+        );
+        assert!(
+            (counts.dequeue.nt_stores - 1.0).abs() < 0.05,
+            "dequeue nt stores {}",
+            counts.dequeue.nt_stores
+        );
+        assert_eq!(
+            counts.total.post_flush_accesses, 0.0,
+            "OptUnlinkedQ must never touch flushed content"
+        );
     }
 }

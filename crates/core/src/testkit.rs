@@ -39,11 +39,17 @@ impl TestRng {
 
 /// Creates a fresh queue of type `Q` on a fresh small zero-latency pool.
 pub fn fresh<Q: RecoverableQueue>() -> (Q, Arc<PmemPool>) {
-    fresh_with::<Q>(PoolConfig::test_with_size(8 << 20), QueueConfig::small_test())
+    fresh_with::<Q>(
+        PoolConfig::test_with_size(8 << 20),
+        QueueConfig::small_test(),
+    )
 }
 
 /// Creates a fresh queue with explicit pool and queue configurations.
-pub fn fresh_with<Q: RecoverableQueue>(pool_cfg: PoolConfig, q_cfg: QueueConfig) -> (Q, Arc<PmemPool>) {
+pub fn fresh_with<Q: RecoverableQueue>(
+    pool_cfg: PoolConfig,
+    q_cfg: QueueConfig,
+) -> (Q, Arc<PmemPool>) {
     let pool = Arc::new(PmemPool::new(pool_cfg));
     let q = Q::create(Arc::clone(&pool), q_cfg);
     (q, pool)
@@ -112,7 +118,10 @@ pub fn check_against_model<Q: RecoverableQueue>(seed: u64) {
 /// Half the threads enqueue, half dequeue; afterwards the union of everything
 /// dequeued plus everything left in the queue must equal exactly what was
 /// enqueued (no loss, no duplication).
-pub fn check_concurrent_integrity<Q: RecoverableQueue + 'static>(threads: usize, ops_per_thread: usize) {
+pub fn check_concurrent_integrity<Q: RecoverableQueue + 'static>(
+    threads: usize,
+    ops_per_thread: usize,
+) {
     assert!(threads >= 2);
     let (q, _pool) = fresh_with::<Q>(
         PoolConfig::test_with_size(32 << 20),
@@ -243,7 +252,10 @@ pub fn check_concurrent_fifo_per_producer<Q: RecoverableQueue + 'static>(
         for v in stream {
             let (p, seq) = decode(v);
             if let Some(&prev) = last_seq.get(&p) {
-                assert!(seq > prev, "per-producer FIFO order violated: {seq} after {prev}");
+                assert!(
+                    seq > prev,
+                    "per-producer FIFO order violated: {seq} after {prev}"
+                );
             }
             last_seq.insert(p, seq);
         }
@@ -279,7 +291,11 @@ pub fn check_recovery_preserves_completed_ops<Q: RecoverableQueue>(n: u64, k: u6
     let recovered_pool = Arc::new(pool.simulate_crash());
     let recovered = Q::recover(Arc::clone(&recovered_pool), QueueConfig::small_test());
     let rest = drain(&recovered, 0);
-    assert_eq!(rest, (k + 1..=n).collect::<Vec<_>>(), "completed operations lost or reordered");
+    assert_eq!(
+        rest,
+        (k + 1..=n).collect::<Vec<_>>(),
+        "completed operations lost or reordered"
+    );
     // The recovered queue must remain fully operational.
     recovered.enqueue(1, 4242);
     assert_eq!(recovered.dequeue(1), Some(4242));
@@ -298,7 +314,11 @@ pub fn check_recovery_of_emptied_queue<Q: RecoverableQueue>() {
     assert_eq!(q.dequeue(0), None);
     let recovered_pool = Arc::new(pool.simulate_crash());
     let recovered = Q::recover(Arc::clone(&recovered_pool), QueueConfig::small_test());
-    assert_eq!(recovered.dequeue(0), None, "emptied queue resurrected stale items");
+    assert_eq!(
+        recovered.dequeue(0),
+        None,
+        "emptied queue resurrected stale items"
+    );
     recovered.enqueue(0, 99);
     assert_eq!(recovered.dequeue(0), Some(99));
 }
@@ -329,7 +349,11 @@ pub fn check_repeated_crashes<Q: RecoverableQueue>(rounds: usize, ops_per_round:
                 model.push_back(next);
                 next += 1;
             } else {
-                assert_eq!(q.dequeue(0), model.pop_front(), "divergence in round {round}");
+                assert_eq!(
+                    q.dequeue(0),
+                    model.pop_front(),
+                    "divergence in round {round}"
+                );
             }
         }
         pool = Arc::new(pool.simulate_crash());
@@ -434,26 +458,52 @@ fn run_concurrent_crash_check<Q: RecoverableQueue + 'static>(
         logs.push(h.join().unwrap());
     }
 
-    let recovered = Q::recover(Arc::clone(&recovered_pool), QueueConfig::small_test().with_threads(threads));
+    let recovered = Q::recover(
+        Arc::clone(&recovered_pool),
+        QueueConfig::small_test().with_threads(threads),
+    );
     let recovered_items = drain(&recovered, 0);
 
     // --- Durable-linearizability checks -----------------------------------
-    let definite_enqueued: HashSet<u64> = logs.iter().flat_map(|l| l.definite_enqueues.iter().copied()).collect();
+    let definite_enqueued: HashSet<u64> = logs
+        .iter()
+        .flat_map(|l| l.definite_enqueues.iter().copied())
+        .collect();
     let all_enqueued: HashSet<u64> = logs
         .iter()
-        .flat_map(|l| l.definite_enqueues.iter().chain(l.maybe_enqueues.iter()).copied())
+        .flat_map(|l| {
+            l.definite_enqueues
+                .iter()
+                .chain(l.maybe_enqueues.iter())
+                .copied()
+        })
         .collect();
-    let definite_dequeued: HashSet<u64> = logs.iter().flat_map(|l| l.definite_dequeues.iter().copied()).collect();
+    let definite_dequeued: HashSet<u64> = logs
+        .iter()
+        .flat_map(|l| l.definite_dequeues.iter().copied())
+        .collect();
     let all_dequeued: HashSet<u64> = logs
         .iter()
-        .flat_map(|l| l.definite_dequeues.iter().chain(l.maybe_dequeues.iter()).copied())
+        .flat_map(|l| {
+            l.definite_dequeues
+                .iter()
+                .chain(l.maybe_dequeues.iter())
+                .copied()
+        })
         .collect();
 
     // 1. No invented values, no duplicates in the recovered queue.
     let recovered_set: HashSet<u64> = recovered_items.iter().copied().collect();
-    assert_eq!(recovered_set.len(), recovered_items.len(), "recovered queue contains a duplicate");
+    assert_eq!(
+        recovered_set.len(),
+        recovered_items.len(),
+        "recovered queue contains a duplicate"
+    );
     for v in &recovered_items {
-        assert!(all_enqueued.contains(v), "recovered value {v:#x} was never enqueued");
+        assert!(
+            all_enqueued.contains(v),
+            "recovered value {v:#x} was never enqueued"
+        );
     }
 
     // 2. A value returned by a dequeue that completed before the crash must
@@ -482,7 +532,10 @@ fn run_concurrent_crash_check<Q: RecoverableQueue + 'static>(
     for v in &recovered_items {
         let (p, seq) = decode(*v);
         if let Some(&prev) = last_seq.get(&p) {
-            assert!(seq > prev, "recovered queue violates producer {p}'s FIFO order");
+            assert!(
+                seq > prev,
+                "recovered queue violates producer {p}'s FIFO order"
+            );
         }
         last_seq.insert(p, seq);
     }

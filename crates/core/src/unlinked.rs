@@ -30,7 +30,7 @@ use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use crate::node;
 use crate::root::{ROOT_HEAD, ROOT_TAIL};
 use crossbeam_utils::CachePadded;
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 use ssmem::{Ssmem, SsmemConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,7 +46,10 @@ mod f {
 /// Packs a node reference and the head index into the double-width head word.
 #[inline]
 fn pack_head(ptr: PRef, index: u64) -> u64 {
-    debug_assert!(index <= u32::MAX as u64, "head index exceeds the packed 32-bit range");
+    debug_assert!(
+        index <= u32::MAX as u64,
+        "head index exceeds the packed 32-bit range"
+    );
     (index << 32) | ptr.to_u64()
 }
 
@@ -134,8 +137,7 @@ impl DurableQueue for UnlinkedQueue {
             let next = PRef::from_u64(head_next);
             let next_index = p.load_u64(next.offset() + f::INDEX);
             // Double-width CAS: advance the pointer and the index together.
-            if p
-                .cas_u64(ROOT_HEAD, head_word, pack_head(next, next_index))
+            if p.cas_u64(ROOT_HEAD, head_word, pack_head(next, next_index))
                 .is_ok()
             {
                 let item = p.load_u64(next.offset() + f::ITEM);
@@ -313,11 +315,23 @@ mod tests {
     fn one_blocking_persist_per_operation_but_nonzero_post_flush_accesses() {
         let counts = testkit::persist_counts::<UnlinkedQueue>(1000);
         // The theoretical lower bound: a single fence per update operation.
-        assert!((counts.enqueue.fences - 1.0).abs() < 0.05, "enqueue fences {}", counts.enqueue.fences);
-        assert!((counts.dequeue.fences - 1.0).abs() < 0.05, "dequeue fences {}", counts.dequeue.fences);
+        assert!(
+            (counts.enqueue.fences - 1.0).abs() < 0.05,
+            "enqueue fences {}",
+            counts.enqueue.fences
+        );
+        assert!(
+            (counts.dequeue.fences - 1.0).abs() < 0.05,
+            "dequeue fences {}",
+            counts.dequeue.fences
+        );
         assert!((counts.enqueue.flushes - 1.0).abs() < 0.05);
         // ... but the first amendment still reads flushed content (the head
         // line and the node lines), which is why it does not beat DurableMSQ.
-        assert!(counts.total.post_flush_accesses > 0.5, "expected post-flush accesses, got {}", counts.total.post_flush_accesses);
+        assert!(
+            counts.total.post_flush_accesses > 0.5,
+            "expected post-flush accesses, got {}",
+            counts.total.post_flush_accesses
+        );
     }
 }

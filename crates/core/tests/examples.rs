@@ -1,0 +1,37 @@
+//! Smoke test: the two examples must build and exit successfully.
+//!
+//! The examples double as executable documentation of the crash/recovery
+//! story; CI runs this so they can never silently rot. The test shells out
+//! to the `cargo` that is running it (the build-directory lock is released
+//! before test binaries execute, so the nested invocation is safe).
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--manifest-path"])
+        .arg(&manifest)
+        .args(["--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn crash_recovery_tour_example_runs() {
+    run_example("crash_recovery_tour");
+}

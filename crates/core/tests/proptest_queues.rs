@@ -27,10 +27,7 @@ enum Op {
 
 fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        prop_oneof![
-            (1..1_000_000u64).prop_map(Op::Enqueue),
-            Just(Op::Dequeue),
-        ],
+        prop_oneof![(1..1_000_000u64).prop_map(Op::Enqueue), Just(Op::Dequeue),],
         1..max_len,
     )
 }

@@ -77,24 +77,33 @@ fn main() {
 
     // Restart: recover the broker from the persistent image and redeliver.
     let recovered_pool = Arc::new(crashed_image);
-    let recovered = OptLinkedQueue::recover(recovered_pool, QueueConfig::bench(PRODUCERS + CONSUMERS));
+    let recovered =
+        OptLinkedQueue::recover(recovered_pool, QueueConfig::bench(PRODUCERS + CONSUMERS));
     let mut redelivered = Vec::new();
     while let Some(msg) = recovered.dequeue(0) {
         redelivered.push(msg);
     }
-    println!("after recovery:   {} messages redelivered", redelivered.len());
+    println!(
+        "after recovery:   {} messages redelivered",
+        redelivered.len()
+    );
 
     // Sanity: redelivered messages are real, unique, and in per-producer order.
     let mut seen = HashSet::new();
-    let mut last_seq = vec![None::<u64>; PRODUCERS];
+    let mut last_seq = [None::<u64>; PRODUCERS];
     for msg in &redelivered {
         assert!(seen.insert(*msg), "duplicate redelivery of {msg:#x}");
         let producer = (msg >> 32) as usize;
         let seq = msg & 0xFFFF_FFFF;
         if let Some(prev) = last_seq[producer] {
-            assert!(seq > prev, "redelivery out of order for producer {producer}");
+            assert!(
+                seq > prev,
+                "redelivery out of order for producer {producer}"
+            );
         }
         last_seq[producer] = Some(seq);
     }
-    println!("redelivered messages are unique and FIFO per producer — no acknowledged message was lost.");
+    println!(
+        "redelivered messages are unique and FIFO per producer — no acknowledged message was lost."
+    );
 }

@@ -75,7 +75,9 @@ impl Algorithm {
 
     /// Parses a (case-insensitive) algorithm name.
     pub fn parse(s: &str) -> Option<Algorithm> {
-        let k = s.to_ascii_lowercase().replace(['-', '_', ' ', '(', ')'], "");
+        let k = s
+            .to_ascii_lowercase()
+            .replace(['-', '_', ' ', '(', ')'], "");
         Some(match k.as_str() {
             "msq" | "msqvolatile" => Algorithm::Msq,
             "durablemsq" | "friedman" => Algorithm::DurableMsq,

@@ -46,13 +46,23 @@ pub fn check_algorithm(alg: Algorithm, cfg: &CrashCheckConfig) {
         let seed = cfg.seed ^ (round << 32) ^ alg.name().len() as u64;
         macro_rules! run {
             ($t:ty) => {{
-                testkit::check_crash_during_concurrent_ops::<$t>(cfg.threads, cfg.ops_per_thread, seed);
-                testkit::check_crash_with_evictions::<$t>(cfg.threads, cfg.ops_per_thread, seed ^ 0xE);
+                testkit::check_crash_during_concurrent_ops::<$t>(
+                    cfg.threads,
+                    cfg.ops_per_thread,
+                    seed,
+                );
+                testkit::check_crash_with_evictions::<$t>(
+                    cfg.threads,
+                    cfg.ops_per_thread,
+                    seed ^ 0xE,
+                );
                 testkit::check_recovery_preserves_completed_ops::<$t>(120, 40 + round);
             }};
         }
         match alg {
-            Algorithm::Msq => testkit::check_volatile_recovery_is_empty::<durable_queues::MsQueue>(),
+            Algorithm::Msq => {
+                testkit::check_volatile_recovery_is_empty::<durable_queues::MsQueue>()
+            }
             Algorithm::DurableMsq => run!(DurableMsQueue),
             Algorithm::Izraelevitz => run!(IzraelevitzQueue),
             Algorithm::NvTraverse => run!(NvTraverseQueue),

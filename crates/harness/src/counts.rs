@@ -49,7 +49,9 @@ pub fn persist_counts_table(ops: u64) -> Vec<CountsRow> {
 /// Renders the counts table.
 pub fn render_counts(rows: &[CountsRow]) -> String {
     let mut out = String::new();
-    out.push_str("\n=== Persistence operations per queue operation (single-threaded steady state) ===\n");
+    out.push_str(
+        "\n=== Persistence operations per queue operation (single-threaded steady state) ===\n",
+    );
     out.push_str(&format!(
         "{:<16}{:>14}{:>14}{:>14}{:>14}{:>18}\n",
         "queue", "enq fences", "deq fences", "enq flushes", "nt-stores/op", "post-flush/op"
@@ -86,12 +88,28 @@ mod tests {
             Algorithm::OptLinked,
         ] {
             let c = &get(alg).counts;
-            assert!((c.enqueue.fences - 1.0).abs() < 0.05, "{}: {}", alg.name(), c.enqueue.fences);
-            assert!((c.dequeue.fences - 1.0).abs() < 0.05, "{}: {}", alg.name(), c.dequeue.fences);
+            assert!(
+                (c.enqueue.fences - 1.0).abs() < 0.05,
+                "{}: {}",
+                alg.name(),
+                c.enqueue.fences
+            );
+            assert!(
+                (c.dequeue.fences - 1.0).abs() < 0.05,
+                "{}: {}",
+                alg.name(),
+                c.dequeue.fences
+            );
         }
         // The second amendment eliminates post-flush accesses; the first does not.
-        assert_eq!(get(Algorithm::OptUnlinked).counts.total.post_flush_accesses, 0.0);
-        assert_eq!(get(Algorithm::OptLinked).counts.total.post_flush_accesses, 0.0);
+        assert_eq!(
+            get(Algorithm::OptUnlinked).counts.total.post_flush_accesses,
+            0.0
+        );
+        assert_eq!(
+            get(Algorithm::OptLinked).counts.total.post_flush_accesses,
+            0.0
+        );
         assert!(get(Algorithm::Unlinked).counts.total.post_flush_accesses > 0.5);
         assert!(get(Algorithm::DurableMsq).counts.total.post_flush_accesses > 0.5);
         // The baselines fence more than the lower bound.

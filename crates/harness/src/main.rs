@@ -74,7 +74,9 @@ fn workloads_from_flags(flags: &HashMap<String, String>) -> Vec<Workload> {
     match flags.get("workload").map(|s| s.as_str()) {
         None | Some("all") => Workload::all(),
         Some(key) => vec![Workload::parse(key).unwrap_or_else(|| {
-            eprintln!("unknown workload '{key}' (expected random|pairs|enqueues|dequeues|prodcons|all)");
+            eprintln!(
+                "unknown workload '{key}' (expected random|pairs|enqueues|dequeues|prodcons|all)"
+            );
             exit(2);
         })],
     }

@@ -41,7 +41,7 @@ impl SweepConfig {
             latency: LatencyModel::optane_like(),
             area_size: 4 << 20,
             algorithms: Algorithm::figure2_set(),
-            seed: 0xF16_2,
+            seed: 0xF162,
         }
     }
 
@@ -55,7 +55,7 @@ impl SweepConfig {
             latency: LatencyModel::optane_like(),
             area_size: 1 << 20,
             algorithms: Algorithm::figure2_set(),
-            seed: 0xF16_2,
+            seed: 0xF162,
         }
     }
 }
@@ -216,7 +216,11 @@ mod tests {
             pool_bytes: 32 << 20,
             latency: LatencyModel::ZERO,
             area_size: 256 * 1024,
-            algorithms: vec![Algorithm::DurableMsq, Algorithm::OptUnlinked, Algorithm::RedoOptLite],
+            algorithms: vec![
+                Algorithm::DurableMsq,
+                Algorithm::OptUnlinked,
+                Algorithm::RedoOptLite,
+            ],
             seed: 11,
         }
     }
@@ -237,8 +241,14 @@ mod tests {
 
     #[test]
     fn ptm_queues_are_skipped_outside_the_first_two_workloads() {
-        assert!(algorithm_runs_workload(Algorithm::RedoOptLite, Workload::Pairs));
-        assert!(!algorithm_runs_workload(Algorithm::RedoOptLite, Workload::EnqueueOnly));
+        assert!(algorithm_runs_workload(
+            Algorithm::RedoOptLite,
+            Workload::Pairs
+        ));
+        assert!(!algorithm_runs_workload(
+            Algorithm::RedoOptLite,
+            Workload::EnqueueOnly
+        ));
         let sweep = tiny_sweep();
         let rows = run_panel(Workload::EnqueueOnly, &sweep);
         assert_eq!(rows[0].cells.len(), 2, "PTM queue should be skipped");
@@ -250,7 +260,11 @@ mod tests {
     fn per_op_fence_counts_surface_in_the_cells() {
         let sweep = tiny_sweep();
         let cell = measure_point(Algorithm::OptUnlinked, Workload::Pairs, 1, &sweep);
-        assert!((cell.fences_per_op - 1.0).abs() < 0.1, "fences/op {}", cell.fences_per_op);
+        assert!(
+            (cell.fences_per_op - 1.0).abs() < 0.1,
+            "fences/op {}",
+            cell.fences_per_op
+        );
         assert_eq!(cell.post_flush_per_op, 0.0);
     }
 }

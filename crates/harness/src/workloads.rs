@@ -61,7 +61,9 @@ impl Workload {
 
     /// Parses a workload key.
     pub fn parse(s: &str) -> Option<Workload> {
-        Workload::all().into_iter().find(|w| w.key() == s.to_ascii_lowercase())
+        Workload::all()
+            .into_iter()
+            .find(|w| w.key() == s.to_ascii_lowercase())
     }
 
     /// The initial queue size the paper uses for this panel (with the
@@ -112,7 +114,11 @@ impl RunResult {
 
 /// Runs `workload` on `queue` and returns throughput and persistence
 /// statistics for the measured phase (the pre-fill is excluded).
-pub fn run_workload(queue: &Arc<dyn DurableQueue>, workload: Workload, cfg: &RunConfig) -> RunResult {
+pub fn run_workload(
+    queue: &Arc<dyn DurableQueue>,
+    workload: Workload,
+    cfg: &RunConfig,
+) -> RunResult {
     assert!(cfg.threads >= 1);
     // Pre-fill (not measured).
     for i in 0..cfg.initial_size {
@@ -136,7 +142,14 @@ pub fn run_workload(queue: &Arc<dyn DurableQueue>, workload: Workload, cfg: &Run
             let mut rng = TestRng::new(cfg.seed ^ ((tid as u64 + 1) << 20));
             barrier.wait();
             let start = Instant::now();
-            run_thread(&*queue, workload, tid, cfg.threads, cfg.ops_per_thread, &mut rng);
+            run_thread(
+                &*queue,
+                workload,
+                tid,
+                cfg.threads,
+                cfg.ops_per_thread,
+                &mut rng,
+            );
             (start, Instant::now())
         }));
     }
@@ -270,7 +283,12 @@ mod tests {
         let r = run_workload(
             &q,
             Workload::DequeueOnly,
-            &RunConfig { threads, ops_per_thread: ops, initial_size: init, seed: 3 },
+            &RunConfig {
+                threads,
+                ops_per_thread: ops,
+                initial_size: init,
+                seed: 3,
+            },
         );
         // Every dequeue succeeded, so the queue still holds the surplus.
         assert!(r.total_ops == threads as u64 * ops);
@@ -284,10 +302,19 @@ mod tests {
     #[test]
     fn measured_stats_exclude_the_prefill() {
         let q = small_queue(Algorithm::OptUnlinked);
-        let cfg = RunConfig { threads: 1, ops_per_thread: 100, initial_size: 50, seed: 1 };
+        let cfg = RunConfig {
+            threads: 1,
+            ops_per_thread: 100,
+            initial_size: 50,
+            seed: 1,
+        };
         let r = run_workload(&q, Workload::DequeueOnly, &cfg);
         // 100 dequeues at one fence each; the 50 pre-fill enqueues are not
         // counted.
-        assert!(r.stats.fences >= 100 && r.stats.fences <= 110, "fences {}", r.stats.fences);
+        assert!(
+            r.stats.fences >= 100 && r.stats.fences <= 110,
+            "fences {}",
+            r.stats.fences
+        );
     }
 }

@@ -31,7 +31,11 @@ fn every_figure2_panel_runs_end_to_end_for_every_algorithm() {
         assert_eq!(rows.len(), sweep.threads.len(), "{}", workload.name());
         for row in rows {
             for cell in &row.cells {
-                assert!(cell.mops > 0.0, "{} produced no throughput", cell.algorithm.name());
+                assert!(
+                    cell.mops > 0.0,
+                    "{} produced no throughput",
+                    cell.algorithm.name()
+                );
             }
         }
     }
@@ -49,7 +53,9 @@ fn second_amendment_outperforms_the_baseline_under_the_latency_model() {
         ..tiny_sweep(vec![Algorithm::DurableMsq, Algorithm::OptUnlinked])
     };
     let rows = run_panel(Workload::RandomOps, &sweep);
-    let ratio = rows[0].ratio_to_durable_msq(Algorithm::OptUnlinked).unwrap();
+    let ratio = rows[0]
+        .ratio_to_durable_msq(Algorithm::OptUnlinked)
+        .unwrap();
     assert!(
         ratio > 1.1,
         "OptUnlinkedQ should outperform DurableMSQ (measured ratio {ratio:.2})"
@@ -60,7 +66,11 @@ fn second_amendment_outperforms_the_baseline_under_the_latency_model() {
 fn first_amendment_meets_the_fence_lower_bound_in_the_full_stack() {
     let sweep = tiny_sweep(vec![Algorithm::Unlinked]);
     let cell = measure_point(Algorithm::Unlinked, Workload::Pairs, 1, &sweep);
-    assert!((cell.fences_per_op - 1.0).abs() < 0.1, "fences/op {}", cell.fences_per_op);
+    assert!(
+        (cell.fences_per_op - 1.0).abs() < 0.1,
+        "fences/op {}",
+        cell.fences_per_op
+    );
 }
 
 #[test]
@@ -70,7 +80,8 @@ fn opt_queues_make_zero_post_flush_accesses_in_the_full_stack() {
         for workload in Workload::all() {
             let cell = measure_point(alg, workload, 2, &sweep);
             assert_eq!(
-                cell.post_flush_per_op, 0.0,
+                cell.post_flush_per_op,
+                0.0,
                 "{} touched flushed content in {}",
                 alg.name(),
                 workload.name()
@@ -93,7 +104,12 @@ fn crash_checker_passes_for_a_sample_of_algorithms() {
         rounds: 1,
         seed: 0xAB,
     };
-    for alg in [Algorithm::DurableMsq, Algorithm::Unlinked, Algorithm::OptLinked, Algorithm::RedoOptLite] {
+    for alg in [
+        Algorithm::DurableMsq,
+        Algorithm::Unlinked,
+        Algorithm::OptLinked,
+        Algorithm::RedoOptLite,
+    ] {
         check_algorithm(alg, &cfg);
     }
 }
@@ -104,16 +120,23 @@ fn a_recovered_queue_can_be_driven_by_the_workload_generators() {
     // recovered instance — recovery must leave every allocator structure in
     // a state that supports normal operation at full speed.
     let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(32 << 20)));
-    let q = Algorithm::OptLinked.create(Arc::clone(&pool), QueueConfig::small_test().with_threads(4));
+    let q =
+        Algorithm::OptLinked.create(Arc::clone(&pool), QueueConfig::small_test().with_threads(4));
     for i in 0..500u64 {
         q.enqueue(0, i + 1);
     }
     let recovered_pool = Arc::new(pool.simulate_crash());
-    let recovered = Algorithm::OptLinked.recover(recovered_pool, QueueConfig::small_test().with_threads(4));
+    let recovered =
+        Algorithm::OptLinked.recover(recovered_pool, QueueConfig::small_test().with_threads(4));
     let result = run_workload(
         &recovered,
         Workload::RandomOps,
-        &RunConfig { threads: 4, ops_per_thread: 500, initial_size: 0, seed: 5 },
+        &RunConfig {
+            threads: 4,
+            ops_per_thread: 500,
+            initial_size: 0,
+            seed: 5,
+        },
     );
     assert_eq!(result.total_ops, 2000);
     assert!(result.mops() > 0.0);

@@ -61,9 +61,9 @@ mod tests {
 
     #[test]
     fn regions_do_not_overlap() {
-        assert!(QUEUE_ROOT as usize >= CACHE_LINE);
-        assert!(SSMEM_DIR >= QUEUE_ROOT + QUEUE_ROOT_LEN);
-        assert!(HEAP_START >= SSMEM_DIR + SSMEM_DIR_LEN);
+        const { assert!(QUEUE_ROOT as usize >= CACHE_LINE) };
+        const { assert!(SSMEM_DIR >= QUEUE_ROOT + QUEUE_ROOT_LEN) };
+        const { assert!(HEAP_START >= SSMEM_DIR + SSMEM_DIR_LEN) };
         assert_eq!(QUEUE_ROOT % CACHE_LINE as u32, 0);
         assert_eq!(SSMEM_DIR % CACHE_LINE as u32, 0);
         assert_eq!(HEAP_START % CACHE_LINE as u32, 0);

@@ -117,7 +117,10 @@ impl RawArena {
         let layout = Layout::from_size_align(size, CACHE_LINE).expect("invalid arena layout");
         // SAFETY: layout has non-zero size (callers guarantee size > 0).
         let ptr = unsafe { alloc_zeroed(layout) };
-        assert!(!ptr.is_null(), "pmem arena allocation failed ({size} bytes)");
+        assert!(
+            !ptr.is_null(),
+            "pmem arena allocation failed ({size} bytes)"
+        );
         RawArena { ptr, layout }
     }
 }
@@ -221,7 +224,10 @@ impl PmemPool {
 
     #[inline]
     fn check_bounds(&self, off: u32, bytes: u32) {
-        debug_assert!(off as usize + bytes as usize <= self.size, "pmem access out of bounds");
+        debug_assert!(
+            off as usize + bytes as usize <= self.size,
+            "pmem access out of bounds"
+        );
         debug_assert_eq!(off % bytes, 0, "unaligned pmem access");
         debug_assert_eq!(
             (off as usize) / CACHE_LINE,
@@ -257,7 +263,9 @@ impl PmemPool {
         let state = &self.line_states[line];
         if state.load(Ordering::Relaxed) == LINE_FLUSHED {
             state.store(LINE_CACHED, Ordering::Relaxed);
-            self.stats.post_flush_accesses.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .post_flush_accesses
+                .fetch_add(1, Ordering::Relaxed);
             spin_delay(self.config.latency.nvram_read_ns);
         }
     }
@@ -268,7 +276,9 @@ impl PmemPool {
     fn maybe_evict(&self, off: u32) {
         if self.eviction_threshold != 0 && self.next_rand() < self.eviction_threshold {
             self.persist_line(layout::line_of(off));
-            self.stats.implicit_evictions.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .implicit_evictions
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -315,9 +325,12 @@ impl PmemPool {
     pub fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
         self.touch(off);
         self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
-        let r = self
-            .working_u64(off)
-            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        let r = self.working_u64(off).compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
         if r.is_ok() {
             self.maybe_evict(off);
         }
@@ -348,11 +361,13 @@ impl PmemPool {
     // Persistence primitives
     // ------------------------------------------------------------------
 
-    fn pending_mut(&self, tid: usize) -> &mut PendingPersists {
+    fn with_pending<R>(&self, tid: usize, f: impl FnOnce(&mut PendingPersists) -> R) -> R {
         assert!(tid < MAX_THREADS, "tid {tid} exceeds MAX_THREADS");
         // SAFETY: by the documented contract, only the owner of `tid` calls
         // the persist API with this tid, so there is no concurrent access.
-        unsafe { &mut *self.pending[tid].0.get() }
+        // The mutable borrow is confined to this call so it cannot be held
+        // across another persist-API call for the same tid.
+        f(unsafe { &mut *self.pending[tid].0.get() })
     }
 
     /// Copies the current working content of `line` into the persistent
@@ -380,7 +395,7 @@ impl PmemPool {
         self.line_states[line as usize].store(LINE_FLUSHED, Ordering::Relaxed);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         if self.config.deferred_persist {
-            self.pending_mut(tid).flushed_lines.push(line);
+            self.with_pending(tid, |pending| pending.flushed_lines.push(line));
         } else {
             self.persist_line(line);
         }
@@ -404,9 +419,12 @@ impl PmemPool {
     /// previously issued by thread `tid` has reached the persistent image.
     pub fn sfence(&self, tid: usize) {
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
-        let pending = self.pending_mut(tid);
-        let lines = std::mem::take(&mut pending.flushed_lines);
-        let nt = std::mem::take(&mut pending.nt_writes);
+        let (lines, nt) = self.with_pending(tid, |pending| {
+            (
+                std::mem::take(&mut pending.flushed_lines),
+                std::mem::take(&mut pending.nt_writes),
+            )
+        });
         for line in lines {
             self.persist_line(line);
         }
@@ -424,7 +442,7 @@ impl PmemPool {
         self.stats.nt_stores.fetch_add(1, Ordering::Relaxed);
         self.working_u64(off).store(val, Ordering::Release);
         if self.config.deferred_persist {
-            self.pending_mut(tid).nt_writes.push((off, val));
+            self.with_pending(tid, |pending| pending.nt_writes.push((off, val)));
         } else {
             self.persistent_u64(off).store(val, Ordering::Release);
         }
@@ -467,7 +485,9 @@ impl PmemPool {
             let o = off + i * 8;
             self.working_u64(o).store(0, Ordering::Release);
         }
-        self.stats.stores.fetch_add((len / 8) as u64, Ordering::Relaxed);
+        self.stats
+            .stores
+            .fetch_add((len / 8) as u64, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
@@ -494,7 +514,12 @@ impl PmemPool {
                 start,
                 self.size
             );
-            match self.watermark.compare_exchange_weak(cur, end, Ordering::AcqRel, Ordering::Acquire) {
+            match self.watermark.compare_exchange_weak(
+                cur,
+                end,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => return start,
                 Err(actual) => cur = actual,
             }
@@ -512,10 +537,12 @@ impl PmemPool {
     pub fn set_watermark(&self, off: u32) {
         let mut cur = self.watermark.load(Ordering::Relaxed);
         while cur < off {
-            match self
-                .watermark
-                .compare_exchange_weak(cur, off, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.watermark.compare_exchange_weak(
+                cur,
+                off,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }

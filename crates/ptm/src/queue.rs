@@ -68,7 +68,10 @@ impl<const EAGER: bool> PtmQueue<EAGER> {
         let region = tx.read(ROOT_REGION) as u32;
         let capacity = tx.read(ROOT_CAPACITY);
         let idx = tx.read(ROOT_NEXT_ALLOC);
-        assert!(idx < capacity, "PTM queue node region exhausted ({capacity} nodes)");
+        assert!(
+            idx < capacity,
+            "PTM queue node region exhausted ({capacity} nodes)"
+        );
         tx.write(ROOT_NEXT_ALLOC, idx + 1);
         region + (idx as u32) * 64
     }
@@ -139,7 +142,13 @@ impl<const EAGER: bool> RecoverableQueue for PtmQueue<EAGER> {
         pool.store_u64(ROOT_NEXT_ALLOC, 1);
         pool.store_u64(ROOT_REGION, region as u64);
         pool.store_u64(ROOT_CAPACITY, capacity as u64);
-        for off in [ROOT_HEAD, ROOT_TAIL, ROOT_FREE_LIST, ROOT_NEXT_ALLOC, ROOT_REGION] {
+        for off in [
+            ROOT_HEAD,
+            ROOT_TAIL,
+            ROOT_FREE_LIST,
+            ROOT_NEXT_ALLOC,
+            ROOT_REGION,
+        ] {
             pool.flush(0, off);
         }
         pool.sfence(0);
@@ -209,7 +218,11 @@ mod tests {
         let redoopt = testkit::persist_counts::<RedoOptLiteQueue>(300);
         // Every operation pays at least the commit-record fence, the apply
         // fence and the log-retire fence.
-        assert!(redoopt.enqueue.fences >= 3.0, "RedoOptLite enqueue fences {}", redoopt.enqueue.fences);
+        assert!(
+            redoopt.enqueue.fences >= 3.0,
+            "RedoOptLite enqueue fences {}",
+            redoopt.enqueue.fences
+        );
         assert!(onefile.enqueue.fences > redoopt.enqueue.fences);
         // The recycled log lines are flushed and rewritten every transaction.
         assert!(redoopt.total.post_flush_accesses > 1.0);

@@ -144,7 +144,10 @@ impl Ptm {
         if writes.is_empty() {
             return;
         }
-        assert!(writes.len() <= MAX_TX_WRITES, "transaction write set too large");
+        assert!(
+            writes.len() <= MAX_TX_WRITES,
+            "transaction write set too large"
+        );
         let p = &self.pool;
         // 1. Persist the redo log.
         for (i, &(off, val)) in writes.iter().enumerate() {
@@ -277,9 +280,17 @@ mod tests {
         pool.flush(0, ROOT_LOG_STATUS);
         pool.sfence(0);
         let recovered_pool = Arc::new(pool.simulate_crash());
-        assert_eq!(recovered_pool.load_u64(data), 0, "home location must still be old");
+        assert_eq!(
+            recovered_pool.load_u64(data),
+            0,
+            "home location must still be old"
+        );
         let _recovered = Ptm::recover(Arc::clone(&recovered_pool), FlushPolicy::BatchedCommit);
-        assert_eq!(recovered_pool.load_u64(data), 77, "committed log was not replayed");
+        assert_eq!(
+            recovered_pool.load_u64(data),
+            77,
+            "committed log was not replayed"
+        );
         assert_eq!(recovered_pool.load_u64(ROOT_LOG_STATUS), 0);
     }
 
@@ -295,7 +306,11 @@ mod tests {
         pool.sfence(0);
         let recovered_pool = Arc::new(pool.simulate_crash());
         let _recovered = Ptm::recover(Arc::clone(&recovered_pool), FlushPolicy::BatchedCommit);
-        assert_eq!(recovered_pool.load_u64(data), 0, "uncommitted log must not be replayed");
+        assert_eq!(
+            recovered_pool.load_u64(data),
+            0,
+            "uncommitted log must not be replayed"
+        );
     }
 
     #[test]
@@ -311,6 +326,11 @@ mod tests {
             });
             fences.push(pool.stats().fences);
         }
-        assert!(fences[0] > fences[1], "eager {} vs batched {}", fences[0], fences[1]);
+        assert!(
+            fences[0] > fences[1],
+            "eager {} vs batched {}",
+            fences[0],
+            fences[1]
+        );
     }
 }

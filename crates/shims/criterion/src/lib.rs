@@ -1,0 +1,444 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access, so this in-tree crate
+//! implements the subset of Criterion's API the `bench` crate uses:
+//! benchmark groups with `sample_size` / `warm_up_time` / `measurement_time`
+//! / `throughput`, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_custom`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Behavioural contract kept from real Criterion:
+//!
+//! * `--test` (what `cargo bench -- --test` passes) runs every benchmark
+//!   exactly once and reports success/failure without timing — this is what
+//!   the CI bench-smoke job relies on.
+//! * A positional argument filters benchmarks by substring of their full id.
+//! * Normal runs warm up, then time `sample_size` samples and report the
+//!   mean per-iteration time (plus throughput when configured).
+//!
+//! Not kept: statistical analysis, HTML reports, baselines.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments. Recognises `--test`
+    /// (run every benchmark once, no timing) and a positional substring
+    /// filter; flags Criterion would accept (`--bench`, `--noplot`,
+    /// `--save-baseline <name>`, ...) are ignored for compatibility with
+    /// cargo's bench harness protocol.
+    pub fn from_args() -> Self {
+        let mut criterion = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => criterion.test_mode = true,
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                positional => criterion.filter = Some(positional.to_string()),
+            }
+        }
+        criterion
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    /// Prints the run summary; called by `criterion_main!` after all groups.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("criterion-shim: tested {} benchmarks", self.benchmarks_run);
+        }
+    }
+}
+
+/// How to scale per-iteration time into a rate in reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by [`BenchmarkGroup::bench_function`]: a plain string
+/// or an explicit [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The full id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (each sample times a batch of
+    /// iterations).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the throughput used to report a rate for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.run(full_id, |bencher| routine(bencher));
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        self.run(full_id, |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; settings die with the
+    /// group either way).
+    pub fn finish(self) {}
+
+    fn run(&mut self, full_id: String, mut routine: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.criterion.benchmarks_run += 1;
+        if self.criterion.test_mode {
+            print!("Testing {full_id} ... ");
+            let mut bencher = Bencher {
+                mode: BenchMode::Test,
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            routine(&mut bencher);
+            println!("ok");
+            return;
+        }
+
+        // Warm-up: run batches until the warm-up budget is spent, learning
+        // the per-iteration cost from the accumulated totals (a single
+        // iteration's timing is dominated by timer resolution).
+        let warm_up_start = Instant::now();
+        let mut warm_elapsed = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            let mut bencher = Bencher {
+                mode: BenchMode::Measure(1),
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            routine(&mut bencher);
+            warm_elapsed += bencher.elapsed;
+            warm_iters += bencher.iters;
+        }
+        let per_iter_ns = if warm_iters == 0 {
+            0
+        } else {
+            warm_elapsed.as_nanos() / warm_iters as u128
+        };
+
+        // Size each sample so all samples together fill measurement_time.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter_ns.max(1)).clamp(1, u64::MAX as u128) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                mode: BenchMode::Measure(iters_per_sample),
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            routine(&mut bencher);
+            if bencher.iters == 0 {
+                continue;
+            }
+            let sample_per_iter = div_duration(bencher.elapsed, bencher.iters);
+            best = best.min(sample_per_iter);
+            total += bencher.elapsed;
+            total_iters += bencher.iters;
+        }
+        if total_iters == 0 {
+            println!("{full_id:<60} no samples");
+            return;
+        }
+        let mean = div_duration(total, total_iters);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                format!("  thrpt: {:>12.0} elem/s", per_sec)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                format!("  thrpt: {:>12.0} B/s", per_sec)
+            }
+            None => String::new(),
+        };
+        println!("{full_id:<60} time: [{mean:>10.2?} mean, {best:>10.2?} best]{rate}");
+    }
+}
+
+/// `Duration / u64` without `Duration`'s u32-truncating `Div` impl (which
+/// would corrupt the mean — or panic — once an iteration count exceeds
+/// `u32::MAX`).
+fn div_duration(total: Duration, iters: u64) -> Duration {
+    let nanos = total.as_nanos() / iters.max(1) as u128;
+    Duration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+}
+
+enum BenchMode {
+    /// Run the routine exactly once per `iter` call (smoke test).
+    Test,
+    /// Run `n` iterations per `iter` call and accumulate elapsed time.
+    Measure(u64),
+}
+
+/// Passed to benchmark routines; times the hot loop.
+pub struct Bencher {
+    mode: BenchMode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches sized by the harness.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BenchMode::Test => {
+                std::hint::black_box(routine());
+                self.iters += 1;
+            }
+            BenchMode::Measure(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    std::hint::black_box(routine());
+                }
+                self.elapsed += start.elapsed();
+                self.iters += n;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`] but the routine does its own timing: it
+    /// receives an iteration count and returns the elapsed time for exactly
+    /// that many iterations.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        match self.mode {
+            BenchMode::Test => {
+                std::hint::black_box(routine(1));
+                self.iters += 1;
+            }
+            BenchMode::Measure(n) => {
+                self.elapsed += routine(n);
+                self.iters += n;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups under the shim driver.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Opaque value barrier re-exported for API compatibility.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut criterion = Criterion {
+            filter: None,
+            test_mode: true,
+            benchmarks_run: 0,
+        };
+        let mut runs = 0u32;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.bench_function("a", |b| b.iter(|| runs += 1));
+            group.bench_function(BenchmarkId::new("f", 2), |b| {
+                b.iter_custom(|iters| {
+                    runs += iters as u32;
+                    Duration::from_nanos(1)
+                })
+            });
+            group.finish();
+        }
+        assert_eq!(runs, 2);
+        assert_eq!(criterion.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut criterion = Criterion {
+            filter: Some("match-me".into()),
+            test_mode: true,
+            benchmarks_run: 0,
+        };
+        let mut runs = 0u32;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.bench_function("match-me", |b| b.iter(|| runs += 1));
+            group.bench_function("other", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn div_duration_survives_iteration_counts_beyond_u32() {
+        let iters = u32::MAX as u64 * 8;
+        let mean = div_duration(Duration::from_secs(40), iters);
+        assert_eq!(mean, Duration::from_nanos(1));
+        assert_eq!(
+            div_duration(Duration::from_secs(1), 0),
+            Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn measurement_produces_samples() {
+        let mut criterion = Criterion::default();
+        {
+            let mut group = criterion.benchmark_group("g");
+            group
+                .sample_size(3)
+                .warm_up_time(Duration::from_millis(5))
+                .measurement_time(Duration::from_millis(10));
+            group.throughput(Throughput::Elements(1));
+            group.bench_function("spin", |b| b.iter(|| std::hint::black_box(2u64.pow(10))));
+            group.finish();
+        }
+        assert_eq!(criterion.benchmarks_run, 1);
+    }
+}

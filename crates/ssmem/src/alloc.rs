@@ -3,7 +3,7 @@
 use crate::dir::{self, AreaInfo};
 use crate::epoch::EpochManager;
 use crossbeam_utils::CachePadded;
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -105,7 +105,11 @@ impl Ssmem {
     /// directory and are not zero-persisted, so they are invisible to
     /// recovery. It shares the given epoch manager so that one pin/unpin per
     /// operation protects persistent and volatile nodes alike.
-    pub fn new_volatile(pool: Arc<PmemPool>, config: SsmemConfig, epoch: Arc<EpochManager>) -> Self {
+    pub fn new_volatile(
+        pool: Arc<PmemPool>,
+        config: SsmemConfig,
+        epoch: Arc<EpochManager>,
+    ) -> Self {
         let mut s = Self::build(pool, config, 0, false);
         s.epoch = epoch;
         s
@@ -128,8 +132,14 @@ impl Ssmem {
     }
 
     fn build(pool: Arc<PmemPool>, config: SsmemConfig, next_slot: u32, durable: bool) -> Self {
-        assert!(config.obj_size > 0 && config.obj_size % 64 == 0, "obj_size must be a multiple of 64");
-        assert!(config.area_size >= config.obj_size, "area_size must hold at least one object");
+        assert!(
+            config.obj_size > 0 && config.obj_size.is_multiple_of(64),
+            "obj_size must be a multiple of 64"
+        );
+        assert!(
+            config.area_size >= config.obj_size,
+            "area_size must hold at least one object"
+        );
         assert!(config.max_threads <= pmem::MAX_THREADS);
         let per_thread = (0..config.max_threads)
             .map(|_| CachePadded::new(PerThreadCell(UnsafeCell::new(PerThread::new()))))
@@ -171,10 +181,11 @@ impl Ssmem {
         self.epoch.unpin(tid);
     }
 
-    fn per_thread_mut(&self, tid: usize) -> &mut PerThread {
+    fn with_per_thread<R>(&self, tid: usize, f: impl FnOnce(&mut PerThread) -> R) -> R {
         // SAFETY: single-owner contract — only the thread owning `tid` calls
-        // allocator methods with this tid.
-        unsafe { &mut *self.per_thread[tid].0.get() }
+        // allocator methods with this tid. The mutable borrow is confined to
+        // this call, so it cannot alias another borrow for the same tid.
+        f(unsafe { &mut *self.per_thread[tid].0.get() })
     }
 
     /// Allocates one object slot for thread `tid`.
@@ -186,18 +197,19 @@ impl Ssmem {
     /// (piggybacked flag clearing, head-index comparison) for those, exactly
     /// as in the paper.
     pub fn alloc(&self, tid: usize) -> PRef {
-        let inner = self.per_thread_mut(tid);
-        self.collect(inner);
-        let obj = if let Some(p) = inner.free.pop() {
-            p
-        } else {
-            if inner.bump + self.config.obj_size > inner.area_end || inner.area_end == 0 {
-                self.new_area(tid, inner);
+        let obj = self.with_per_thread(tid, |inner| {
+            self.collect(inner);
+            if let Some(p) = inner.free.pop() {
+                p
+            } else {
+                if inner.bump + self.config.obj_size > inner.area_end || inner.area_end == 0 {
+                    self.new_area(tid, inner);
+                }
+                let off = inner.bump;
+                inner.bump += self.config.obj_size;
+                PRef::from_offset(off)
             }
-            let off = inner.bump;
-            inner.bump += self.config.obj_size;
-            PRef::from_offset(off)
-        };
+        });
         // A slot handed to a new object starts its life "in cache": its
         // previous life's flush must not be billed to the new object's first
         // access (see `PmemPool::mark_line_cached`).
@@ -213,11 +225,17 @@ impl Ssmem {
     /// passed through a quiescent state (two epoch advancements).
     pub fn retire(&self, tid: usize, obj: PRef) {
         debug_assert!(!obj.is_null());
-        let inner = self.per_thread_mut(tid);
-        inner.limbo.push_back((self.epoch.current(), obj));
-        inner.retires_since_advance += 1;
-        if inner.retires_since_advance >= ADVANCE_PERIOD {
-            inner.retires_since_advance = 0;
+        let should_advance = self.with_per_thread(tid, |inner| {
+            inner.limbo.push_back((self.epoch.current(), obj));
+            inner.retires_since_advance += 1;
+            if inner.retires_since_advance >= ADVANCE_PERIOD {
+                inner.retires_since_advance = 0;
+                true
+            } else {
+                false
+            }
+        });
+        if should_advance {
             self.epoch.try_advance();
         }
     }
@@ -227,13 +245,13 @@ impl Ssmem {
     /// i.e. during single-threaded recovery, which is its only caller.
     pub fn free_immediate(&self, tid: usize, obj: PRef) {
         debug_assert!(!obj.is_null());
-        self.per_thread_mut(tid).free.push(obj);
+        self.with_per_thread(tid, |inner| inner.free.push(obj));
     }
 
     /// Number of objects waiting in thread `tid`'s limbo list (retired but
     /// not yet safe to reuse). Exposed for tests.
     pub fn limbo_len(&self, tid: usize) -> usize {
-        self.per_thread_mut(tid).limbo.len()
+        self.with_per_thread(tid, |inner| inner.limbo.len())
     }
 
     /// Moves limbo objects whose retirement epoch is old enough to the free
@@ -274,7 +292,10 @@ impl Ssmem {
 
     /// All designated areas recorded in the persistent directory.
     pub fn areas(&self) -> Vec<AreaInfo> {
-        dir::read_all(&self.pool).into_iter().map(|(_, a)| a).collect()
+        dir::read_all(&self.pool)
+            .into_iter()
+            .map(|(_, a)| a)
+            .collect()
     }
 
     /// Calls `f` for every object slot in every designated area (used by the
@@ -389,11 +410,19 @@ mod tests {
         let recovered = Ssmem::recover(Arc::clone(&recovered_pool), *ssmem.config());
         assert_eq!(recovered.areas(), areas_before);
         // New allocations must not overlap any pre-crash area.
-        let pre_crash_ranges: Vec<_> = areas_before.iter().map(|a| (a.offset, a.offset + a.len())).collect();
+        let pre_crash_ranges: Vec<_> = areas_before
+            .iter()
+            .map(|a| (a.offset, a.offset + a.len()))
+            .collect();
         for _ in 0..40 {
             let p = recovered.alloc(0);
-            let in_old_area = pre_crash_ranges.iter().any(|&(s, e)| p.offset() >= s && p.offset() < e);
-            assert!(!in_old_area, "recovered allocator handed out a slot from an old area without free_immediate");
+            let in_old_area = pre_crash_ranges
+                .iter()
+                .any(|&(s, e)| p.offset() >= s && p.offset() < e);
+            assert!(
+                !in_old_area,
+                "recovered allocator handed out a slot from an old area without free_immediate"
+            );
         }
     }
 
@@ -447,7 +476,11 @@ mod volatile_tests {
     #[test]
     fn volatile_allocator_publishes_no_areas_and_shares_epochs() {
         let pool = Arc::new(PmemPool::new(PoolConfig::small_test()));
-        let cfg = SsmemConfig { obj_size: 64, area_size: 1024, max_threads: 2 };
+        let cfg = SsmemConfig {
+            obj_size: 64,
+            area_size: 1024,
+            max_threads: 2,
+        };
         let durable = Ssmem::new(Arc::clone(&pool), cfg);
         let volatile = Ssmem::new_volatile(Arc::clone(&pool), cfg, Arc::clone(durable.epoch()));
         for _ in 0..40 {

@@ -13,7 +13,7 @@
 //! the same guarantee the paper's allocator provides.
 
 use pmem::layout::{CACHE_LINE, SSMEM_DIR, SSMEM_DIR_LEN};
-use pmem::{PmemPool, PRef};
+use pmem::{PRef, PmemPool};
 
 /// Byte offsets of the entry fields within an entry line.
 const F_OFFSET: u32 = 0;
@@ -135,8 +135,18 @@ mod tests {
     #[test]
     fn published_entries_survive_a_crash() {
         let p = pool();
-        let a0 = AreaInfo { offset: p.alloc_raw(64 * 8, 64), obj_size: 64, num_objects: 8, owner_tid: 0 };
-        let a1 = AreaInfo { offset: p.alloc_raw(128 * 4, 64), obj_size: 128, num_objects: 4, owner_tid: 1 };
+        let a0 = AreaInfo {
+            offset: p.alloc_raw(64 * 8, 64),
+            obj_size: 64,
+            num_objects: 8,
+            owner_tid: 0,
+        };
+        let a1 = AreaInfo {
+            offset: p.alloc_raw(128 * 4, 64),
+            obj_size: 128,
+            num_objects: 4,
+            owner_tid: 1,
+        };
         publish_entry(&p, 0, 0, &a0);
         publish_entry(&p, 1, 5, &a1);
         let r = p.simulate_crash();
@@ -147,7 +157,12 @@ mod tests {
     #[test]
     fn unpublished_entry_does_not_survive_a_crash() {
         let p = pool();
-        let area = AreaInfo { offset: p.alloc_raw(64 * 8, 64), obj_size: 64, num_objects: 8, owner_tid: 0 };
+        let area = AreaInfo {
+            offset: p.alloc_raw(64 * 8, 64),
+            obj_size: 64,
+            num_objects: 8,
+            owner_tid: 0,
+        };
         // Write the fields but "crash" before the flush/fence.
         let base = ENTRIES_START;
         p.store_u64(base + F_OFFSET, area.offset as u64);
@@ -158,7 +173,12 @@ mod tests {
 
     #[test]
     fn area_object_addressing() {
-        let area = AreaInfo { offset: 4096, obj_size: 64, num_objects: 4, owner_tid: 0 };
+        let area = AreaInfo {
+            offset: 4096,
+            obj_size: 64,
+            num_objects: 4,
+            owner_tid: 0,
+        };
         let objs: Vec<_> = area.objects().collect();
         assert_eq!(objs.len(), 4);
         assert_eq!(objs[0].offset(), 4096);
@@ -171,6 +191,6 @@ mod tests {
     fn directory_capacity_is_large_enough_for_benchmarks() {
         // The dequeue-heavy workload pre-fills ~1M nodes; with the default
         // 1 MiB areas that is 64 areas, far below the capacity.
-        assert!(MAX_AREAS >= 256);
+        const { assert!(MAX_AREAS >= 256) };
     }
 }

@@ -1,0 +1,113 @@
+//! Shard-scaling benchmarks: throughput of `ShardedQueue<OptUnlinkedQ>` at
+//! 1/2/4/8 shards under the pairs workload, and the latency of parallel
+//! crash recovery of all shards.
+//!
+//! The throughput series is the Criterion-sampled counterpart of
+//! `harness shards`; run-over-run comparisons show whether a change moved
+//! the sharded hot path. The recovery series times the parallel recovery of
+//! a crashed image per shard count (the snapshot fan-out happens outside
+//! the measured region — a real crash costs nothing at restart time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig};
+use harness::workloads::{run_workload, RunConfig, Workload};
+use pmem::{LatencyModel, PoolConfig};
+use shard::{RecoveryOrchestrator, RoutePolicy, ShardConfig, ShardedQueue};
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+const OPS: u64 = 2_000;
+const SHARD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+fn shard_config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        queue: QueueConfig {
+            max_threads: THREADS,
+            area_size: 1 << 20,
+        },
+        pool: PoolConfig {
+            size: 32 << 20,
+            latency: LatencyModel::optane_like(),
+            deferred_persist: true,
+            eviction_probability: 0.0,
+            eviction_seed: 0x5CA1,
+        },
+        policy: RoutePolicy::RoundRobin,
+    }
+}
+
+fn throughput_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling/pairs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    for &shards in SHARD_COUNTS {
+        group.throughput(Throughput::Elements(THREADS as u64 * OPS));
+        group.bench_with_input(
+            BenchmarkId::new("OptUnlinkedQ", shards),
+            &shards,
+            |b, &shards| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let queue: Arc<dyn DurableQueue> = Arc::new(
+                            ShardedQueue::<OptUnlinkedQueue>::create(shard_config(shards)),
+                        );
+                        let cfg = RunConfig {
+                            threads: THREADS,
+                            ops_per_thread: OPS,
+                            initial_size: Workload::Pairs.default_initial_size(THREADS, OPS),
+                            seed: 0x5CA1 ^ i,
+                        };
+                        total += run_workload(&queue, Workload::Pairs, &cfg).elapsed;
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn parallel_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling/recovery");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    for &shards in SHARD_COUNTS {
+        // One pre-loaded queue per shard count; crash() leaves it intact, so
+        // every iteration recovers the same 8k-item image.
+        let queue = ShardedQueue::<OptUnlinkedQueue>::create(shard_config(shards));
+        for i in 0..8_192u64 {
+            queue.enqueue(0, i + 1);
+        }
+        let orchestrator = RecoveryOrchestrator::new(shards);
+        group.bench_with_input(
+            BenchmarkId::new("parallel_recover", shards),
+            &shards,
+            |b, _| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let images = orchestrator.crash(&queue);
+                        let config = *queue.shard_config();
+                        let started = std::time::Instant::now();
+                        let (recovered, _report) =
+                            orchestrator.recover::<OptUnlinkedQueue>(images, config);
+                        total += started.elapsed();
+                        std::hint::black_box(recovered);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput_scaling, parallel_recovery);
+criterion_main!(benches);

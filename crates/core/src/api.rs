@@ -1,6 +1,6 @@
 //! The common queue interface shared by every algorithm in the crate.
 
-use pmem::PmemPool;
+use pmem::{PmemPool, StatsSnapshot};
 use std::sync::Arc;
 
 /// Configuration shared by all queue constructors.
@@ -72,7 +72,57 @@ pub trait DurableQueue: Send + Sync {
     fn is_durable(&self) -> bool {
         true
     }
+
+    /// A snapshot of the persistence counters attributable to this queue.
+    ///
+    /// The default delegates to the queue's single pool; multi-pool
+    /// compositions (e.g. a sharded queue, one pool per shard) override this
+    /// to return the aggregate across all of their pools.
+    fn stats(&self) -> StatsSnapshot {
+        self.pool().stats()
+    }
+
+    /// Resets the persistence counters of every pool this queue operates on.
+    fn reset_stats(&self) {
+        self.pool().reset_stats()
+    }
 }
+
+/// Key-routed enqueue, as an extension of [`DurableQueue`].
+///
+/// A plain queue has no notion of routing, so the default implementation
+/// simply ignores the key: on a single instance every enqueue lands in the
+/// same FIFO order regardless of key. Partitioned compositions (the `shard`
+/// crate's `ShardedQueue` under its key-hash policy) override this so that
+/// all items with the same key land on the same shard — giving per-key FIFO
+/// order across the whole partitioned queue.
+pub trait KeyedQueue: DurableQueue {
+    /// Appends `item` on behalf of thread `tid`, routed by `key`.
+    fn enqueue_keyed(&self, tid: usize, key: u64, item: u64) {
+        let _ = key;
+        self.enqueue(tid, item);
+    }
+}
+
+/// Marks every queue in this crate as keyed (with the identity routing of
+/// the default method). Compositions that route for real provide their own
+/// `impl KeyedQueue` with an overriding `enqueue_keyed`.
+macro_rules! impl_keyed_for {
+    ($($queue:ty),+ $(,)?) => {
+        $(impl KeyedQueue for $queue {})+
+    };
+}
+
+impl_keyed_for!(
+    crate::msq::MsQueue,
+    crate::durable_msq::DurableMsQueue,
+    crate::izraelevitz::IzraelevitzQueue,
+    crate::izraelevitz::NvTraverseQueue,
+    crate::unlinked::UnlinkedQueue,
+    crate::linked::LinkedQueue,
+    crate::opt_unlinked::OptUnlinkedQueue,
+    crate::opt_linked::OptLinkedQueue,
+);
 
 /// Construction and crash recovery, kept separate from [`DurableQueue`] so
 /// trait objects of the latter stay object-safe.
@@ -89,6 +139,32 @@ pub trait RecoverableQueue: DurableQueue + Sized {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_stats_methods_delegate_to_the_pool() {
+        use crate::opt_unlinked::OptUnlinkedQueue;
+        use pmem::PoolConfig;
+        let pool = Arc::new(PmemPool::new(PoolConfig::small_test()));
+        let q = OptUnlinkedQueue::create(Arc::clone(&pool), QueueConfig::small_test());
+        q.reset_stats();
+        q.enqueue(0, 1);
+        assert_eq!(q.stats(), pool.stats());
+        assert!(q.stats().fences >= 1);
+        q.reset_stats();
+        assert_eq!(pool.stats(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn keyed_enqueue_defaults_to_plain_enqueue() {
+        use crate::opt_unlinked::OptUnlinkedQueue;
+        use pmem::PoolConfig;
+        let pool = Arc::new(PmemPool::new(PoolConfig::small_test()));
+        let q = OptUnlinkedQueue::create(pool, QueueConfig::small_test());
+        q.enqueue_keyed(0, 0xAAAA, 1);
+        q.enqueue_keyed(0, 0xBBBB, 2);
+        assert_eq!(q.dequeue(0), Some(1));
+        assert_eq!(q.dequeue(0), Some(2));
+    }
 
     #[test]
     fn config_defaults_and_builders() {

@@ -18,6 +18,20 @@
 //! | [`OptUnlinkedQueue`] | §6.1 / App. B (second amendment) | **1 per op** | **0** |
 //! | [`OptLinkedQueue`] | §6.2 / App. C (second amendment) | **1 per op** | **0** |
 //!
+//! ## Scaling out
+//!
+//! Every queue above is a single head/tail pair and therefore serialized on
+//! its central persist point. The workspace's `shard` crate composes any
+//! [`RecoverableQueue`] into a `ShardedQueue` — N independent shards, each
+//! with its own pool and inner queue — routed per-thread (round-robin),
+//! per-key (via the [`KeyedQueue`] extension trait defined here), or by
+//! load, with parallel crash recovery across a thread pool:
+//!
+//! | Layer | Crate | Guarantee |
+//! |---|---|---|
+//! | single queue | `durable_queues` (this crate) | global FIFO, durably linearizable |
+//! | sharded queue | `shard` | per-shard FIFO (per-key FIFO under key-hash routing), per-shard durable linearizability, parallel recovery |
+//!
 //! ## Quick start
 //!
 //! ```
@@ -55,7 +69,7 @@ pub mod root;
 pub mod testkit;
 pub mod unlinked;
 
-pub use api::{DurableQueue, QueueConfig, RecoverableQueue};
+pub use api::{DurableQueue, KeyedQueue, QueueConfig, RecoverableQueue};
 pub use durable_msq::DurableMsQueue;
 pub use izraelevitz::{IzraelevitzQueue, NvTraverseQueue};
 pub use linked::LinkedQueue;

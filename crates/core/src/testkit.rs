@@ -570,7 +570,17 @@ pub fn persist_counts<Q: RecoverableQueue>(ops: u64) -> PersistCounts {
         max_threads: 8,
         area_size: 2 << 20,
     };
-    let (q, pool) = fresh_with::<Q>(PoolConfig::test_with_size(32 << 20), cfg);
+    let (q, _pool) = fresh_with::<Q>(PoolConfig::test_with_size(32 << 20), cfg);
+    persist_counts_on(&q, ops)
+}
+
+/// The measurement recipe of [`persist_counts`] on an already-built queue:
+/// warm-up (enqueue + dequeue `ops` items), then an enqueue phase and a
+/// dequeue phase over the queue's aggregated counters. Taking
+/// [`DurableQueue::stats`] rather than a pool makes the recipe apply to
+/// multi-pool compositions (the `shard` crate's sharded counts table)
+/// unchanged.
+pub fn persist_counts_on<Q: DurableQueue + ?Sized>(q: &Q, ops: u64) -> PersistCounts {
     // Warm-up: carve areas and populate free lists so the measured phases
     // exercise only the algorithm itself.
     for i in 0..ops {
@@ -579,16 +589,16 @@ pub fn persist_counts<Q: RecoverableQueue>(ops: u64) -> PersistCounts {
     for _ in 0..ops {
         q.dequeue(0);
     }
-    pool.reset_stats();
-    let base = pool.stats();
+    q.reset_stats();
+    let base = q.stats();
     for i in 0..ops {
         q.enqueue(0, i + 1);
     }
-    let after_enq = pool.stats();
+    let after_enq = q.stats();
     for _ in 0..ops {
         assert!(q.dequeue(0).is_some());
     }
-    let after_deq = pool.stats();
+    let after_deq = q.stats();
     let enq: StatsSnapshot = after_enq - base;
     let deq: StatsSnapshot = after_deq - after_enq;
     let total: StatsSnapshot = after_deq - base;

@@ -6,7 +6,62 @@ use durable_queues::{
 };
 use pmem::PmemPool;
 use ptm::{OneFileLiteQueue, RedoOptLiteQueue};
+use shard::{ShardConfig, ShardedQueue};
 use std::sync::Arc;
+
+/// Dispatches from a runtime [`Algorithm`] value to its concrete
+/// [`RecoverableQueue`] type: `with_recoverable!(alg, Q => expr)` evaluates
+/// `expr` with `Q` bound to the algorithm's type. This is how generic
+/// compositions (`ShardedQueue<Q>`, `persist_counts::<Q>`) are driven from
+/// command-line algorithm names.
+#[macro_export]
+macro_rules! with_recoverable {
+    ($alg:expr, $Q:ident => $body:expr) => {{
+        use $crate::algorithms::Algorithm;
+        match $alg {
+            Algorithm::Msq => {
+                type $Q = $crate::durable_queues::MsQueue;
+                $body
+            }
+            Algorithm::DurableMsq => {
+                type $Q = $crate::durable_queues::DurableMsQueue;
+                $body
+            }
+            Algorithm::Izraelevitz => {
+                type $Q = $crate::durable_queues::IzraelevitzQueue;
+                $body
+            }
+            Algorithm::NvTraverse => {
+                type $Q = $crate::durable_queues::NvTraverseQueue;
+                $body
+            }
+            Algorithm::Unlinked => {
+                type $Q = $crate::durable_queues::UnlinkedQueue;
+                $body
+            }
+            Algorithm::Linked => {
+                type $Q = $crate::durable_queues::LinkedQueue;
+                $body
+            }
+            Algorithm::OptUnlinked => {
+                type $Q = $crate::durable_queues::OptUnlinkedQueue;
+                $body
+            }
+            Algorithm::OptLinked => {
+                type $Q = $crate::durable_queues::OptLinkedQueue;
+                $body
+            }
+            Algorithm::OneFileLite => {
+                type $Q = $crate::ptm::OneFileLiteQueue;
+                $body
+            }
+            Algorithm::RedoOptLite => {
+                type $Q = $crate::ptm::RedoOptLiteQueue;
+                $body
+            }
+        }
+    }};
+}
 
 /// Every queue algorithm the harness can run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -124,6 +179,12 @@ impl Algorithm {
             Algorithm::OneFileLite => Arc::new(OneFileLiteQueue::recover(pool, config)),
             Algorithm::RedoOptLite => Arc::new(RedoOptLiteQueue::recover(pool, config)),
         }
+    }
+
+    /// Builds a fresh [`ShardedQueue`] of this algorithm: `config.shards`
+    /// shards, each on its own fresh pool.
+    pub fn create_sharded(&self, config: ShardConfig) -> Arc<dyn DurableQueue> {
+        with_recoverable!(*self, Q => Arc::new(ShardedQueue::<Q>::create(config)))
     }
 
     /// Whether the paper evaluates the algorithm on every workload. The PTM

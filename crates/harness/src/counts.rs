@@ -8,12 +8,15 @@
 //! measures those quantities for every implemented queue.
 
 use crate::algorithms::Algorithm;
-use durable_queues::testkit::{persist_counts, PersistCounts};
+use crate::with_recoverable;
+use durable_queues::testkit::{self, persist_counts, PersistCounts};
 use durable_queues::{
     DurableMsQueue, IzraelevitzQueue, LinkedQueue, MsQueue, NvTraverseQueue, OptLinkedQueue,
-    OptUnlinkedQueue, UnlinkedQueue,
+    OptUnlinkedQueue, QueueConfig, RecoverableQueue, UnlinkedQueue,
 };
+use pmem::PoolConfig;
 use ptm::{OneFileLiteQueue, RedoOptLiteQueue};
+use shard::{RoutePolicy, ShardConfig, ShardedQueue};
 
 /// Per-operation persistence profile of one algorithm.
 pub struct CountsRow {
@@ -44,6 +47,43 @@ pub fn persist_counts_table(ops: u64) -> Vec<CountsRow> {
             },
         })
         .collect()
+}
+
+/// Like [`persist_counts_table`], but measured through a [`ShardedQueue`]
+/// with `shards` shards (counters aggregated across every shard's pool).
+/// Verifies that sharding leaves the per-operation persist profile of the
+/// inner algorithm intact: shards never share a flush or a fence.
+pub fn persist_counts_table_sharded(
+    ops: u64,
+    shards: usize,
+    policy: RoutePolicy,
+) -> Vec<CountsRow> {
+    Algorithm::all()
+        .into_iter()
+        .map(|algorithm| CountsRow {
+            algorithm,
+            counts: with_recoverable!(algorithm, Q => sharded_counts::<Q>(ops, shards, policy)),
+        })
+        .collect()
+}
+
+/// Per-operation persistence costs of `Q` behind a sharded front — the same
+/// measurement recipe as the unsharded table, over aggregated counters.
+fn sharded_counts<Q: RecoverableQueue>(
+    ops: u64,
+    shards: usize,
+    policy: RoutePolicy,
+) -> PersistCounts {
+    let q = ShardedQueue::<Q>::create(ShardConfig {
+        shards,
+        queue: QueueConfig {
+            max_threads: 8,
+            area_size: 2 << 20,
+        },
+        pool: PoolConfig::test_with_size(32 << 20),
+        policy,
+    });
+    testkit::persist_counts_on(&q, ops)
 }
 
 /// Renders the counts table.
@@ -120,5 +160,16 @@ mod tests {
 
         let rendered = render_counts(&rows);
         assert!(rendered.contains("OptLinkedQ"));
+    }
+
+    #[test]
+    fn sharding_preserves_the_per_op_persist_profile() {
+        // Behind 4 shards, the second-amendment queue still pays exactly one
+        // fence per operation and zero post-flush accesses — shards add
+        // throughput, not persist cost.
+        let counts = super::sharded_counts::<OptUnlinkedQueue>(400, 4, RoutePolicy::RoundRobin);
+        assert!((counts.enqueue.fences - 1.0).abs() < 0.05);
+        assert!((counts.dequeue.fences - 1.0).abs() < 0.05);
+        assert_eq!(counts.total.post_flush_accesses, 0.0);
     }
 }

@@ -15,7 +15,13 @@ pub mod algorithms;
 pub mod checker;
 pub mod counts;
 pub mod runner;
+pub mod shard_sweep;
 pub mod workloads;
 
 pub use algorithms::Algorithm;
 pub use workloads::Workload;
+
+// Re-exported so the `with_recoverable!` macro can name concrete queue
+// types via `$crate::` from any crate that depends on `harness`.
+pub use durable_queues;
+pub use ptm;

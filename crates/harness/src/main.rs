@@ -3,19 +3,25 @@
 //! ```text
 //! harness fig2 [--workload random|pairs|enqueues|dequeues|prodcons|all]
 //!              [--threads 1,2,4,8,12,16] [--ops N] [--initial-size N]
-//!              [--algorithms OptUnlinkedQ,DurableMSQ,...]
+//!              [--prefill N] [--algorithms OptUnlinkedQ,DurableMSQ,...]
+//!              [--shards N] [--policy rr|keyhash|load]
 //!              [--nvram-read-ns N] [--quick]
-//! harness counts [--ops N]
+//! harness counts [--ops N] [--shards N]
 //! harness crashtest [--threads N] [--ops N] [--rounds N]
+//! harness shards [--shards 1,2,4,8] [--workload W] [--algorithm A]
+//!                [--threads N] [--ops N] [--policy rr|keyhash|load]
+//!                [--recovery-threads N] [--quick]
 //! harness all [--quick]
 //! ```
 
 use harness::algorithms::Algorithm;
 use harness::checker::{check_all, CrashCheckConfig};
-use harness::counts::{persist_counts_table, render_counts};
+use harness::counts::{persist_counts_table, persist_counts_table_sharded, render_counts};
 use harness::runner::{render_panel, run_panel, SweepConfig};
+use harness::shard_sweep::{render_shard_sweep, run_shard_sweep, ShardSweepConfig};
 use harness::workloads::Workload;
 use pmem::LatencyModel;
+use shard::RoutePolicy;
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -67,7 +73,40 @@ fn sweep_from_flags(flags: &HashMap<String, String>) -> SweepConfig {
             .map(|s| Algorithm::parse(s).unwrap_or_else(|| panic!("unknown algorithm {s}")))
             .collect();
     }
+    if let Some(p) = flags.get("prefill") {
+        sweep.prefill = Some(p.parse().expect("bad --prefill"));
+    }
+    if let Some(p) = flags.get("policy") {
+        sweep.policy = parse_policy(p);
+    }
     sweep
+}
+
+fn parse_policy(s: &str) -> RoutePolicy {
+    RoutePolicy::parse(s).unwrap_or_else(|| {
+        eprintln!("unknown routing policy '{s}' (expected rr|keyhash|load)");
+        exit(2);
+    })
+}
+
+/// Parses `--shards` as a comma-separated list of counts ≥ 1, so the same
+/// flag value works for every subcommand (and for `all`, which forwards one
+/// flag map to counts, fig2 and the shard sweep). Absent: `[1]`.
+fn shards_from_flags(flags: &HashMap<String, String>) -> Vec<usize> {
+    let Some(s) = flags.get("shards") else {
+        return vec![1];
+    };
+    let counts: Vec<usize> = s
+        .split(',')
+        .map(|v| v.trim().parse().expect("bad --shards"))
+        .collect();
+    for &c in &counts {
+        if c == 0 {
+            eprintln!("--shards values must be >= 1");
+            exit(2);
+        }
+    }
+    counts
 }
 
 fn workloads_from_flags(flags: &HashMap<String, String>) -> Vec<Workload> {
@@ -83,10 +122,13 @@ fn workloads_from_flags(flags: &HashMap<String, String>) -> Vec<Workload> {
 }
 
 fn cmd_fig2(flags: &HashMap<String, String>) {
-    let sweep = sweep_from_flags(flags);
-    for workload in workloads_from_flags(flags) {
-        let rows = run_panel(workload, &sweep);
-        print!("{}", render_panel(workload, &sweep, &rows));
+    let mut sweep = sweep_from_flags(flags);
+    for shards in shards_from_flags(flags) {
+        sweep.shards = shards;
+        for workload in workloads_from_flags(flags) {
+            let rows = run_panel(workload, &sweep);
+            print!("{}", render_panel(workload, &sweep, &rows));
+        }
     }
 }
 
@@ -95,8 +137,73 @@ fn cmd_counts(flags: &HashMap<String, String>) {
         .get("ops")
         .map(|s| s.parse().expect("bad --ops"))
         .unwrap_or(2_000);
-    let rows = persist_counts_table(ops);
-    print!("{}", render_counts(&rows));
+    let policy = flags
+        .get("policy")
+        .map(|p| parse_policy(p))
+        .unwrap_or_default();
+    for shards in shards_from_flags(flags) {
+        let rows = if shards > 1 {
+            println!(
+                "(measured through a {shards}-shard ShardedQueue, {} routing, counters aggregated)",
+                policy.key()
+            );
+            persist_counts_table_sharded(ops, shards, policy)
+        } else {
+            persist_counts_table(ops)
+        };
+        print!("{}", render_counts(&rows));
+    }
+}
+
+fn cmd_shards(flags: &HashMap<String, String>) {
+    let mut cfg = if flags.contains_key("quick") {
+        ShardSweepConfig::quick()
+    } else {
+        ShardSweepConfig::paper_like()
+    };
+    if flags.contains_key("shards") {
+        cfg.shard_counts = shards_from_flags(flags);
+    }
+    // `--threads` and `--workload` accept the same forms fig2 does (comma
+    // lists, `all`) — one sweep table is printed per combination. This also
+    // keeps `harness all <fig2 flags>` working end to end.
+    let thread_counts: Vec<usize> = match flags.get("threads") {
+        None => vec![cfg.threads],
+        Some(t) => t
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --threads"))
+            .collect(),
+    };
+    let workloads = match flags.get("workload").map(|s| s.as_str()) {
+        None => vec![cfg.workload],
+        Some(_) => workloads_from_flags(flags),
+    };
+    if let Some(o) = flags.get("ops") {
+        cfg.ops_per_thread = o.parse().expect("bad --ops");
+    }
+    if let Some(a) = flags.get("algorithm") {
+        cfg.algorithm = Algorithm::parse(a).unwrap_or_else(|| panic!("unknown algorithm {a}"));
+    }
+    if let Some(p) = flags.get("policy") {
+        cfg.policy = parse_policy(p);
+    }
+    if let Some(r) = flags.get("recovery-threads") {
+        cfg.recovery_threads = r.parse().expect("bad --recovery-threads");
+    }
+    if flags.contains_key("no-latency") {
+        cfg.latency = LatencyModel::ZERO;
+    }
+    for workload in workloads {
+        for &threads in &thread_counts {
+            let cfg = ShardSweepConfig {
+                threads,
+                workload,
+                ..cfg.clone()
+            };
+            let rows = run_shard_sweep(&cfg);
+            print!("{}", render_shard_sweep(&cfg, &rows));
+        }
+    }
 }
 
 fn cmd_crashtest(flags: &HashMap<String, String>) {
@@ -121,21 +228,27 @@ fn main() {
         "fig2" => cmd_fig2(&flags),
         "counts" => cmd_counts(&flags),
         "crashtest" => cmd_crashtest(&flags),
+        "shards" => cmd_shards(&flags),
         "all" => {
             cmd_counts(&flags);
             cmd_fig2(&flags);
+            cmd_shards(&flags);
         }
         _ => {
             eprintln!(
-                "usage: harness <fig2|counts|crashtest|all> [flags]\n\
+                "usage: harness <fig2|counts|crashtest|shards|all> [flags]\n\
                  \n\
                  fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
                  counts     per-operation persistence counts (experiments E7/E8)\n\
                  crashtest  durable-linearizability crash checks for every queue\n\
-                 all        counts followed by every fig2 panel\n\
+                 shards     shard-scaling sweep: aggregate throughput, per-shard\n\
+                            persist counts and parallel crash-recovery latency\n\
+                 all        counts, every fig2 panel, then the shard sweep\n\
                  \n\
                  common flags: --quick --workload W --threads 1,2,4 --ops N\n\
-                               --initial-size N --algorithms A,B --nvram-read-ns N --no-latency"
+                               --initial-size N --prefill N --algorithms A,B\n\
+                               --shards 1,2,4,8 --policy rr|keyhash|load\n\
+                               --recovery-threads N --nvram-read-ns N --no-latency"
             );
             exit(2);
         }

@@ -5,6 +5,7 @@ use crate::algorithms::Algorithm;
 use crate::workloads::{run_workload, RunConfig, Workload};
 use durable_queues::QueueConfig;
 use pmem::{LatencyModel, PmemPool, PoolConfig};
+use shard::{RoutePolicy, ShardConfig};
 use std::sync::Arc;
 
 /// Configuration of a full panel sweep.
@@ -16,7 +17,12 @@ pub struct SweepConfig {
     pub ops_per_thread: u64,
     /// Initial queue size; `None` uses the workload's paper default.
     pub initial_size: Option<u64>,
-    /// Pool size in bytes for every run.
+    /// Overrides the dequeue-only pre-fill only (the paper's 12M-item
+    /// pre-fill, scaled); unlike `initial_size` it leaves the other panels'
+    /// initial sizes at their defaults.
+    pub prefill: Option<u64>,
+    /// Pool size in bytes for every run (split across shards when
+    /// `shards > 1`).
     pub pool_bytes: usize,
     /// Latency model of the simulated NVRAM.
     pub latency: LatencyModel,
@@ -24,6 +30,11 @@ pub struct SweepConfig {
     pub area_size: u32,
     /// Algorithms to include (columns).
     pub algorithms: Vec<Algorithm>,
+    /// Number of shards each queue is partitioned into (1 = the paper's
+    /// unsharded setup).
+    pub shards: usize,
+    /// Routing policy used when `shards > 1`.
+    pub policy: RoutePolicy,
     /// Seed for the workload mixes.
     pub seed: u64,
 }
@@ -37,10 +48,13 @@ impl SweepConfig {
             threads: vec![1, 2, 4, 8, 12, 16],
             ops_per_thread: 20_000,
             initial_size: None,
+            prefill: None,
             pool_bytes: 256 << 20,
             latency: LatencyModel::optane_like(),
             area_size: 4 << 20,
             algorithms: Algorithm::figure2_set(),
+            shards: 1,
+            policy: RoutePolicy::RoundRobin,
             seed: 0xF162,
         }
     }
@@ -51,12 +65,26 @@ impl SweepConfig {
             threads: vec![1, 2, 4],
             ops_per_thread: 2_000,
             initial_size: None,
+            prefill: None,
             pool_bytes: 64 << 20,
             latency: LatencyModel::optane_like(),
             area_size: 1 << 20,
             algorithms: Algorithm::figure2_set(),
+            shards: 1,
+            policy: RoutePolicy::RoundRobin,
             seed: 0xF162,
         }
+    }
+
+    /// The initial queue size for `workload` at one sweep point, after the
+    /// `--initial-size` and `--prefill` overrides.
+    pub fn initial_size_for(&self, workload: Workload, threads: usize) -> u64 {
+        self.initial_size
+            .or(match workload {
+                Workload::DequeueOnly => self.prefill,
+                _ => None,
+            })
+            .unwrap_or_else(|| workload.default_initial_size(threads, self.ops_per_thread))
     }
 }
 
@@ -115,6 +143,10 @@ pub fn measure_point(
     threads: usize,
     sweep: &SweepConfig,
 ) -> PanelCell {
+    let queue_cfg = QueueConfig {
+        max_threads: threads.max(1),
+        area_size: sweep.area_size,
+    };
     let pool_cfg = PoolConfig {
         size: sweep.pool_bytes,
         latency: sweep.latency,
@@ -122,18 +154,22 @@ pub fn measure_point(
         eviction_probability: 0.0,
         eviction_seed: sweep.seed,
     };
-    let pool = Arc::new(PmemPool::new(pool_cfg));
-    let queue_cfg = QueueConfig {
-        max_threads: threads.max(1),
-        area_size: sweep.area_size,
+    let queue = if sweep.shards > 1 {
+        alg.create_sharded(ShardConfig::balanced(
+            sweep.shards,
+            queue_cfg,
+            sweep.pool_bytes,
+            pool_cfg,
+            sweep.policy,
+        ))
+    } else {
+        let pool = Arc::new(PmemPool::new(pool_cfg));
+        alg.create(pool, queue_cfg)
     };
-    let queue = alg.create(pool, queue_cfg);
     let run_cfg = RunConfig {
         threads,
         ops_per_thread: sweep.ops_per_thread,
-        initial_size: sweep
-            .initial_size
-            .unwrap_or_else(|| workload.default_initial_size(threads, sweep.ops_per_thread)),
+        initial_size: sweep.initial_size_for(workload, threads),
         seed: sweep.seed,
     };
     let result = run_workload(&queue, workload, &run_cfg);
@@ -168,8 +204,13 @@ pub fn run_panel(workload: Workload, sweep: &SweepConfig) -> Vec<PanelRow> {
 pub fn render_panel(workload: Workload, sweep: &SweepConfig, rows: &[PanelRow]) -> String {
     let mut out = String::new();
     let algs: Vec<Algorithm> = sweep.algorithms.clone();
+    let sharding = if sweep.shards > 1 {
+        format!(" [{} shards, {} routing]", sweep.shards, sweep.policy.key())
+    } else {
+        String::new()
+    };
     let header = |title: &str| {
-        let mut s = format!("\n=== {} — {} ===\n", workload.name(), title);
+        let mut s = format!("\n=== {}{} — {} ===\n", workload.name(), sharding, title);
         s.push_str(&format!("{:>8}", "threads"));
         for alg in &algs {
             s.push_str(&format!("{:>15}", alg.name()));
@@ -213,6 +254,7 @@ mod tests {
             threads: vec![1, 2],
             ops_per_thread: 400,
             initial_size: None,
+            prefill: None,
             pool_bytes: 32 << 20,
             latency: LatencyModel::ZERO,
             area_size: 256 * 1024,
@@ -221,6 +263,8 @@ mod tests {
                 Algorithm::OptUnlinked,
                 Algorithm::RedoOptLite,
             ],
+            shards: 1,
+            policy: RoutePolicy::RoundRobin,
             seed: 11,
         }
     }
@@ -254,6 +298,35 @@ mod tests {
         assert_eq!(rows[0].cells.len(), 2, "PTM queue should be skipped");
         let rendered = render_panel(Workload::EnqueueOnly, &sweep, &rows);
         assert!(rendered.contains("-"));
+    }
+
+    #[test]
+    fn sharded_points_run_and_aggregate_stats() {
+        let mut sweep = tiny_sweep();
+        sweep.shards = 4;
+        let cell = measure_point(Algorithm::OptUnlinked, Workload::Pairs, 2, &sweep);
+        assert!(cell.mops > 0.0);
+        // Aggregated across shards the fence count stays close to the
+        // one-per-op bound (a dequeue that scans an empty shard pays an
+        // extra fence, so exact equality is not expected).
+        assert!(
+            cell.fences_per_op >= 0.9 && cell.fences_per_op < 2.5,
+            "fences/op {}",
+            cell.fences_per_op
+        );
+        let rendered = render_panel(Workload::Pairs, &sweep, &[]);
+        assert!(rendered.contains("[4 shards, rr routing]"));
+    }
+
+    #[test]
+    fn prefill_override_applies_to_dequeue_only_alone() {
+        let mut sweep = tiny_sweep();
+        sweep.prefill = Some(5000);
+        assert_eq!(sweep.initial_size_for(Workload::DequeueOnly, 2), 5000);
+        assert_eq!(sweep.initial_size_for(Workload::Pairs, 2), 10);
+        sweep.initial_size = Some(77);
+        assert_eq!(sweep.initial_size_for(Workload::DequeueOnly, 2), 77);
+        assert_eq!(sweep.initial_size_for(Workload::Pairs, 2), 77);
     }
 
     #[test]

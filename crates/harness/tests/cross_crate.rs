@@ -15,10 +15,13 @@ fn tiny_sweep(algorithms: Vec<Algorithm>) -> SweepConfig {
         threads: vec![1, 2],
         ops_per_thread: 400,
         initial_size: None,
+        prefill: None,
         pool_bytes: 32 << 20,
         latency: LatencyModel::ZERO,
         area_size: 256 * 1024,
         algorithms,
+        shards: 1,
+        policy: shard::RoutePolicy::RoundRobin,
         seed: 99,
     }
 }
@@ -140,4 +143,57 @@ fn a_recovered_queue_can_be_driven_by_the_workload_generators() {
     );
     assert_eq!(result.total_ops, 2000);
     assert!(result.mops() > 0.0);
+}
+
+#[test]
+fn sharded_queues_run_every_workload_through_the_harness() {
+    // The sharded composition behind the same dyn DurableQueue front the
+    // benchmarks use: built by algorithm name, driven by the workload
+    // generators, stats aggregated across all shard pools.
+    let queue = Algorithm::OptLinked.create_sharded(shard::ShardConfig {
+        shards: 4,
+        queue: QueueConfig::small_test().with_threads(4),
+        pool: PoolConfig::test_with_size(16 << 20),
+        policy: shard::RoutePolicy::RoundRobin,
+    });
+    for workload in Workload::all() {
+        let result = run_workload(
+            &queue,
+            workload,
+            &RunConfig {
+                threads: 4,
+                ops_per_thread: 300,
+                initial_size: workload.default_initial_size(4, 300),
+                seed: 21,
+            },
+        );
+        assert_eq!(result.total_ops, 1200, "{}", workload.name());
+        assert!(result.stats.fences > 0, "{}", workload.name());
+    }
+}
+
+#[test]
+fn shard_sweep_reports_recovery_for_every_required_shard_count() {
+    use harness::shard_sweep::{run_shard_sweep, ShardSweepConfig};
+    let cfg = ShardSweepConfig {
+        shard_counts: vec![1, 2, 4, 8],
+        threads: 2,
+        ops_per_thread: 200,
+        pool_bytes: 64 << 20,
+        latency: LatencyModel::ZERO,
+        area_size: 256 * 1024,
+        algorithm: Algorithm::OptUnlinked,
+        workload: Workload::Pairs,
+        policy: shard::RoutePolicy::RoundRobin,
+        recovery_threads: 4,
+        seed: 9,
+    };
+    let rows = run_shard_sweep(&cfg);
+    assert_eq!(rows.len(), 4);
+    for (row, expect) in rows.iter().zip([1usize, 2, 4, 8]) {
+        assert_eq!(row.shards, expect);
+        assert_eq!(row.per_shard.len(), expect);
+        assert_eq!(row.recovery.per_shard.len(), expect);
+        assert!(row.mops > 0.0);
+    }
 }

@@ -10,7 +10,8 @@
 
 use crossbeam_utils::CachePadded;
 use std::fmt;
-use std::ops::Sub;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Internal atomic counters, one cache line each to avoid false sharing on
@@ -113,6 +114,42 @@ impl Sub for StatsSnapshot {
     }
 }
 
+impl Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            flushes: self.flushes + rhs.flushes,
+            fences: self.fences + rhs.fences,
+            nt_stores: self.nt_stores + rhs.nt_stores,
+            post_flush_accesses: self.post_flush_accesses + rhs.post_flush_accesses,
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+            cas_ops: self.cas_ops + rhs.cas_ops,
+            implicit_evictions: self.implicit_evictions + rhs.implicit_evictions,
+        }
+    }
+}
+
+impl AddAssign for StatsSnapshot {
+    fn add_assign(&mut self, rhs: StatsSnapshot) {
+        *self = *self + rhs;
+    }
+}
+
+/// Sums the counters of many pools — e.g. one snapshot per shard of a
+/// sharded queue — into the aggregate the bench layer attributes costs from.
+impl Sum for StatsSnapshot {
+    fn sum<I: Iterator<Item = StatsSnapshot>>(iter: I) -> StatsSnapshot {
+        iter.fold(StatsSnapshot::default(), |acc, s| acc + s)
+    }
+}
+
+impl<'a> Sum<&'a StatsSnapshot> for StatsSnapshot {
+    fn sum<I: Iterator<Item = &'a StatsSnapshot>>(iter: I) -> StatsSnapshot {
+        iter.copied().sum()
+    }
+}
+
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -185,6 +222,55 @@ mod tests {
         assert_eq!(d.fences, 3);
         assert_eq!(d.post_flush_accesses, 4);
         assert_eq!(d.blocking_persists(), 3);
+    }
+
+    #[test]
+    fn snapshot_addition_and_sum() {
+        let a = StatsSnapshot {
+            flushes: 10,
+            fences: 5,
+            nt_stores: 2,
+            post_flush_accesses: 7,
+            loads: 100,
+            stores: 50,
+            cas_ops: 20,
+            implicit_evictions: 1,
+        };
+        let b = StatsSnapshot {
+            flushes: 4,
+            fences: 2,
+            nt_stores: 1,
+            post_flush_accesses: 3,
+            loads: 40,
+            stores: 20,
+            cas_ops: 10,
+            implicit_evictions: 0,
+        };
+        let s = a + b;
+        assert_eq!(s.flushes, 14);
+        assert_eq!(s.fences, 7);
+        assert_eq!(s.nt_stores, 3);
+        assert_eq!(s.post_flush_accesses, 10);
+        assert_eq!(s.loads, 140);
+        assert_eq!(s.stores, 70);
+        assert_eq!(s.cas_ops, 30);
+        assert_eq!(s.implicit_evictions, 1);
+        // Add/Sub are inverses.
+        assert_eq!(s - b, a);
+
+        let mut acc = StatsSnapshot::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, s);
+
+        // Sum over owned and borrowed iterators (per-shard aggregation).
+        let shards = [a, b, a];
+        assert_eq!(shards.iter().sum::<StatsSnapshot>(), a + b + a);
+        assert_eq!(shards.into_iter().sum::<StatsSnapshot>(), a + b + a);
+        assert_eq!(
+            std::iter::empty::<StatsSnapshot>().sum::<StatsSnapshot>(),
+            StatsSnapshot::default()
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::redo::{FlushPolicy, Ptm, Tx};
 use durable_queues::root::{ROOT_HEAD, ROOT_TAIL};
-use durable_queues::{DurableQueue, QueueConfig, RecoverableQueue};
+use durable_queues::{DurableQueue, KeyedQueue, QueueConfig, RecoverableQueue};
 use pmem::layout::QUEUE_ROOT;
 use pmem::PmemPool;
 use std::sync::Arc;
@@ -127,6 +127,8 @@ impl<const EAGER: bool> DurableQueue for PtmQueue<EAGER> {
         self.config
     }
 }
+
+impl<const EAGER: bool> KeyedQueue for PtmQueue<EAGER> {}
 
 impl<const EAGER: bool> RecoverableQueue for PtmQueue<EAGER> {
     fn create(pool: Arc<PmemPool>, config: QueueConfig) -> Self {

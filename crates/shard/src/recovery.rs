@@ -1,0 +1,261 @@
+//! Coherent crash fan-out and parallel recovery across all shards.
+//!
+//! A crash takes down every shard at once, so the orchestrator snapshots all
+//! shard pools as one campaign ([`RecoveryOrchestrator::crash`]) and, on
+//! restart, runs every shard's recovery procedure **in parallel** over a
+//! bounded thread pool — shard recoveries are completely independent (no
+//! shared pool, no shared line), which is exactly what makes restart time
+//! scale down with core count. Each recovery is timed individually so the
+//! report can show the parallel speedup and spot straggler shards.
+
+use crate::sharded::{Shard, ShardConfig, ShardedQueue};
+use durable_queues::RecoverableQueue;
+use pmem::PmemPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Runs `f(shard_index)` for every shard on a bounded pool of scoped
+/// workers (work-stealing via an atomic claim counter) and returns the
+/// results in shard order. The shared scaffold of both the crash fan-out
+/// and the parallel recovery.
+fn par_map_shards<T: Send>(shards: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let slots: Vec<Mutex<Option<T>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(shards).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shards {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every shard was processed"))
+        .collect()
+}
+
+/// Recovery timing of one shard.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRecovery {
+    /// The shard index.
+    pub shard: usize,
+    /// Wall-clock time of this shard's recovery procedure.
+    pub latency: Duration,
+}
+
+/// The outcome of one parallel recovery campaign.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Per-shard recovery latencies, in shard order.
+    pub per_shard: Vec<ShardRecovery>,
+    /// Wall-clock time of the whole campaign (fan-out to last completion).
+    pub wall: Duration,
+    /// Worker threads the campaign ran on.
+    pub threads: usize,
+}
+
+impl RecoveryReport {
+    /// Sum of the individual shard recovery times — what a sequential
+    /// recovery would have cost.
+    pub fn sequential_cost(&self) -> Duration {
+        self.per_shard.iter().map(|s| s.latency).sum()
+    }
+
+    /// The slowest single shard — the lower bound on any parallel schedule.
+    pub fn critical_path(&self) -> Duration {
+        self.per_shard
+            .iter()
+            .map(|s| s.latency)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Parallel speedup actually achieved (sequential cost / wall time).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            1.0
+        } else {
+            self.sequential_cost().as_secs_f64() / wall
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x)",
+            self.per_shard.len(),
+            self.threads,
+            self.wall,
+            self.sequential_cost(),
+            self.critical_path(),
+            self.speedup()
+        )
+    }
+}
+
+/// Snapshots and recovers whole sharded queues.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryOrchestrator {
+    threads: usize,
+}
+
+impl RecoveryOrchestrator {
+    /// An orchestrator running campaigns on `threads` workers (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        RecoveryOrchestrator {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An orchestrator using all available parallelism.
+    pub fn available_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Simulates a full-system crash: snapshots every shard's pool
+    /// (fanning the `simulate_crash` calls out across the worker pool) and
+    /// returns the crashed images in shard order. The original queue is
+    /// untouched, so one execution can be crashed repeatedly.
+    pub fn crash<Q: RecoverableQueue>(&self, queue: &ShardedQueue<Q>) -> Vec<Arc<PmemPool>> {
+        self.crash_with_evictions(queue, 0.0, 0)
+    }
+
+    /// Like [`crash`](Self::crash), with each cache line of each shard
+    /// additionally written back with probability `eviction_probability`
+    /// before the power fails — the adversary every recovery procedure must
+    /// tolerate.
+    pub fn crash_with_evictions<Q: RecoverableQueue>(
+        &self,
+        queue: &ShardedQueue<Q>,
+        eviction_probability: f64,
+        seed: u64,
+    ) -> Vec<Arc<PmemPool>> {
+        par_map_shards(queue.shard_count(), self.threads, |i| {
+            Arc::new(
+                queue
+                    .shard_pool(i)
+                    .simulate_crash_with_evictions(eviction_probability, seed ^ (i as u64) << 32),
+            )
+        })
+    }
+
+    /// Recovers a sharded queue from `pools` (one crashed image per shard,
+    /// in shard order), running the per-shard recovery procedures in
+    /// parallel on the worker pool. Returns the recovered queue plus the
+    /// per-shard latency report.
+    ///
+    /// Depth estimates restart at zero: the load-aware policy re-learns the
+    /// balance from live traffic, and correctness never depends on the
+    /// estimates.
+    pub fn recover<Q: RecoverableQueue>(
+        &self,
+        pools: Vec<Arc<PmemPool>>,
+        config: ShardConfig,
+    ) -> (ShardedQueue<Q>, RecoveryReport) {
+        assert_eq!(pools.len(), config.shards, "one crashed image per shard");
+        let n = pools.len();
+        let started = Instant::now();
+        let recovered = par_map_shards(n, self.threads, |i| {
+            let pool = Arc::clone(&pools[i]);
+            let begun = Instant::now();
+            let queue = Q::recover(Arc::clone(&pool), config.queue);
+            (Shard { queue, pool }, begun.elapsed())
+        });
+        let wall = started.elapsed();
+        let mut shards = Vec::with_capacity(n);
+        let mut per_shard = Vec::with_capacity(n);
+        for (i, (shard, latency)) in recovered.into_iter().enumerate() {
+            shards.push(shard);
+            per_shard.push(ShardRecovery { shard: i, latency });
+        }
+        let queue = ShardedQueue::from_shards(shards.into_boxed_slice(), config);
+        let report = RecoveryReport {
+            per_shard,
+            wall,
+            threads: self.threads.min(n).max(1),
+        };
+        (queue, report)
+    }
+
+    /// Convenience: [`crash`](Self::crash) followed by
+    /// [`recover`](Self::recover) with the queue's own configuration.
+    pub fn crash_and_recover<Q: RecoverableQueue>(
+        &self,
+        queue: &ShardedQueue<Q>,
+    ) -> (ShardedQueue<Q>, RecoveryReport) {
+        let config = *queue.shard_config();
+        self.recover(self.crash(queue), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RoutePolicy;
+    use durable_queues::{DurableQueue, OptUnlinkedQueue};
+
+    #[test]
+    fn crash_and_recover_preserves_every_item_per_shard() {
+        let q = ShardedQueue::<OptUnlinkedQueue>::create(
+            ShardConfig::small_test(4).with_policy(RoutePolicy::RoundRobin),
+        );
+        for i in 1..=100u64 {
+            q.enqueue(0, i);
+        }
+        for _ in 0..20 {
+            assert!(q.dequeue(0).is_some());
+        }
+        let orch = RecoveryOrchestrator::new(4);
+        let (recovered, report) = orch.crash_and_recover(&q);
+        assert_eq!(report.per_shard.len(), 4);
+        assert!(report.speedup() > 0.0);
+        let mut rest: Vec<u64> = std::iter::from_fn(|| recovered.dequeue(0)).collect();
+        rest.sort_unstable();
+        assert_eq!(rest, (21..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn report_accounts_every_shard_once() {
+        let q = ShardedQueue::<OptUnlinkedQueue>::create(ShardConfig::small_test(8));
+        for i in 1..=64u64 {
+            q.enqueue(0, i);
+        }
+        let orch = RecoveryOrchestrator::new(3);
+        let (_, report) = orch.crash_and_recover(&q);
+        let shards: Vec<usize> = report.per_shard.iter().map(|s| s.shard).collect();
+        assert_eq!(shards, (0..8).collect::<Vec<_>>());
+        assert!(report.sequential_cost() >= report.critical_path());
+        assert_eq!(report.threads, 3);
+        assert!(report.summary().contains("8 shards"));
+    }
+
+    #[test]
+    fn orchestrator_clamps_to_at_least_one_thread() {
+        assert_eq!(RecoveryOrchestrator::new(0).threads(), 1);
+        assert!(RecoveryOrchestrator::available_parallelism().threads() >= 1);
+    }
+
+    #[test]
+    fn the_original_queue_survives_the_crash_snapshot() {
+        let q = ShardedQueue::<OptUnlinkedQueue>::create(ShardConfig::small_test(2));
+        q.enqueue(0, 7);
+        let orch = RecoveryOrchestrator::new(2);
+        let _ = orch.crash(&q);
+        assert_eq!(q.dequeue(0), Some(7));
+    }
+}

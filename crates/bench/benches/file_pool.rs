@@ -1,0 +1,116 @@
+//! Sim vs. file persist costs: what a store+flush+fence round trip and a
+//! full queue operation cost on each backend.
+//!
+//! Four pool variants:
+//!
+//! * `sim-zero` — simulated backend, zero modelled latency (the cost of
+//!   the simulator's own bookkeeping),
+//! * `sim-optane` — simulated backend with the Optane-like latency model
+//!   the paper-facing figures use,
+//! * `file-process-crash` — memory-mapped pool file, real CLWB/SFENCE only
+//!   (durable against `kill -9`; the DAX discipline),
+//! * `file-power-fail` — pool file with `msync(MS_SYNC)` at every fence
+//!   (durable against power loss on ordinary storage).
+//!
+//! ```bash
+//! cargo bench --bench file_pool           # full run
+//! cargo bench --bench file_pool -- --test # CI smoke mode
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
+use pmem::{PmemPool, PoolConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use store::{FileConfig, FilePool, SyncPolicy};
+
+fn file_pool(tag: &str, sync: SyncPolicy) -> Arc<PmemPool> {
+    let path =
+        std::env::temp_dir().join(format!("bench-file-pool-{tag}-{}.pool", std::process::id()));
+    let pool = FilePool::create(&path, FileConfig::with_size(64 << 20).with_sync(sync))
+        .expect("create bench pool file")
+        .into_pool();
+    // Unlink immediately: the mapping keeps the file alive for the bench's
+    // lifetime and nothing is left behind in $TMPDIR.
+    #[cfg(unix)]
+    let _ = std::fs::remove_file(&path);
+    pool
+}
+
+fn pool_variants() -> Vec<(&'static str, Arc<PmemPool>)> {
+    vec![
+        (
+            "sim-zero",
+            Arc::new(PmemPool::new(PoolConfig::test_with_size(64 << 20))),
+        ),
+        (
+            "sim-optane",
+            Arc::new(PmemPool::new(PoolConfig::bench(64 << 20))),
+        ),
+        (
+            "file-process-crash",
+            file_pool("process-crash", SyncPolicy::ProcessCrash),
+        ),
+        (
+            "file-power-fail",
+            file_pool("power-fail", SyncPolicy::PowerFail),
+        ),
+    ]
+}
+
+/// The primitive the queues build everything on: store, flush the line,
+/// fence.
+fn persist_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("file_pool/persist_roundtrip");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (tag, pool) in pool_variants() {
+        let off = pool.alloc_raw(64, 64);
+        let mut v = 0u64;
+        group.bench_function(BenchmarkId::new("store_flush_fence", tag), |b| {
+            b.iter(|| {
+                v = v.wrapping_add(1);
+                pool.store_u64(off, v);
+                pool.flush(0, off);
+                pool.sfence(0);
+                std::hint::black_box(v);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A whole queue operation pair on each backend: what persistence actually
+/// costs once the algorithm (one fence per op, zero post-flush accesses)
+/// amortises it.
+fn queue_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("file_pool/opt_unlinked_pair");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (tag, pool) in pool_variants() {
+        let queue = OptUnlinkedQueue::create(
+            pool,
+            QueueConfig {
+                max_threads: 1,
+                area_size: 4 << 20,
+            },
+        );
+        for i in 0..1024u64 {
+            queue.enqueue(0, i);
+        }
+        group.bench_function(BenchmarkId::new("enqueue_dequeue_pair", tag), |b| {
+            b.iter(|| {
+                queue.enqueue(0, 7);
+                std::hint::black_box(queue.dequeue(0));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, persist_roundtrip, queue_pair);
+criterion_main!(benches);

@@ -86,6 +86,33 @@ fn sharded_counts<Q: RecoverableQueue>(
     testkit::persist_counts_on(&q, ops)
 }
 
+/// Renders the counts table as one machine-readable JSON experiment object
+/// (schema documented in the README under "Machine-readable results").
+pub fn counts_json(rows: &[CountsRow], ops: u64, shards: usize, policy: RoutePolicy) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"counts\",\n");
+    out.push_str(&format!("  \"ops\": {ops},\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!("  \"policy\": \"{}\",\n", policy.key()));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let c = &row.counts;
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"enq_fences\": {}, \"deq_fences\": {}, \
+             \"enq_flushes\": {}, \"nt_stores_per_op\": {}, \"post_flush_per_op\": {}}}{}\n",
+            row.algorithm.name(),
+            c.enqueue.fences,
+            c.dequeue.fences,
+            c.enqueue.flushes,
+            c.total.nt_stores,
+            c.total.post_flush_accesses,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
 /// Renders the counts table.
 pub fn render_counts(rows: &[CountsRow]) -> String {
     let mut out = String::new();
@@ -160,6 +187,29 @@ mod tests {
 
         let rendered = render_counts(&rows);
         assert!(rendered.contains("OptLinkedQ"));
+    }
+
+    #[test]
+    fn counts_json_is_well_formed_and_complete() {
+        let rows = persist_counts_table(50);
+        let json = counts_json(&rows, 50, 4, RoutePolicy::KeyHash);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+        assert!(json.contains("\"experiment\": \"counts\""));
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"policy\": \"keyhash\""));
+        for alg in Algorithm::all() {
+            assert!(json.contains(alg.name()), "missing {}", alg.name());
+        }
+        // One row object per algorithm, comma-separated except the last.
+        assert_eq!(
+            json.matches("\"algorithm\"").count(),
+            Algorithm::all().len()
+        );
+        assert!(!json.contains("}\n  ],")); // no trailing comma artifacts
     }
 
     #[test]

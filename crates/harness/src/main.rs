@@ -16,14 +16,21 @@
 
 use harness::algorithms::Algorithm;
 use harness::checker::{check_all, CrashCheckConfig};
-use harness::counts::{persist_counts_table, persist_counts_table_sharded, render_counts};
-use harness::runner::{render_panel, run_panel, SweepConfig};
-use harness::shard_sweep::{render_shard_sweep, run_shard_sweep, ShardSweepConfig};
+use harness::counts::{
+    counts_json, persist_counts_table, persist_counts_table_sharded, render_counts,
+};
+use harness::restart::{render_outcome, run_child, run_round, RestartConfig};
+use harness::runner::{render_panel, run_panel, BackendChoice, SweepConfig};
+use harness::shard_sweep::{
+    render_shard_sweep, run_shard_sweep, shard_sweep_json, ShardSweepConfig,
+};
 use harness::workloads::Workload;
 use pmem::LatencyModel;
 use shard::RoutePolicy;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::exit;
+use store::SyncPolicy;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -79,7 +86,73 @@ fn sweep_from_flags(flags: &HashMap<String, String>) -> SweepConfig {
     if let Some(p) = flags.get("policy") {
         sweep.policy = parse_policy(p);
     }
+    sweep.backend = backend_from_flags(flags);
     sweep
+}
+
+fn parse_sync(flags: &HashMap<String, String>) -> SyncPolicy {
+    match flags.get("sync") {
+        None => SyncPolicy::default(),
+        Some(s) => SyncPolicy::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown sync policy '{s}' (expected process-crash|power-fail)");
+            exit(2);
+        }),
+    }
+}
+
+/// `--backend {sim,file}` plus the file backend's `--dir PATH` and
+/// `--sync process-crash|power-fail` companions.
+fn backend_from_flags(flags: &HashMap<String, String>) -> BackendChoice {
+    match flags.get("backend").map(|s| s.as_str()) {
+        None | Some("sim") => BackendChoice::Sim,
+        Some("file") => BackendChoice::File {
+            dir: flags.get("dir").map(PathBuf::from).unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("harness-pools-{}", std::process::id()))
+            }),
+            sync: parse_sync(flags),
+        },
+        Some(other) => {
+            eprintln!("unknown backend '{other}' (expected sim|file)");
+            exit(2);
+        }
+    }
+}
+
+/// Appends one JSON experiment object per table to the `--json` collection
+/// (written as a JSON array at exit).
+#[derive(Default)]
+struct JsonSink {
+    path: Option<PathBuf>,
+    objects: Vec<String>,
+}
+
+impl JsonSink {
+    fn from_flags(flags: &HashMap<String, String>) -> JsonSink {
+        JsonSink {
+            path: flags.get("json").map(PathBuf::from),
+            objects: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, object: String) {
+        if self.path.is_some() {
+            self.objects.push(object);
+        }
+    }
+
+    fn write(self) {
+        let Some(path) = self.path else { return };
+        let mut out = String::from("[\n");
+        out.push_str(&self.objects.join(",\n"));
+        out.push_str("\n]\n");
+        std::fs::write(&path, out)
+            .unwrap_or_else(|e| panic!("cannot write --json {}: {e}", path.display()));
+        eprintln!(
+            "wrote {} experiment object(s) to {}",
+            self.objects.len(),
+            path.display()
+        );
+    }
 }
 
 fn parse_policy(s: &str) -> RoutePolicy {
@@ -141,6 +214,7 @@ fn cmd_counts(flags: &HashMap<String, String>) {
         .get("policy")
         .map(|p| parse_policy(p))
         .unwrap_or_default();
+    let mut json = JsonSink::from_flags(flags);
     for shards in shards_from_flags(flags) {
         let rows = if shards > 1 {
             println!(
@@ -152,7 +226,9 @@ fn cmd_counts(flags: &HashMap<String, String>) {
             persist_counts_table(ops)
         };
         print!("{}", render_counts(&rows));
+        json.push(counts_json(&rows, ops, shards, policy));
     }
+    json.write();
 }
 
 fn cmd_shards(flags: &HashMap<String, String>) {
@@ -193,6 +269,7 @@ fn cmd_shards(flags: &HashMap<String, String>) {
     if flags.contains_key("no-latency") {
         cfg.latency = LatencyModel::ZERO;
     }
+    let mut json = JsonSink::from_flags(flags);
     for workload in workloads {
         for &threads in &thread_counts {
             let cfg = ShardSweepConfig {
@@ -202,8 +279,78 @@ fn cmd_shards(flags: &HashMap<String, String>) {
             };
             let rows = run_shard_sweep(&cfg);
             print!("{}", render_shard_sweep(&cfg, &rows));
+            json.push(shard_sweep_json(&cfg, &rows));
         }
     }
+    json.write();
+}
+
+/// Builds a [`RestartConfig`] from the shared flag map (used by both the
+/// parent `restart` verb and the hidden `restart-child`).
+fn restart_config(flags: &HashMap<String, String>) -> RestartConfig {
+    let mut cfg = RestartConfig::default();
+    if let Some(a) = flags.get("algo").or_else(|| flags.get("algorithm")) {
+        cfg.algorithm = Algorithm::parse(a).unwrap_or_else(|| panic!("unknown algorithm {a}"));
+    }
+    if let Some(s) = flags.get("shards") {
+        cfg.shards = s.parse().expect("bad --shards");
+        assert!(cfg.shards >= 1, "--shards must be >= 1");
+    }
+    if let Some(d) = flags.get("dir") {
+        cfg.dir = PathBuf::from(d);
+    }
+    if let Some(p) = flags.get("pool-bytes") {
+        cfg.pool_bytes = p.parse().expect("bad --pool-bytes");
+    }
+    if let Some(m) = flags.get("min-acks") {
+        cfg.min_acks = m.parse().expect("bad --min-acks");
+    }
+    if let Some(p) = flags.get("policy") {
+        cfg.policy = parse_policy(p);
+    }
+    cfg.sync = parse_sync(flags);
+    if flags.contains_key("quick") {
+        cfg.min_acks = cfg.min_acks.min(500);
+        cfg.pool_bytes = cfg.pool_bytes.min(64 << 20);
+    }
+    cfg
+}
+
+fn cmd_restart(flags: &HashMap<String, String>) {
+    let base = restart_config(flags);
+    // Default plan: the ratio baseline and one second-amendment queue, each
+    // as a single pool and as a 4-shard manifest directory — the full
+    // kill-and-reopen matrix. `--algo`/`--shards` narrow it to one round.
+    let rounds: Vec<RestartConfig> = if flags.contains_key("algo")
+        || flags.contains_key("algorithm")
+        || flags.contains_key("shards")
+    {
+        vec![base.clone()]
+    } else {
+        // run_round namespaces each round under a `round-<algo>-<N>shards`
+        // subdirectory of `dir`, so the rounds share `base.dir` safely.
+        [Algorithm::DurableMsq, Algorithm::OptUnlinked]
+            .into_iter()
+            .flat_map(|algorithm| {
+                [1usize, 4].map(|shards| RestartConfig {
+                    algorithm,
+                    shards,
+                    ..base.clone()
+                })
+            })
+            .collect()
+    };
+    println!(
+        "=== restart: SIGKILL mid-traffic, reopen pool file(s), recover, validate ===\n\
+         ({} round(s), {} confirmed enqueues before each kill)",
+        rounds.len(),
+        base.min_acks
+    );
+    for cfg in &rounds {
+        let outcome = run_round(cfg);
+        print!("{}", render_outcome(cfg, &outcome));
+    }
+    println!("restart: all rounds passed");
 }
 
 fn cmd_crashtest(flags: &HashMap<String, String>) {
@@ -229,26 +376,41 @@ fn main() {
         "counts" => cmd_counts(&flags),
         "crashtest" => cmd_crashtest(&flags),
         "shards" => cmd_shards(&flags),
+        "restart" => cmd_restart(&flags),
+        // Hidden: the process `restart` spawns, kills and recovers from.
+        "restart-child" => run_child(&restart_config(&flags)),
         "all" => {
+            // `--json` is per-experiment; with `all` the sweeps would race
+            // for one file, so require an explicit subcommand for it.
+            let mut flags = flags;
+            flags.remove("json");
             cmd_counts(&flags);
             cmd_fig2(&flags);
             cmd_shards(&flags);
         }
         _ => {
             eprintln!(
-                "usage: harness <fig2|counts|crashtest|shards|all> [flags]\n\
+                "usage: harness <fig2|counts|crashtest|shards|restart|all> [flags]\n\
                  \n\
                  fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
                  counts     per-operation persistence counts (experiments E7/E8)\n\
                  crashtest  durable-linearizability crash checks for every queue\n\
                  shards     shard-scaling sweep: aggregate throughput, per-shard\n\
                             persist counts and parallel crash-recovery latency\n\
+                 restart    spawn a child on file-backed pool(s), SIGKILL it\n\
+                            mid-traffic, reopen + recover() in-process and\n\
+                            validate no loss / no duplication / FIFO\n\
                  all        counts, every fig2 panel, then the shard sweep\n\
                  \n\
                  common flags: --quick --workload W --threads 1,2,4 --ops N\n\
                                --initial-size N --prefill N --algorithms A,B\n\
                                --shards 1,2,4,8 --policy rr|keyhash|load\n\
-                               --recovery-threads N --nvram-read-ns N --no-latency"
+                               --recovery-threads N --nvram-read-ns N --no-latency\n\
+                 backends:     --backend sim|file --dir PATH\n\
+                               --sync process-crash|power-fail   (file backend)\n\
+                 output:       --json PATH   (counts + shards: JSON array of\n\
+                               experiment objects; schema in README)\n\
+                 restart:      --algo A --shards N --min-acks N --pool-bytes N"
             );
             exit(2);
         }

@@ -157,6 +157,59 @@ fn measure_shard_point<Q: RecoverableQueue + 'static>(
     }
 }
 
+/// Renders the sweep as one machine-readable JSON experiment object (schema
+/// documented in the README under "Machine-readable results").
+pub fn shard_sweep_json(cfg: &ShardSweepConfig, rows: &[ShardScalingRow]) -> String {
+    let base = rows.first().map(|r| r.mops).unwrap_or(0.0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"shards\",\n");
+    out.push_str(&format!("  \"algorithm\": \"{}\",\n", cfg.algorithm.name()));
+    out.push_str(&format!("  \"workload\": \"{}\",\n", cfg.workload.key()));
+    out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
+    out.push_str(&format!("  \"policy\": \"{}\",\n", cfg.policy.key()));
+    out.push_str(&format!(
+        "  \"recovery_threads\": {},\n",
+        cfg.recovery_threads
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let per_shard: Vec<String> = row
+            .per_shard
+            .iter()
+            .zip(&row.recovery.per_shard)
+            .enumerate()
+            .map(|(s, (stats, rec))| {
+                format!(
+                    "{{\"shard\": {s}, \"fences\": {}, \"flushes\": {}, \"recovery_ms\": {}}}",
+                    stats.fences,
+                    stats.flushes,
+                    rec.latency.as_secs_f64() * 1e3,
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"mops\": {}, \"scaling\": {}, \"fences_per_op\": {}, \
+             \"recovered_items\": {}, \"recovery_wall_ms\": {}, \
+             \"recovery_critical_path_ms\": {}, \"recovery_sequential_ms\": {}, \
+             \"recovery_speedup\": {}, \"per_shard\": [{}]}}{}\n",
+            row.shards,
+            row.mops,
+            if base > 0.0 { row.mops / base } else { 0.0 },
+            row.fences_per_op,
+            row.recovered_items,
+            row.recovery.wall.as_secs_f64() * 1e3,
+            row.recovery.critical_path().as_secs_f64() * 1e3,
+            row.recovery.sequential_cost().as_secs_f64() * 1e3,
+            row.recovery.speedup(),
+            per_shard.join(", "),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
 /// Renders the sweep as a scaling table plus per-shard persist counts.
 pub fn render_shard_sweep(cfg: &ShardSweepConfig, rows: &[ShardScalingRow]) -> String {
     let mut out = format!(
@@ -241,6 +294,27 @@ mod tests {
         let rendered = render_shard_sweep(&cfg, &rows);
         assert!(rendered.contains("Shard scaling"));
         assert!(rendered.contains("per-shard persist counts"));
+    }
+
+    #[test]
+    fn shard_sweep_json_is_well_formed_and_complete() {
+        let cfg = tiny();
+        let rows = run_shard_sweep(&cfg);
+        let json = shard_sweep_json(&cfg, &rows);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+        assert!(json.contains("\"experiment\": \"shards\""));
+        assert!(json.contains("\"workload\": \"pairs\""));
+        assert!(json.contains("\"recovery_speedup\""));
+        assert_eq!(json.matches("\"shards\":").count(), rows.len());
+        // Per-shard arrays carry one entry per shard of the row.
+        assert_eq!(
+            json.matches("\"shard\":").count(),
+            rows.iter().map(|r| r.shards).sum::<usize>()
+        );
     }
 
     #[test]

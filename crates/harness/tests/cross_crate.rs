@@ -22,6 +22,7 @@ fn tiny_sweep(algorithms: Vec<Algorithm>) -> SweepConfig {
         algorithms,
         shards: 1,
         policy: shard::RoutePolicy::RoundRobin,
+        backend: harness::runner::BackendChoice::Sim,
         seed: 99,
     }
 }

@@ -1,0 +1,147 @@
+//! The pluggable pool-backend abstraction.
+//!
+//! [`crate::PmemPool`] fronts one of two kinds of storage:
+//!
+//! * the **simulated** backend (the default, [`crate::PoolConfig`]-driven):
+//!   two in-DRAM images with explicit crash simulation, latency modelling and
+//!   post-flush-access accounting — the substrate the paper's figures are
+//!   regenerated on, and
+//! * an **external** backend implementing [`PoolBackend`] — most importantly
+//!   the `store` crate's memory-mapped, file-backed pool, whose contents
+//!   survive a real process restart.
+//!
+//! The trait is the complete offset-addressed contract the queue algorithms
+//! rely on: 64-bit atomic loads/stores/CAS/RMW, the flush → fence persistence
+//! discipline (with per-thread fence scoping), non-temporal stores, watermark
+//! management for raw allocation, and a handful of root slots a restart can
+//! bootstrap from. Offsets are 32-bit byte offsets into the pool, exactly as
+//! with the simulated pool; offset `0` is reserved as the null reference.
+//!
+//! Hot-path dispatch: the simulated backend is a dedicated enum arm inside
+//! `PmemPool` (static dispatch, so the paper-facing benchmarks are
+//! unaffected); external backends pay one virtual call per operation, which
+//! is noise next to a real flush or `msync`.
+
+/// Number of 64-bit root slots every backend provides.
+///
+/// Root slots are durable named words *outside* the offset-addressed pool
+/// space; a process that reopens a pool can read them before anything else
+/// has been recovered (e.g. to find a manifest, an epoch, or a format hint).
+/// The queue algorithms themselves use the fixed
+/// [`crate::layout::QUEUE_ROOT`] block instead.
+pub const ROOT_SLOTS: usize = 8;
+
+/// The operations a persistent pool backend must provide.
+///
+/// All atomic operations carry the same ordering contract as the simulated
+/// pool: loads are `Acquire`, stores `Release`, RMW ops `AcqRel`. The
+/// persistence contract is: data reaches stable storage once it has been
+/// covered by [`flush`](Self::flush) (or [`nt_store_u64`](Self::nt_store_u64))
+/// followed by [`sfence`](Self::sfence) *on the issuing thread*.
+///
+/// The `tid`-taking methods follow the pool-wide single-owner discipline:
+/// only the thread owning logical id `tid` may pass it.
+pub trait PoolBackend: Send + Sync {
+    /// Short identifier of the backend kind (`"file"`, `"sim"`, ...).
+    fn kind(&self) -> &'static str;
+
+    /// Pool size in bytes (the addressable offset space).
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the pool has zero capacity.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// 64-bit atomic load (acquire).
+    fn load_u64(&self, off: u32) -> u64;
+
+    /// 64-bit atomic store (release). Durable only after flush + fence.
+    fn store_u64(&self, off: u32, val: u64);
+
+    /// 64-bit compare-and-swap; `Ok(previous)` on success, `Err(actual)` on
+    /// failure.
+    fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64>;
+
+    /// 64-bit atomic fetch-add; returns the previous value.
+    fn fetch_add_u64(&self, off: u32, val: u64) -> u64;
+
+    /// 64-bit atomic swap; returns the previous value.
+    fn swap_u64(&self, off: u32, val: u64) -> u64;
+
+    /// Issues an asynchronous flush of the cache line containing `off` on
+    /// behalf of thread `tid` (CLWB/CLFLUSHOPT).
+    fn flush(&self, tid: usize, off: u32);
+
+    /// Flushes every cache line overlapping `[off, off + len)`.
+    fn flush_range(&self, tid: usize, off: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let line = crate::layout::CACHE_LINE as u32;
+        let first = crate::layout::line_of(off);
+        let last = crate::layout::line_of(off + len - 1);
+        for l in first..=last {
+            self.flush(tid, l * line);
+        }
+    }
+
+    /// Store fence: blocks until every flush and non-temporal store
+    /// previously issued by thread `tid` is durable.
+    fn sfence(&self, tid: usize);
+
+    /// Non-temporal 64-bit store on behalf of thread `tid`: durable at the
+    /// next fence without invalidating the containing cache line.
+    fn nt_store_u64(&self, tid: usize, off: u32, val: u64);
+
+    /// Immediately persists the line containing `off` (recovery/test path;
+    /// no per-thread bookkeeping).
+    fn persist_now(&self, off: u32);
+
+    /// Clears any flushed/invalidated marker of the line containing `off`
+    /// without charging a post-flush access. Meaningful for the simulated
+    /// backend's accounting; real backends may ignore it.
+    fn mark_line_cached(&self, off: u32) {
+        let _ = off;
+    }
+
+    /// Zeroes `[off, off + len)` with plain stores (callers flush + fence if
+    /// they need the zeroes durable).
+    fn zero_range(&self, off: u32, len: u32);
+
+    /// Current allocation watermark (first never-reserved byte offset).
+    /// Backends with durable storage persist the watermark so a reopened
+    /// pool never re-hands-out space that pre-crash data occupies.
+    fn watermark(&self) -> u32;
+
+    /// Compare-and-swap on the watermark; `Ok(previous)` on success,
+    /// `Err(actual)` on failure. The allocation loop in
+    /// [`crate::PmemPool::try_alloc_raw`] is built on this.
+    fn cas_watermark(&self, current: u32, new: u32) -> Result<u32, u32>;
+
+    /// Reads durable root slot `slot` (`< ROOT_SLOTS`).
+    fn root_u64(&self, slot: usize) -> u64;
+
+    /// Durably writes root slot `slot` (persisted before returning).
+    fn set_root_u64(&self, slot: usize, val: u64);
+
+    /// Reads the value of `off` that would survive a crash right now. For
+    /// backends without a separate persistent image this is the current
+    /// value.
+    fn persistent_u64_at(&self, off: u32) -> u64 {
+        self.load_u64(off)
+    }
+
+    /// Full durability barrier: everything written so far reaches stable
+    /// storage (e.g. `msync` + `fsync` for a file backend). A no-op for
+    /// backends whose fences are already globally durable.
+    fn sync(&self) {}
+
+    /// Records a clean/dirty marker in the backend's durable metadata, if it
+    /// has any. `PmemPool` marks the pool dirty while open and clean on an
+    /// orderly close; a reopened pool can report whether the previous
+    /// session shut down cleanly.
+    fn mark_clean(&self, clean: bool) {
+        let _ = clean;
+    }
+}

@@ -36,6 +36,12 @@
 //! actual hardware, so the flush/fence cost microbenchmarks can be run
 //! against DRAM-backed memory as well as against the simulator.
 //!
+//! The simulator is one of two backends behind the [`PoolBackend`]
+//! abstraction ([`backend`]): [`PmemPool::from_backend`] accepts an external
+//! implementation — the `store` crate's memory-mapped, file-backed pool —
+//! so the same queue code runs on storage that survives a real process
+//! restart. The simulated arm stays statically dispatched; see [`pool`].
+//!
 //! ## Example
 //!
 //! ```
@@ -60,15 +66,18 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod backend;
 pub mod hw;
 pub mod latency;
 pub mod layout;
 pub mod pool;
 pub mod pref;
+pub(crate) mod sim;
 pub mod stats;
 
+pub use backend::{PoolBackend, ROOT_SLOTS};
 pub use latency::LatencyModel;
 pub use layout::{CACHE_LINE, MAX_THREADS};
-pub use pool::{PmemPool, PoolConfig};
+pub use pool::{PmemPool, PoolConfig, PoolExhausted};
 pub use pref::PRef;
 pub use stats::StatsSnapshot;

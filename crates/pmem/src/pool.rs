@@ -1,41 +1,33 @@
-//! The simulated persistent-memory pool.
+//! The persistent-memory pool front: one offset-addressed API over a
+//! pluggable backend.
 //!
-//! A [`PmemPool`] owns two images of the same address range:
+//! A [`PmemPool`] is what every queue algorithm, the allocator and the
+//! harness hold (`Arc<PmemPool>`). Internally it fronts one of two backends:
 //!
-//! * the **working image** — what loads, stores and CASes observe. It plays
-//!   the role of "the cache hierarchy plus whatever has already been written
-//!   back": the most recent value of every location.
-//! * the **persistent image** — what would survive a full-system crash. Only
-//!   explicit persistence (flush + fence, or a non-temporal store + fence)
-//!   and simulated implicit cache evictions copy data from the working image
-//!   into the persistent image.
+//! * the **simulated** backend ([`PmemPool::new`]): the in-DRAM working- vs.
+//!   persistent-image model with latency simulation, the eviction adversary
+//!   and crash simulation — see [`crate::sim`] for the model's docs. This arm
+//!   is statically dispatched so the paper-facing measurements are unchanged
+//!   by the abstraction.
+//! * an **external** backend ([`PmemPool::from_backend`]) implementing
+//!   [`PoolBackend`] — e.g. the `store` crate's memory-mapped, file-backed
+//!   pool whose contents survive a real process restart. External backends
+//!   pay one virtual call per operation, which is noise next to a real flush
+//!   or `msync`.
 //!
-//! All persistence is tracked at cache-line (64-byte) granularity, and a line
-//! is always copied as a whole snapshot of its current working content. This
-//! realises Assumption 1 of the paper: the persistent content of a line is a
-//! prefix of the stores performed to it (here: always the full prefix up to
-//! the copy), never a torn or reordered mixture.
-//!
-//! Flushes model the CLWB/CLFLUSHOPT behaviour the paper measured on Cascade
-//! Lake: issuing a flush *invalidates* the line, so the next access to it
-//! counts as a [post-flush access](crate::StatsSnapshot::post_flush_accesses)
-//! and pays the configured NVRAM read latency.
+//! The persistence contract is identical for both: a store is durable once
+//! the containing cache line has been covered by [`PmemPool::flush`] (or the
+//! value by [`PmemPool::nt_store_u64`]) followed by [`PmemPool::sfence`] on
+//! the issuing thread.
 
-use crate::latency::{spin_delay, LatencyModel};
-use crate::layout::{self, CACHE_LINE, MAX_THREADS};
+use crate::backend::{PoolBackend, ROOT_SLOTS};
+use crate::latency::LatencyModel;
+use crate::layout::{self, CACHE_LINE};
+use crate::sim::SimPool;
 use crate::stats::{Stats, StatsSnapshot};
-use crossbeam_utils::CachePadded;
-use std::alloc::{alloc_zeroed, dealloc, Layout};
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::fmt;
 
-/// Line state: present in the cache (normal access cost).
-const LINE_CACHED: u8 = 0;
-/// Line state: explicitly flushed, hence invalidated; the next access pays
-/// the NVRAM read latency.
-const LINE_FLUSHED: u8 = 1;
-
-/// Configuration of a [`PmemPool`].
+/// Configuration of a simulated pool (see [`PmemPool::new`]).
 #[derive(Clone, Copy, Debug)]
 pub struct PoolConfig {
     /// Pool size in bytes. Rounded up to a whole number of cache lines.
@@ -106,216 +98,152 @@ impl Default for PoolConfig {
     }
 }
 
-/// A cache-line-aligned, zero-initialised raw memory arena.
-struct RawArena {
-    ptr: *mut u8,
-    layout: Layout,
+/// Why a raw allocation could not be satisfied. Returned by
+/// [`PmemPool::try_alloc_raw`]; [`PmemPool::alloc_raw`] panics with the same
+/// details in the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolExhausted {
+    /// Bytes the caller asked for.
+    pub requested: u32,
+    /// Alignment the caller asked for.
+    pub align: u32,
+    /// Watermark observed when the allocation failed (bytes already
+    /// reserved, from the start of the pool).
+    pub watermark: u32,
+    /// Total pool capacity in bytes.
+    pub capacity: usize,
 }
 
-impl RawArena {
-    fn new(size: usize) -> Self {
-        let layout = Layout::from_size_align(size, CACHE_LINE).expect("invalid arena layout");
-        // SAFETY: layout has non-zero size (callers guarantee size > 0).
-        let ptr = unsafe { alloc_zeroed(layout) };
-        assert!(
-            !ptr.is_null(),
-            "pmem arena allocation failed ({size} bytes)"
-        );
-        RawArena { ptr, layout }
+impl fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pmem pool exhausted: requested {} bytes (align {}) with watermark at {} of {} \
+             capacity ({} bytes free)",
+            self.requested,
+            self.align,
+            self.watermark,
+            self.capacity,
+            (self.capacity as u64).saturating_sub(self.watermark as u64),
+        )
     }
 }
 
-impl Drop for RawArena {
-    fn drop(&mut self) {
-        // SAFETY: `ptr` was allocated with exactly this layout in `new`.
-        unsafe { dealloc(self.ptr, self.layout) };
-    }
+impl std::error::Error for PoolExhausted {}
+
+/// The backend a pool fronts. The sim arm is a concrete type so the
+/// simulated hot path stays statically dispatched. Boxed because the sim
+/// state (per-thread pending slots) is ~1.4 KiB — one indirection at
+/// construction, none on the access paths (the box is matched once).
+enum PoolImpl {
+    Sim(Box<SimPool>),
+    Ext(Box<dyn PoolBackend>),
 }
 
-// SAFETY: the arena is only ever accessed through atomic operations (see the
-// accessors on `PmemPool`), so concurrent access from multiple threads cannot
-// produce data races.
-unsafe impl Send for RawArena {}
-unsafe impl Sync for RawArena {}
-
-/// Per-thread record of persistence work that has been issued but not yet
-/// ordered by a fence: lines with outstanding asynchronous flushes, and the
-/// (offset, value) pairs of outstanding non-temporal stores.
-#[derive(Default)]
-struct PendingPersists {
-    flushed_lines: Vec<u32>,
-    nt_writes: Vec<(u32, u64)>,
-}
-
-/// Interior-mutability wrapper for the per-thread pending-persist slots.
-///
-/// Only the thread that owns thread id `tid` may call
-/// [`PmemPool::flush`]/[`PmemPool::sfence`]/[`PmemPool::nt_store_u64`] with
-/// that `tid`; this single-owner discipline (identical to how the paper's
-/// per-thread arrays are used) is what makes the unsynchronised interior
-/// access sound.
-struct PendingCell(UnsafeCell<PendingPersists>);
-
-// SAFETY: each slot is only accessed by the single thread that owns the
-// corresponding tid (documented contract of the persist API).
-unsafe impl Sync for PendingCell {}
-
-/// The simulated persistent-memory pool. See the [module docs](self).
+/// The persistent-memory pool. See the [module docs](self).
 pub struct PmemPool {
-    working: RawArena,
-    persistent: RawArena,
-    line_states: Box<[AtomicU8]>,
-    pending: Box<[CachePadded<PendingCell>]>,
-    size: usize,
-    watermark: AtomicU32,
-    stats: Stats,
+    inner: PoolImpl,
+    /// Counters for external backends (the sim backend counts internally, as
+    /// part of its access/latency model).
+    ext_stats: Stats,
     config: PoolConfig,
-    eviction_threshold: u64,
-    rng: AtomicU64,
 }
 
 impl PmemPool {
-    /// Creates a fresh, zeroed pool.
+    /// Creates a fresh, zeroed **simulated** pool.
     pub fn new(config: PoolConfig) -> Self {
-        assert!(
-            config.size <= u32::MAX as usize,
-            "pool size must be addressable by a 32-bit PRef"
-        );
-        let min = layout::HEAP_START as usize + CACHE_LINE;
-        let size = layout::align_up(config.size.max(min) as u32, CACHE_LINE as u32) as usize;
-        let lines = size / CACHE_LINE;
-        let line_states = (0..lines).map(|_| AtomicU8::new(LINE_CACHED)).collect();
-        let pending = (0..MAX_THREADS)
-            .map(|_| CachePadded::new(PendingCell(UnsafeCell::new(PendingPersists::default()))))
-            .collect();
-        let eviction_threshold = probability_to_threshold(config.eviction_probability);
+        let sim = SimPool::new(config);
+        let config = PoolConfig {
+            size: sim.len(),
+            ..config
+        };
         PmemPool {
-            working: RawArena::new(size),
-            persistent: RawArena::new(size),
-            line_states,
-            pending,
-            size,
-            watermark: AtomicU32::new(layout::HEAP_START),
-            stats: Stats::default(),
+            inner: PoolImpl::Sim(Box::new(sim)),
+            ext_stats: Stats::default(),
             config,
-            eviction_threshold,
-            rng: AtomicU64::new(config.eviction_seed | 1),
+        }
+    }
+
+    /// Wraps an external [`PoolBackend`] (e.g. a file-backed pool from the
+    /// `store` crate). The synthesized [`PoolConfig`] reports the backend's
+    /// size with zero simulated latency — external backends pay their real
+    /// hardware costs instead.
+    pub fn from_backend(backend: Box<dyn PoolBackend>) -> Self {
+        let config = PoolConfig {
+            size: backend.len(),
+            latency: LatencyModel::ZERO,
+            deferred_persist: true,
+            eviction_probability: 0.0,
+            eviction_seed: 0,
+        };
+        PmemPool {
+            inner: PoolImpl::Ext(backend),
+            ext_stats: Stats::default(),
+            config,
         }
     }
 
     /// Pool size in bytes.
     pub fn len(&self) -> usize {
-        self.size
+        match &self.inner {
+            PoolImpl::Sim(s) => s.len(),
+            PoolImpl::Ext(b) => b.len(),
+        }
     }
 
     /// Returns `true` if the pool has zero capacity (never the case).
     pub fn is_empty(&self) -> bool {
-        self.size == 0
+        self.len() == 0
     }
 
-    /// The configuration this pool was created with.
+    /// The configuration this pool was created with (synthesized for
+    /// external backends).
     pub fn config(&self) -> &PoolConfig {
         &self.config
     }
 
-    // ------------------------------------------------------------------
-    // Address translation
-    // ------------------------------------------------------------------
-
-    #[inline]
-    fn check_bounds(&self, off: u32, bytes: u32) {
-        debug_assert!(
-            off as usize + bytes as usize <= self.size,
-            "pmem access out of bounds"
-        );
-        debug_assert_eq!(off % bytes, 0, "unaligned pmem access");
-        debug_assert_eq!(
-            (off as usize) / CACHE_LINE,
-            (off as usize + bytes as usize - 1) / CACHE_LINE,
-            "pmem access crosses a cache line"
-        );
-    }
-
-    #[inline]
-    fn working_u64(&self, off: u32) -> &AtomicU64 {
-        self.check_bounds(off, 8);
-        // SAFETY: in bounds, 8-byte aligned, and the arena lives as long as
-        // `self`; the arena is only accessed through atomics.
-        unsafe { &*(self.working.ptr.add(off as usize) as *const AtomicU64) }
-    }
-
-    #[inline]
-    fn persistent_u64(&self, off: u32) -> &AtomicU64 {
-        self.check_bounds(off, 8);
-        // SAFETY: as above.
-        unsafe { &*(self.persistent.ptr.add(off as usize) as *const AtomicU64) }
-    }
-
-    // ------------------------------------------------------------------
-    // Instrumented access (the "did we touch a flushed line?" check)
-    // ------------------------------------------------------------------
-
-    /// Applies the post-flush-access accounting and penalty to the cache line
-    /// containing `off`, then (re)marks it as cached.
-    #[inline]
-    fn touch(&self, off: u32) {
-        let line = layout::line_of(off) as usize;
-        let state = &self.line_states[line];
-        if state.load(Ordering::Relaxed) == LINE_FLUSHED {
-            state.store(LINE_CACHED, Ordering::Relaxed);
-            self.stats
-                .post_flush_accesses
-                .fetch_add(1, Ordering::Relaxed);
-            spin_delay(self.config.latency.nvram_read_ns);
+    /// Short identifier of the backend kind: `"sim"` for simulated pools,
+    /// the backend's own name (e.g. `"file"`) otherwise.
+    pub fn backend_kind(&self) -> &'static str {
+        match &self.inner {
+            PoolImpl::Sim(_) => "sim",
+            PoolImpl::Ext(b) => b.kind(),
         }
     }
 
-    /// Possibly persists the line containing `off`, simulating an implicit
-    /// cache eviction, when the adversary is enabled.
-    #[inline]
-    fn maybe_evict(&self, off: u32) {
-        if self.eviction_threshold != 0 && self.next_rand() < self.eviction_threshold {
-            self.persist_line(layout::line_of(off));
-            self.stats
-                .implicit_evictions
-                .fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    #[inline]
-    fn next_rand(&self) -> u64 {
-        // SplitMix64 over a Weyl sequence; statistical quality is more than
-        // enough for an eviction adversary and it is wait-free.
-        let mut z = self
-            .rng
-            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    /// `true` if this pool runs on the simulated backend.
+    pub fn is_sim(&self) -> bool {
+        matches!(self.inner, PoolImpl::Sim(_))
     }
 
     // ------------------------------------------------------------------
-    // Loads / stores / CAS on the working image
+    // Loads / stores / CAS
     // ------------------------------------------------------------------
 
     /// Loads a 64-bit value from persistent memory (acquire ordering).
     #[inline]
     pub fn load_u64(&self, off: u32) -> u64 {
-        self.touch(off);
-        self.stats.loads.fetch_add(1, Ordering::Relaxed);
-        self.working_u64(off).load(Ordering::Acquire)
+        match &self.inner {
+            PoolImpl::Sim(s) => s.load_u64(off),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.loads.fetch_add(1, RELAXED);
+                b.load_u64(off)
+            }
+        }
     }
 
     /// Stores a 64-bit value to persistent memory (release ordering). The
-    /// store reaches the working image only; it survives a crash only if the
-    /// containing line is later flushed (or implicitly evicted).
+    /// store survives a crash only once the containing line is flushed and
+    /// fenced (or, on the simulated backend, implicitly evicted).
     #[inline]
     pub fn store_u64(&self, off: u32, val: u64) {
-        self.touch(off);
-        self.stats.stores.fetch_add(1, Ordering::Relaxed);
-        self.working_u64(off).store(val, Ordering::Release);
-        self.maybe_evict(off);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.store_u64(off, val),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.stores.fetch_add(1, RELAXED);
+                b.store_u64(off, val)
+            }
+        }
     }
 
     /// Compare-and-swap on a 64-bit persistent word. Returns `Ok(current)` on
@@ -323,83 +251,57 @@ impl PmemPool {
     /// [`std::sync::atomic::AtomicU64::compare_exchange`].
     #[inline]
     pub fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
-        self.touch(off);
-        self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
-        let r = self.working_u64(off).compare_exchange(
-            current,
-            new,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
-        if r.is_ok() {
-            self.maybe_evict(off);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.cas_u64(off, current, new),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.cas_ops.fetch_add(1, RELAXED);
+                b.cas_u64(off, current, new)
+            }
         }
-        r
     }
 
     /// Atomic fetch-and-add on a 64-bit persistent word.
     #[inline]
     pub fn fetch_add_u64(&self, off: u32, val: u64) -> u64 {
-        self.touch(off);
-        self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
-        let r = self.working_u64(off).fetch_add(val, Ordering::AcqRel);
-        self.maybe_evict(off);
-        r
+        match &self.inner {
+            PoolImpl::Sim(s) => s.fetch_add_u64(off, val),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.cas_ops.fetch_add(1, RELAXED);
+                b.fetch_add_u64(off, val)
+            }
+        }
     }
 
     /// Atomic swap on a 64-bit persistent word.
     #[inline]
     pub fn swap_u64(&self, off: u32, val: u64) -> u64 {
-        self.touch(off);
-        self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
-        let r = self.working_u64(off).swap(val, Ordering::AcqRel);
-        self.maybe_evict(off);
-        r
+        match &self.inner {
+            PoolImpl::Sim(s) => s.swap_u64(off, val),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.cas_ops.fetch_add(1, RELAXED);
+                b.swap_u64(off, val)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
     // Persistence primitives
     // ------------------------------------------------------------------
 
-    fn with_pending<R>(&self, tid: usize, f: impl FnOnce(&mut PendingPersists) -> R) -> R {
-        assert!(tid < MAX_THREADS, "tid {tid} exceeds MAX_THREADS");
-        // SAFETY: by the documented contract, only the owner of `tid` calls
-        // the persist API with this tid, so there is no concurrent access.
-        // The mutable borrow is confined to this call so it cannot be held
-        // across another persist-API call for the same tid.
-        f(unsafe { &mut *self.pending[tid].0.get() })
-    }
-
-    /// Copies the current working content of `line` into the persistent
-    /// image. Whole-line, so Assumption 1 holds by construction.
-    fn persist_line(&self, line: u32) {
-        let base = line * CACHE_LINE as u32;
-        for i in 0..(CACHE_LINE as u32 / 8) {
-            let off = base + i * 8;
-            let v = self.working_u64(off).load(Ordering::Acquire);
-            self.persistent_u64(off).store(v, Ordering::Release);
-        }
-    }
-
     /// Issues an asynchronous flush (CLWB/CLFLUSHOPT) of the cache line
     /// containing `off`, on behalf of thread `tid`.
     ///
-    /// The line is marked invalidated immediately (the Cascade Lake
-    /// behaviour); its content reaches the persistent image when `tid` next
-    /// executes [`sfence`](Self::sfence) (or immediately, if the pool was
-    /// configured with `deferred_persist = false`).
+    /// The flushed content is durable once `tid` next executes
+    /// [`sfence`](Self::sfence).
     #[inline]
     pub fn flush(&self, tid: usize, off: u32) {
-        debug_assert!((off as usize) < self.size);
-        let line = layout::line_of(off);
-        self.line_states[line as usize].store(LINE_FLUSHED, Ordering::Relaxed);
-        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        if self.config.deferred_persist {
-            self.with_pending(tid, |pending| pending.flushed_lines.push(line));
-        } else {
-            self.persist_line(line);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.flush(tid, off),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.flushes.fetch_add(1, RELAXED);
+                b.flush(tid, off)
+            }
         }
-        spin_delay(self.config.latency.flush_ns);
     }
 
     /// Issues asynchronous flushes for every cache line overlapping
@@ -416,47 +318,41 @@ impl PmemPool {
     }
 
     /// Store fence (SFENCE): blocks until every flush and non-temporal store
-    /// previously issued by thread `tid` has reached the persistent image.
+    /// previously issued by thread `tid` is durable.
     pub fn sfence(&self, tid: usize) {
-        self.stats.fences.fetch_add(1, Ordering::Relaxed);
-        let (lines, nt) = self.with_pending(tid, |pending| {
-            (
-                std::mem::take(&mut pending.flushed_lines),
-                std::mem::take(&mut pending.nt_writes),
-            )
-        });
-        for line in lines {
-            self.persist_line(line);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.sfence(tid),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.fences.fetch_add(1, RELAXED);
+                b.sfence(tid)
+            }
         }
-        for (off, val) in nt {
-            self.persistent_u64(off).store(val, Ordering::Release);
-        }
-        spin_delay(self.config.latency.fence_ns);
     }
 
-    /// Non-temporal 64-bit store (`movnti`): writes the working image and
-    /// schedules the value to reach the persistent image at the next fence,
+    /// Non-temporal 64-bit store (`movnti`): durable at `tid`'s next fence,
     /// without fetching or invalidating the containing cache line.
     #[inline]
     pub fn nt_store_u64(&self, tid: usize, off: u32, val: u64) {
-        self.stats.nt_stores.fetch_add(1, Ordering::Relaxed);
-        self.working_u64(off).store(val, Ordering::Release);
-        if self.config.deferred_persist {
-            self.with_pending(tid, |pending| pending.nt_writes.push((off, val)));
-        } else {
-            self.persistent_u64(off).store(val, Ordering::Release);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.nt_store_u64(tid, off, val),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.nt_stores.fetch_add(1, RELAXED);
+                b.nt_store_u64(tid, off, val)
+            }
         }
-        spin_delay(self.config.latency.nt_store_ns);
     }
 
     /// Immediately persists the line containing `off`, bypassing the
     /// asynchronous-flush bookkeeping. Used by recovery code (which runs
     /// single-threaded before normal operation resumes) and by tests.
     pub fn persist_now(&self, off: u32) {
-        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        let line = layout::line_of(off);
-        self.line_states[line as usize].store(LINE_FLUSHED, Ordering::Relaxed);
-        self.persist_line(line);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.persist_now(off),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.flushes.fetch_add(1, RELAXED);
+                b.persist_now(off)
+            }
+        }
     }
 
     /// Clears the flushed/invalidated marker of the cache line containing
@@ -468,26 +364,43 @@ impl PmemPool {
     /// indices, node fields of live nodes), not the allocator handing the
     /// same slot to a fresh, unrelated object. The `ssmem` allocator calls
     /// this for every slot it returns so that all queue algorithms are
-    /// accounted identically.
+    /// accounted identically. External backends have no invalidation
+    /// bookkeeping and ignore it.
     pub fn mark_line_cached(&self, off: u32) {
-        let line = layout::line_of(off) as usize;
-        self.line_states[line].store(LINE_CACHED, Ordering::Relaxed);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.mark_line_cached(off),
+            PoolImpl::Ext(b) => b.mark_line_cached(off),
+        }
     }
 
-    /// Zeroes `[off, off + len)` in the working image (plain stores; callers
-    /// that need the zeroes to be durable must flush + fence afterwards, as
-    /// ssmem does when it prepares a designated area).
+    /// Zeroes `[off, off + len)` with plain stores (callers that need the
+    /// zeroes to be durable must flush + fence afterwards, as ssmem does
+    /// when it prepares a designated area).
     pub fn zero_range(&self, off: u32, len: u32) {
-        assert_eq!(off % 8, 0);
-        assert_eq!(len % 8, 0);
-        assert!(off as usize + len as usize <= self.size);
-        for i in 0..(len / 8) {
-            let o = off + i * 8;
-            self.working_u64(o).store(0, Ordering::Release);
+        match &self.inner {
+            PoolImpl::Sim(s) => s.zero_range(off, len),
+            PoolImpl::Ext(b) => {
+                self.ext_stats.stores.fetch_add((len / 8) as u64, RELAXED);
+                b.zero_range(off, len)
+            }
         }
-        self.stats
-            .stores
-            .fetch_add((len / 8) as u64, Ordering::Relaxed);
+    }
+
+    /// Full durability barrier: everything written so far reaches stable
+    /// storage. A no-op for the simulated backend; `msync` + `fsync` for a
+    /// file backend. Recovery-facing code calls it at checkpoints.
+    pub fn sync(&self) {
+        if let PoolImpl::Ext(b) = &self.inner {
+            b.sync();
+        }
+    }
+
+    /// Records a clean/dirty marker in the backend's durable metadata, if it
+    /// has any (see [`PoolBackend::mark_clean`]).
+    pub fn mark_clean(&self, clean: bool) {
+        if let PoolImpl::Ext(b) = &self.inner {
+            b.mark_clean(clean);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -495,57 +408,97 @@ impl PmemPool {
     // ------------------------------------------------------------------
 
     /// Reserves `len` bytes of pool space aligned to `align` and returns its
-    /// byte offset. This is a volatile bump allocator; higher-level,
+    /// byte offset; panics with watermark/requested/capacity details if the
+    /// pool is exhausted. This is a bump allocator; higher-level,
     /// crash-recoverable allocation (designated areas, free lists) is built
     /// on top of it by the `ssmem` crate, which records every reservation in
-    /// its persistent directory.
+    /// its persistent directory. File-backed pools persist the watermark in
+    /// the pool-file header, so a reopened pool continues where it left off.
     pub fn alloc_raw(&self, len: u32, align: u32) -> u32 {
+        self.try_alloc_raw(len, align).unwrap_or_else(|e| {
+            panic!("{e}");
+        })
+    }
+
+    /// Like [`alloc_raw`](Self::alloc_raw), but reports pool exhaustion as a
+    /// [`PoolExhausted`] error instead of panicking, so callers that can
+    /// degrade (spill, shed load, grow elsewhere) get the diagnostics
+    /// without unwinding.
+    pub fn try_alloc_raw(&self, len: u32, align: u32) -> Result<u32, PoolExhausted> {
         assert!(align.is_power_of_two() && align >= 8);
-        let mut cur = self.watermark.load(Ordering::Relaxed);
+        let exhausted = |watermark: u32| PoolExhausted {
+            requested: len,
+            align,
+            watermark,
+            capacity: self.len(),
+        };
+        let mut cur = self.watermark();
         loop {
             let start = layout::align_up(cur, align);
-            let end = start
-                .checked_add(len)
-                .expect("pmem pool exhausted (offset overflow)");
-            assert!(
-                (end as usize) <= self.size,
-                "pmem pool exhausted: need {} bytes at {}, pool size {}",
-                len,
-                start,
-                self.size
-            );
-            match self.watermark.compare_exchange_weak(
-                cur,
-                end,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return start,
+            let end = match start.checked_add(len) {
+                Some(end) => end,
+                None => return Err(exhausted(cur)),
+            };
+            if end as usize > self.len() {
+                return Err(exhausted(cur));
+            }
+            match self.cas_watermark(cur, end) {
+                Ok(_) => return Ok(start),
                 Err(actual) => cur = actual,
             }
         }
     }
 
+    #[inline]
+    fn cas_watermark(&self, current: u32, new: u32) -> Result<u32, u32> {
+        match &self.inner {
+            PoolImpl::Sim(s) => s.cas_watermark(current, new),
+            PoolImpl::Ext(b) => b.cas_watermark(current, new),
+        }
+    }
+
     /// Current watermark (first never-reserved byte offset).
     pub fn watermark(&self) -> u32 {
-        self.watermark.load(Ordering::Acquire)
+        match &self.inner {
+            PoolImpl::Sim(s) => s.watermark(),
+            PoolImpl::Ext(b) => b.watermark(),
+        }
     }
 
     /// Moves the watermark forward to at least `off`. Used by recovery to
     /// make sure re-created volatile bookkeeping does not hand out space that
     /// pre-crash data already occupies.
     pub fn set_watermark(&self, off: u32) {
-        let mut cur = self.watermark.load(Ordering::Relaxed);
+        let mut cur = self.watermark();
         while cur < off {
-            match self.watermark.compare_exchange_weak(
-                cur,
-                off,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.cas_watermark(cur, off) {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Root slots
+    // ------------------------------------------------------------------
+
+    /// Reads durable root slot `slot` (`< `[`ROOT_SLOTS`]). Root slots are
+    /// named 64-bit words a reopened pool can read before anything else has
+    /// been recovered; they live outside the offset-addressed space.
+    pub fn root_u64(&self, slot: usize) -> u64 {
+        assert!(slot < ROOT_SLOTS, "root slot {slot} out of range");
+        match &self.inner {
+            PoolImpl::Sim(s) => s.root_u64(slot),
+            PoolImpl::Ext(b) => b.root_u64(slot),
+        }
+    }
+
+    /// Durably writes root slot `slot` (persisted before returning).
+    pub fn set_root_u64(&self, slot: usize, val: u64) {
+        assert!(slot < ROOT_SLOTS, "root slot {slot} out of range");
+        match &self.inner {
+            PoolImpl::Sim(s) => s.set_root_u64(slot, val),
+            PoolImpl::Ext(b) => b.set_root_u64(slot, val),
         }
     }
 
@@ -555,22 +508,33 @@ impl PmemPool {
 
     /// A snapshot of the persistence counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        match &self.inner {
+            PoolImpl::Sim(s) => s.stats(),
+            PoolImpl::Ext(_) => self.ext_stats.snapshot(),
+        }
     }
 
     /// Resets all persistence counters to zero.
     pub fn reset_stats(&self) {
-        self.stats.reset();
+        match &self.inner {
+            PoolImpl::Sim(s) => s.reset_stats(),
+            PoolImpl::Ext(_) => self.ext_stats.reset(),
+        }
     }
 
     // ------------------------------------------------------------------
-    // Crash simulation
+    // Crash simulation (simulated backend only)
     // ------------------------------------------------------------------
 
     /// Reads a 64-bit value directly from the persistent image (what a crash
-    /// right now would preserve). Intended for tests and debugging.
+    /// right now would preserve). Intended for tests and debugging. On
+    /// external backends this is the current value: their stores go straight
+    /// to the (OS-cached) backing storage.
     pub fn persistent_u64_at(&self, off: u32) -> u64 {
-        self.persistent_u64(off).load(Ordering::Acquire)
+        match &self.inner {
+            PoolImpl::Sim(s) => s.persistent_u64_at(off),
+            PoolImpl::Ext(b) => b.persistent_u64_at(off),
+        }
     }
 
     /// Simulates a full-system crash followed by a restart: returns a new
@@ -578,6 +542,10 @@ impl PmemPool {
     ///
     /// The original pool is left untouched, so a test can crash the same
     /// execution repeatedly (e.g. at different adversary settings).
+    ///
+    /// # Panics
+    /// On external (e.g. file-backed) backends, which are crashed for real —
+    /// kill the process and reopen the pool file instead.
     pub fn simulate_crash(&self) -> PmemPool {
         self.simulate_crash_with_evictions(0.0, 0)
     }
@@ -587,48 +555,29 @@ impl PmemPool {
     /// probability before the power failed. This explores legal NVRAM states
     /// *beyond* what the algorithm explicitly persisted, which is exactly
     /// what a recovery procedure must tolerate.
+    ///
+    /// # Panics
+    /// On external backends; see [`simulate_crash`](Self::simulate_crash).
     pub fn simulate_crash_with_evictions(&self, probability: f64, seed: u64) -> PmemPool {
-        let recovered = PmemPool::new(self.config);
-        recovered.set_watermark(self.watermark());
-        let threshold = probability_to_threshold(probability);
-        let mut rng_state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        let mut next = || {
-            rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = rng_state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
-        let lines = self.size / CACHE_LINE;
-        for line in 0..lines as u32 {
-            let evicted = threshold != 0 && next() < threshold;
-            let base = line * CACHE_LINE as u32;
-            for i in 0..(CACHE_LINE as u32 / 8) {
-                let off = base + i * 8;
-                let src = if evicted {
-                    // The line was written back at crash time: its working
-                    // content survives.
-                    self.working_u64(off).load(Ordering::Acquire)
-                } else {
-                    self.persistent_u64(off).load(Ordering::Acquire)
-                };
-                recovered.working_u64(off).store(src, Ordering::Release);
-                recovered.persistent_u64(off).store(src, Ordering::Release);
+        match &self.inner {
+            PoolImpl::Sim(s) => {
+                let sim = s.simulate_crash_with_evictions(probability, seed);
+                PmemPool {
+                    inner: PoolImpl::Sim(Box::new(sim)),
+                    ext_stats: Stats::default(),
+                    config: self.config,
+                }
             }
+            PoolImpl::Ext(b) => panic!(
+                "simulate_crash is only available on the simulated backend; the '{}' backend \
+                 is crashed for real (kill the process, then reopen the pool file)",
+                b.kind()
+            ),
         }
-        recovered
     }
 }
 
-fn probability_to_threshold(probability: f64) -> u64 {
-    if probability <= 0.0 {
-        0
-    } else if probability >= 1.0 {
-        u64::MAX
-    } else {
-        (probability * u64::MAX as f64) as u64
-    }
-}
+const RELAXED: std::sync::atomic::Ordering = std::sync::atomic::Ordering::Relaxed;
 
 #[cfg(test)]
 mod tests {
@@ -667,6 +616,55 @@ mod tests {
         for _ in 0..1024 {
             p.alloc_raw(4096, 64);
         }
+    }
+
+    #[test]
+    fn alloc_raw_panic_message_carries_diagnostics() {
+        let p = PmemPool::new(PoolConfig::test_with_size(1 << 12));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            p.alloc_raw(4096, 64);
+        }))
+        .expect_err("must exhaust");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("exhausted"), "{msg}");
+        assert!(msg.contains("requested 4096 bytes"), "{msg}");
+        assert!(msg.contains("watermark"), "{msg}");
+        assert!(msg.contains("capacity"), "{msg}");
+    }
+
+    #[test]
+    fn try_alloc_raw_reports_exhaustion_without_unwinding() {
+        let p = PmemPool::new(PoolConfig::test_with_size(1 << 20));
+        let cap = p.len();
+        let mut allocated = 0u32;
+        let err = loop {
+            match p.try_alloc_raw(4096, 64) {
+                Ok(_) => allocated += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(allocated >= 1, "a fresh pool satisfies at least one page");
+        assert_eq!(err.requested, 4096);
+        assert_eq!(err.align, 64);
+        assert_eq!(err.capacity, cap);
+        assert!(err.watermark as usize <= cap);
+        assert!((err.watermark as usize) + 4096 > cap, "truly out of space");
+        // The pool keeps working for smaller requests that still fit.
+        let free = cap - err.watermark as usize;
+        if free >= 72 {
+            assert!(p.try_alloc_raw(8, 8).is_ok());
+        }
+        // The error formats with every diagnostic.
+        let rendered = err.to_string();
+        assert!(rendered.contains("watermark"), "{rendered}");
+        assert!(rendered.contains("free"), "{rendered}");
+    }
+
+    #[test]
+    fn try_alloc_raw_handles_offset_overflow() {
+        let p = pool();
+        let err = p.try_alloc_raw(u32::MAX, 8).expect_err("cannot fit");
+        assert_eq!(err.requested, u32::MAX);
     }
 
     #[test]
@@ -921,5 +919,159 @@ mod tests {
         assert_eq!(p.watermark(), w);
         p.set_watermark(w + 4096);
         assert_eq!(p.watermark(), w + 4096);
+    }
+
+    #[test]
+    fn root_slots_survive_a_simulated_crash() {
+        let p = pool();
+        assert_eq!(p.root_u64(0), 0);
+        p.set_root_u64(0, 0xDEAD);
+        p.set_root_u64(7, 42);
+        assert_eq!(p.root_u64(0), 0xDEAD);
+        let r = p.simulate_crash();
+        assert_eq!(r.root_u64(0), 0xDEAD);
+        assert_eq!(r.root_u64(7), 42);
+        assert_eq!(r.root_u64(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root slot")]
+    fn out_of_range_root_slot_is_rejected() {
+        pool().root_u64(ROOT_SLOTS);
+    }
+
+    #[test]
+    fn sim_backend_identifies_itself_and_ignores_sync() {
+        let p = pool();
+        assert_eq!(p.backend_kind(), "sim");
+        assert!(p.is_sim());
+        p.sync(); // no-op on sim
+        p.mark_clean(true); // no-op on sim
+    }
+
+    /// A minimal heap-backed external backend, exercising the `Ext` arm of
+    /// every dispatch path (the real file backend lives in `crates/store`).
+    struct HeapBackend {
+        words: Box<[std::sync::atomic::AtomicU64]>,
+        watermark: std::sync::atomic::AtomicU32,
+        roots: [std::sync::atomic::AtomicU64; ROOT_SLOTS],
+    }
+
+    impl HeapBackend {
+        fn new(size: usize) -> Self {
+            HeapBackend {
+                words: (0..size / 8)
+                    .map(|_| std::sync::atomic::AtomicU64::new(0))
+                    .collect(),
+                watermark: std::sync::atomic::AtomicU32::new(HEAP_START),
+                roots: Default::default(),
+            }
+        }
+    }
+
+    impl PoolBackend for HeapBackend {
+        fn kind(&self) -> &'static str {
+            "heap-test"
+        }
+        fn len(&self) -> usize {
+            self.words.len() * 8
+        }
+        fn load_u64(&self, off: u32) -> u64 {
+            self.words[off as usize / 8].load(std::sync::atomic::Ordering::Acquire)
+        }
+        fn store_u64(&self, off: u32, val: u64) {
+            self.words[off as usize / 8].store(val, std::sync::atomic::Ordering::Release)
+        }
+        fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
+            self.words[off as usize / 8].compare_exchange(
+                current,
+                new,
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+            )
+        }
+        fn fetch_add_u64(&self, off: u32, val: u64) -> u64 {
+            self.words[off as usize / 8].fetch_add(val, std::sync::atomic::Ordering::AcqRel)
+        }
+        fn swap_u64(&self, off: u32, val: u64) -> u64 {
+            self.words[off as usize / 8].swap(val, std::sync::atomic::Ordering::AcqRel)
+        }
+        fn flush(&self, _tid: usize, _off: u32) {}
+        fn sfence(&self, _tid: usize) {}
+        fn nt_store_u64(&self, _tid: usize, off: u32, val: u64) {
+            self.store_u64(off, val)
+        }
+        fn persist_now(&self, _off: u32) {}
+        fn zero_range(&self, off: u32, len: u32) {
+            for i in 0..len / 8 {
+                self.store_u64(off + i * 8, 0);
+            }
+        }
+        fn watermark(&self) -> u32 {
+            self.watermark.load(std::sync::atomic::Ordering::Acquire)
+        }
+        fn cas_watermark(&self, current: u32, new: u32) -> Result<u32, u32> {
+            self.watermark.compare_exchange(
+                current,
+                new,
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+            )
+        }
+        fn root_u64(&self, slot: usize) -> u64 {
+            self.roots[slot].load(std::sync::atomic::Ordering::Acquire)
+        }
+        fn set_root_u64(&self, slot: usize, val: u64) {
+            self.roots[slot].store(val, std::sync::atomic::Ordering::Release)
+        }
+    }
+
+    fn ext_pool() -> PmemPool {
+        PmemPool::from_backend(Box::new(HeapBackend::new(1 << 20)))
+    }
+
+    #[test]
+    fn external_backend_dispatches_and_counts() {
+        let p = ext_pool();
+        assert_eq!(p.backend_kind(), "heap-test");
+        assert!(!p.is_sim());
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 5);
+        assert_eq!(p.load_u64(off), 5);
+        assert_eq!(p.cas_u64(off, 5, 6), Ok(5));
+        assert_eq!(p.fetch_add_u64(off, 1), 6);
+        assert_eq!(p.swap_u64(off, 9), 7);
+        p.flush(0, off);
+        p.sfence(0);
+        p.nt_store_u64(0, off + 8, 3);
+        p.zero_range(off, 64);
+        p.persist_now(off);
+        p.mark_line_cached(off);
+        let s = p.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 9); // 1 store_u64 + 8 words of zero_range
+        assert_eq!(s.cas_ops, 3);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.flushes, 2); // flush + persist_now
+        assert_eq!(s.nt_stores, 1);
+        p.reset_stats();
+        assert_eq!(p.stats(), StatsSnapshot::default());
+        // Root slots and watermark delegate too.
+        p.set_root_u64(1, 11);
+        assert_eq!(p.root_u64(1), 11);
+        assert!(p.watermark() >= HEAP_START + 64);
+    }
+
+    #[test]
+    fn external_backend_alloc_exhaustion_reports_details() {
+        let p = ext_pool();
+        let err = p.try_alloc_raw(u32::MAX, 8).expect_err("cannot fit");
+        assert_eq!(err.capacity, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulate_crash is only available")]
+    fn external_backend_rejects_simulated_crash() {
+        let _ = ext_pool().simulate_crash();
     }
 }

@@ -50,10 +50,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod manifest;
 pub mod recovery;
 pub mod route;
 pub mod sharded;
 
+pub use manifest::{ShardManifest, MANIFEST_FILE, MANIFEST_VERSION};
 pub use recovery::{RecoveryOrchestrator, RecoveryReport, ShardRecovery};
 pub use route::RoutePolicy;
 pub use sharded::{ShardConfig, ShardedQueue};

@@ -1,0 +1,261 @@
+//! Real process-restart recovery of a **4-shard directory**: a child
+//! process creates a file-backed sharded queue through
+//! `RecoveryOrchestrator::create_dir`, drives traffic, is SIGKILLed
+//! mid-traffic, and the parent recovers the whole deployment from nothing
+//! but the directory — manifest first, then every shard's pool file in
+//! parallel — checking a linearizable suffix.
+//!
+//! Ack protocol and checks are the single-pool crash test's (see
+//! `crates/store/tests/crash_restart.rs`), adapted to the sharded contract:
+//! the global drain is not FIFO (shards are independent), but each shard's
+//! residue must replay the single producer's sequence in increasing order.
+
+use durable_queues::QueueConfig;
+use durable_queues::{DurableMsQueue, DurableQueue, OptUnlinkedQueue, RecoverableQueue};
+use shard::{RecoveryOrchestrator, RoutePolicy, ShardConfig, ShardManifest};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use store::FileConfig;
+
+const ENV_DIR: &str = "SHARD_CRASH_CHILD_DIR";
+const ENV_ALGO: &str = "SHARD_CRASH_CHILD_ALGO";
+const SHARDS: usize = 4;
+
+fn queue_config() -> QueueConfig {
+    QueueConfig {
+        max_threads: 8,
+        area_size: 512 * 1024,
+    }
+}
+
+fn shard_config() -> ShardConfig {
+    ShardConfig {
+        shards: SHARDS,
+        queue: queue_config(),
+        pool: pmem::PoolConfig::test_with_size(32 << 20),
+        policy: RoutePolicy::RoundRobin,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Child side
+// ---------------------------------------------------------------------
+
+/// Hidden child entry point (no-op unless the parent re-executes this test
+/// binary with the env vars set).
+#[test]
+fn shard_crash_child_entry() {
+    let Ok(dir) = std::env::var(ENV_DIR) else {
+        return;
+    };
+    let algo = std::env::var(ENV_ALGO).unwrap_or_else(|_| "durable_msq".into());
+    let dir = Path::new(&dir);
+    match algo.as_str() {
+        "durable_msq" => run_child::<DurableMsQueue>(dir),
+        "opt_unlinked" => run_child::<OptUnlinkedQueue>(dir),
+        other => panic!("child: unknown algorithm {other}"),
+    }
+}
+
+fn run_child<Q: RecoverableQueue>(dir: &Path) {
+    let orch = RecoveryOrchestrator::new(SHARDS);
+    let queue: shard::ShardedQueue<Q> = orch
+        .create_dir(dir, shard_config(), FileConfig::with_size(32 << 20))
+        .expect("child: create shard dir");
+    let mut enq_log = std::fs::File::create(dir.join("enq.log")).expect("child: enq log");
+    let mut deq_log = std::fs::File::create(dir.join("deq.log")).expect("child: deq log");
+    std::thread::scope(|scope| {
+        let q = &queue;
+        scope.spawn(move || {
+            for seq in 1..=2_000_000u64 {
+                q.enqueue(0, seq);
+                enq_log
+                    .write_all(format!("E {seq}\n").as_bytes())
+                    .expect("child: enq ack");
+            }
+        });
+        scope.spawn(move || loop {
+            if let Some(v) = q.dequeue(1) {
+                deq_log
+                    .write_all(format!("D {v}\n").as_bytes())
+                    .expect("child: deq ack");
+            }
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------
+
+fn read_acks(path: &Path) -> BTreeSet<u64> {
+    let Ok(raw) = std::fs::read(path) else {
+        return BTreeSet::new();
+    };
+    let text = String::from_utf8_lossy(&raw);
+    let mut out = BTreeSet::new();
+    for line in text.split_inclusive('\n') {
+        let Some(body) = line.strip_suffix('\n') else {
+            break; // torn tail: an unacknowledged operation
+        };
+        let num = body[1..].trim().parse::<u64>().expect("malformed ack");
+        assert!(out.insert(num), "duplicate ack {num}");
+    }
+    out
+}
+
+fn crash_round<Q: RecoverableQueue>(algo: &str) {
+    let dir = std::env::temp_dir().join(format!("shard-dir-crash-{algo}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut child = Command::new(std::env::current_exe().unwrap())
+        .args(["shard_crash_child_entry", "--exact", "--nocapture"])
+        .env(ENV_DIR, &dir)
+        .env(ENV_ALGO, algo)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child");
+    // Poll with a plain newline count; the full parse runs after the kill.
+    let count_lines = |path: &Path| {
+        std::fs::read(path)
+            .map(|raw| raw.iter().filter(|&&b| b == b'\n').count())
+            .unwrap_or(0)
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while count_lines(&dir.join("enq.log")) < 500 {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("child exited prematurely ({status}) before reaching traffic");
+        }
+        assert!(Instant::now() < deadline, "child made no progress");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    // A fresh "process": recover the whole deployment from the directory.
+    let orch = RecoveryOrchestrator::new(SHARDS);
+    let (queue, report, manifest) = orch
+        .open_dir::<Q>(&dir, queue_config())
+        .expect("recover from directory");
+    assert_eq!(manifest.shards(), SHARDS);
+    assert_eq!(manifest.policy, RoutePolicy::RoundRobin);
+    assert_eq!(report.per_shard.len(), SHARDS);
+    assert_eq!(queue.shard_count(), SHARDS);
+
+    let acked_e = read_acks(&dir.join("enq.log"));
+    let acked_d = read_acks(&dir.join("deq.log"));
+
+    // Drain shard by shard: stronger than a global drain, because each
+    // shard's residue must replay the producer's sequence in order.
+    let mut drained = Vec::new();
+    for i in 0..SHARDS {
+        let mut last = None;
+        while let Some(v) = queue.shard(i).dequeue(0) {
+            if let Some(prev) = last {
+                assert!(v > prev, "shard {i}: FIFO violated ({v} after {prev})");
+            }
+            last = Some(v);
+            drained.push(v);
+        }
+    }
+    let r_set: BTreeSet<u64> = drained.iter().copied().collect();
+    assert_eq!(r_set.len(), drained.len(), "duplicated item in the residue");
+
+    let resurrected: Vec<u64> = r_set.intersection(&acked_d).copied().collect();
+    assert!(
+        resurrected.is_empty(),
+        "resurrected dequeues: {resurrected:?}"
+    );
+    let missing: Vec<u64> = acked_e
+        .iter()
+        .filter(|v| !acked_d.contains(v) && !r_set.contains(v))
+        .copied()
+        .collect();
+    assert!(missing.len() <= 1, "confirmed items lost: {missing:?}");
+    let extras: Vec<u64> = r_set.difference(&acked_e).copied().collect();
+    assert!(extras.len() <= 1, "unconfirmed extras: {extras:?}");
+
+    eprintln!(
+        "[{algo} x{SHARDS}] confirmed enqueues {}, confirmed dequeues {}, recovered {} ({})",
+        acked_e.len(),
+        acked_d.len(),
+        drained.len(),
+        report.summary()
+    );
+    assert!(acked_e.len() >= 500, "kill landed before real traffic");
+
+    // The recovered sharded queue serves post-restart traffic.
+    queue.enqueue(2, u64::MAX);
+    assert_eq!(queue.dequeue(2), Some(u64::MAX));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_4_shard_durable_msq_recovers_via_manifest() {
+    crash_round::<DurableMsQueue>("durable_msq");
+}
+
+#[test]
+fn killed_4_shard_opt_unlinked_recovers_via_manifest() {
+    crash_round::<OptUnlinkedQueue>("opt_unlinked");
+}
+
+/// Clean create → drop → reopen: the directory round-trips exactly, and the
+/// manifest (not the caller) dictates shard count and policy.
+#[test]
+fn clean_dir_restart_recovers_exact_content() {
+    let dir = std::env::temp_dir().join(format!("shard-dir-clean-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let orch = RecoveryOrchestrator::new(SHARDS);
+    {
+        let queue: shard::ShardedQueue<DurableMsQueue> = orch
+            .create_dir(
+                &dir,
+                shard_config().with_policy(RoutePolicy::KeyHash),
+                FileConfig::with_size(16 << 20),
+            )
+            .unwrap();
+        for i in 1..=2_000u64 {
+            queue.enqueue(0, i);
+        }
+        for _ in 0..500 {
+            queue.dequeue(0).unwrap();
+        }
+    }
+
+    let (queue, report, manifest) = orch
+        .open_dir::<DurableMsQueue>(&dir, queue_config())
+        .unwrap();
+    // The policy came from the manifest, not from any caller-side config.
+    assert_eq!(manifest.policy, RoutePolicy::KeyHash);
+    assert_eq!(queue.policy(), RoutePolicy::KeyHash);
+    assert!(report.sequential_cost() >= report.critical_path());
+    let mut rest: Vec<u64> = std::iter::from_fn(|| queue.dequeue(0)).collect();
+    rest.sort_unstable();
+    assert_eq!(rest, (501..=2_000).collect::<Vec<_>>());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A directory without a manifest is refused with a useful error.
+#[test]
+fn open_dir_without_manifest_is_refused() {
+    let dir = std::env::temp_dir().join(format!("shard-dir-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = RecoveryOrchestrator::new(2)
+        .open_dir::<DurableMsQueue>(&dir, queue_config())
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    // Mention the manifest so the operator knows what is missing.
+    let _ = ShardManifest::read(&dir).unwrap_err();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

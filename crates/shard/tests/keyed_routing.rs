@@ -1,0 +1,156 @@
+//! Keyed-routing edge cases: per-key FIFO must hold even where the routing
+//! degenerates — a single shard (every key collides on shard 0), distinct
+//! keys whose hashes collide on one shard, and the "empty" key 0 (the
+//! default key of callers that route everything together).
+//!
+//! Property-tested: arbitrary interleavings of keyed enqueues (driven by a
+//! seeded mix) followed by a full drain must replay every key's sequence in
+//! increasing order, with nothing lost, duplicated or invented.
+
+use durable_queues::{DurableQueue, KeyedQueue, OptUnlinkedQueue, QueueConfig};
+use pmem::PoolConfig;
+use proptest::prelude::*;
+use shard::{RoutePolicy, ShardConfig, ShardedQueue};
+use std::collections::HashMap;
+
+fn sharded(shards: usize) -> ShardedQueue<OptUnlinkedQueue> {
+    ShardedQueue::create(ShardConfig {
+        shards,
+        queue: QueueConfig::small_test(),
+        pool: PoolConfig::test_with_size(8 << 20),
+        policy: RoutePolicy::KeyHash,
+    })
+}
+
+fn encode(key: u64, seq: u64) -> u64 {
+    (key << 32) | seq
+}
+
+fn decode(v: u64) -> (u64, u64) {
+    (v >> 32, v & 0xFFFF_FFFF)
+}
+
+/// Enqueues `per_key` items for every key in `keys`, interleaved in a
+/// seeded round-robin-ish order, then drains the whole queue and checks the
+/// per-key FIFO, no-loss and no-duplication conditions.
+fn check_per_key_fifo(
+    queue: &ShardedQueue<OptUnlinkedQueue>,
+    keys: &[u64],
+    per_key: u64,
+    seed: u64,
+) {
+    let mut next_seq: HashMap<u64, u64> = keys.iter().map(|&k| (k, 1)).collect();
+    let mut remaining: u64 = keys.len() as u64 * per_key;
+    let mut state = seed | 1;
+    while remaining > 0 {
+        // SplitMix-ish step picks which key enqueues next.
+        state = state
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        let pick = (state >> 33) as usize % keys.len();
+        // Skip keys that already emitted their quota.
+        let key = (0..keys.len())
+            .map(|i| keys[(pick + i) % keys.len()])
+            .find(|k| next_seq[k] <= per_key)
+            .unwrap();
+        let seq = next_seq[&key];
+        queue.enqueue_keyed(0, key, encode(key, seq));
+        next_seq.insert(key, seq + 1);
+        remaining -= 1;
+    }
+
+    let mut last_seq: HashMap<u64, u64> = HashMap::new();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    while let Some(v) = queue.dequeue(0) {
+        let (key, seq) = decode(v);
+        assert!(keys.contains(&key), "invented key {key}");
+        if let Some(&prev) = last_seq.get(&key) {
+            assert!(
+                seq > prev,
+                "per-key FIFO violated for key {key}: {seq} after {prev}"
+            );
+        }
+        last_seq.insert(key, seq);
+        *counts.entry(key).or_default() += 1;
+    }
+    for &key in keys {
+        assert_eq!(
+            counts.get(&key).copied().unwrap_or(0),
+            per_key,
+            "key {key} lost or duplicated items"
+        );
+    }
+}
+
+/// Two distinct keys whose hashes land on the same shard of `queue`; the
+/// interesting collision case for per-key FIFO.
+fn colliding_keys(queue: &ShardedQueue<OptUnlinkedQueue>) -> (u64, u64) {
+    let first = 1u64;
+    let shard = queue.shard_for_key(first);
+    let second = (2..)
+        .find(|&k| queue.shard_for_key(k) == shard)
+        .expect("some key collides");
+    (first, second)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shard count 1: every key degenerates onto the same shard, so even
+    /// *global* FIFO must hold across arbitrary key mixes.
+    #[test]
+    fn single_shard_keeps_per_key_fifo(seed in 0u64..1_000_000, per_key in 5u64..40) {
+        let queue = sharded(1);
+        let keys = [0u64, 1, 7, 0xFFFF_FFFF];
+        check_per_key_fifo(&queue, &keys, per_key, seed);
+    }
+
+    /// Keys that hash-collide onto one shard interleave on that shard
+    /// without breaking either key's order.
+    #[test]
+    fn colliding_hash_keys_keep_per_key_fifo(seed in 0u64..1_000_000, per_key in 5u64..40) {
+        let queue = sharded(8);
+        let (a, b) = colliding_keys(&queue);
+        prop_assert_eq!(queue.shard_for_key(a), queue.shard_for_key(b));
+        check_per_key_fifo(&queue, &[a, b], per_key, seed);
+    }
+
+    /// The "empty" key 0 is an ordinary key: it routes deterministically
+    /// and keeps FIFO order, also when mixed with non-empty keys.
+    #[test]
+    fn empty_key_routes_deterministically_and_keeps_fifo(seed in 0u64..1_000_000, per_key in 5u64..40) {
+        let queue = sharded(4);
+        let home = queue.shard_for_key(0);
+        // Determinism: the empty key always lands on its home shard.
+        for _ in 0..3 {
+            prop_assert_eq!(queue.shard_for_key(0), home);
+        }
+        check_per_key_fifo(&queue, &[0, 3, 11], per_key, seed);
+    }
+}
+
+/// Singleton edge cases that need no property sweep.
+#[test]
+fn keyed_routing_degenerate_cases() {
+    // One shard, one key, one item.
+    let queue = sharded(1);
+    queue.enqueue_keyed(0, 0, 42);
+    assert_eq!(queue.shard_for_key(0), 0);
+    assert_eq!(queue.dequeue(0), Some(42));
+    assert_eq!(queue.dequeue(0), None);
+
+    // Keyed enqueues land on the key's shard even under a non-hash global
+    // policy (the documented contract of `enqueue_keyed`).
+    let rr = ShardedQueue::<OptUnlinkedQueue>::create(ShardConfig {
+        shards: 4,
+        queue: QueueConfig::small_test(),
+        pool: PoolConfig::test_with_size(8 << 20),
+        policy: RoutePolicy::RoundRobin,
+    });
+    for seq in 0..16u64 {
+        rr.enqueue_keyed(0, 5, encode(5, seq));
+    }
+    let home = rr.shard_for_key(5);
+    let on_home: Vec<u64> = std::iter::from_fn(|| rr.shard(home).dequeue(0)).collect();
+    assert_eq!(on_home.len(), 16, "all items of key 5 live on its shard");
+}

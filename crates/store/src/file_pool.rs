@@ -1,0 +1,770 @@
+//! The memory-mapped, file-backed persistent pool.
+//!
+//! A [`FilePool`] implements [`pmem::PoolBackend`] over a shared mapping of
+//! an ordinary file, so every queue algorithm in the workspace — they all
+//! operate on `Arc<PmemPool>` — runs unchanged on storage that survives a
+//! real process restart. Wrap it with [`FilePool::into_pool`] and hand the
+//! result to `RecoverableQueue::create` / `recover` exactly like a simulated
+//! pool.
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! byte 0                                  byte 4096             4096+pool_size
+//! ┌──────────────────────────────────────┬─────────────────────────────┐
+//! │ header page                          │ pool bytes                  │
+//! │  0  magic      u64  "DQSTORE1"       │ offset-addressed space;     │
+//! │  8  version    u32  = 1              │ offset 0 is reserved        │
+//! │ 12  header_len u32  = 4096           │ (PRef::NULL), the queue     │
+//! │ 16  pool_size  u64                   │ root block and the ssmem    │
+//! │ 24  root_slots u32  = 8              │ directory sit at the fixed  │
+//! │ 28  geo_crc    u32  CRC-32 of [0,28) │ pmem::layout offsets, the   │
+//! │ 32  flags      u32  bit0 = clean     │ heap above HEAP_START       │
+//! │ 36  watermark  u32  (atomic)         │                             │
+//! │ 64  roots      [u64; 8] (atomic)     │                             │
+//! │ ...zero...                           │                             │
+//! └──────────────────────────────────────┴─────────────────────────────┘
+//! ```
+//!
+//! The geometry CRC covers only the immutable fields (magic through
+//! root-slot count): the mutable words below it — flags, watermark, roots —
+//! are each a single naturally-aligned word updated atomically in place, so
+//! they are always self-consistent and deliberately outside the checksum.
+//!
+//! ## Durability model
+//!
+//! Stores go straight into the shared mapping, i.e. the OS page cache.
+//! Against a **process crash** (`kill -9` included) everything already
+//! stored is therefore durable — the page cache outlives the process — and
+//! the flush/fence discipline costs only the real `CLWB`/`SFENCE`
+//! instructions ([`SyncPolicy::ProcessCrash`], the default). Against
+//! **power failure** the pool must reach the medium:
+//! [`SyncPolicy::PowerFail`] additionally `msync`s, at every fence, the
+//! pages the fencing thread flushed since its previous fence — the
+//! file-system analogue of the paper's flush+SFENCE discipline. On DAX
+//! mounts (real NVRAM mapped cache-coherently) the `CLWB`+`SFENCE` path
+//! alone is the durability barrier, and `ProcessCrash` is the right mode.
+//! Either way [`PmemPool::sync`] performs a full `msync` + `fsync`
+//! checkpoint, and an orderly drop marks the header clean; a killed process
+//! leaves the dirty flag set, which [`FilePool::was_clean`] reports on
+//! reopen.
+
+use crate::crc::crc32;
+use crate::mmap::{page_size, MmapRegion};
+use crossbeam_utils::CachePadded;
+use pmem::layout::{self, CACHE_LINE};
+use pmem::{PmemPool, PoolBackend, MAX_THREADS, ROOT_SLOTS};
+use std::cell::UnsafeCell;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `"DQSTORE1"` in little-endian byte order.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"DQSTORE1");
+
+/// Pool-file format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the pool-file header page; pool offset 0 maps to this file byte.
+pub const HEADER_LEN: usize = 4096;
+
+// Header field byte offsets (see the module docs for the layout diagram).
+const H_MAGIC: usize = 0;
+const H_VERSION: usize = 8;
+const H_HEADER_LEN: usize = 12;
+const H_POOL_SIZE: usize = 16;
+const H_ROOT_SLOTS: usize = 24;
+const H_GEO_CRC: usize = 28;
+const H_FLAGS: usize = 32;
+const H_WATERMARK: usize = 36;
+const H_ROOTS: usize = 64;
+
+/// Extent of the geometry fields the header CRC covers.
+const GEO_LEN: usize = H_GEO_CRC;
+
+/// `flags` bit: the pool was closed in an orderly fashion.
+const FLAG_CLEAN: u32 = 1;
+
+/// What a fence must guarantee. See the [module docs](self#durability-model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Durable against process crashes (and against any crash on DAX-mapped
+    /// NVRAM): flush/fence execute the real `CLWB`/`SFENCE` instructions
+    /// only; stores are already in the OS page cache.
+    #[default]
+    ProcessCrash,
+    /// Durable against power failure on ordinary storage: every fence also
+    /// `msync(MS_SYNC)`s the pages its thread flushed since the last fence.
+    PowerFail,
+}
+
+impl SyncPolicy {
+    /// Short identifier used on the command line.
+    pub fn key(&self) -> &'static str {
+        match self {
+            SyncPolicy::ProcessCrash => "process-crash",
+            SyncPolicy::PowerFail => "power-fail",
+        }
+    }
+
+    /// Parses a (case-insensitive) policy name.
+    pub fn parse(s: &str) -> Option<SyncPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "process-crash" | "processcrash" | "process" | "cache" => {
+                Some(SyncPolicy::ProcessCrash)
+            }
+            "power-fail" | "powerfail" | "power" | "msync" => Some(SyncPolicy::PowerFail),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of a fresh pool file.
+#[derive(Clone, Copy, Debug)]
+pub struct FileConfig {
+    /// Pool size in bytes (the offset-addressed space, excluding the
+    /// header). Rounded up to a whole number of cache lines; must leave room
+    /// for the fixed layout regions.
+    pub size: usize,
+    /// Fence durability policy.
+    pub sync: SyncPolicy,
+}
+
+impl FileConfig {
+    /// A pool of `size` bytes under the default (process-crash) policy.
+    pub fn with_size(size: usize) -> Self {
+        FileConfig {
+            size,
+            sync: SyncPolicy::default(),
+        }
+    }
+
+    /// Overrides the fence durability policy.
+    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+}
+
+impl Default for FileConfig {
+    fn default() -> Self {
+        Self::with_size(64 << 20)
+    }
+}
+
+/// Per-thread pages with outstanding flushes (power-fail policy only);
+/// same single-owner-per-tid discipline as the pool's persist API.
+#[derive(Default)]
+struct PendingPages(UnsafeCell<Vec<usize>>);
+
+// SAFETY: each slot is only accessed by the single thread owning the tid.
+unsafe impl Sync for PendingPages {}
+
+/// The file-backed pool. See the [module docs](self).
+pub struct FilePool {
+    map: MmapRegion,
+    file: File,
+    path: PathBuf,
+    size: usize,
+    policy: SyncPolicy,
+    was_clean: bool,
+    pending: Box<[CachePadded<PendingPages>]>,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl FilePool {
+    /// Creates (or overwrites) a pool file at `path` and opens it. The pool
+    /// starts zeroed with the watermark at [`layout::HEAP_START`], dirty
+    /// until dropped cleanly.
+    pub fn create(path: impl AsRef<Path>, config: FileConfig) -> io::Result<FilePool> {
+        let path = path.as_ref().to_path_buf();
+        let min = layout::HEAP_START as usize + CACHE_LINE;
+        // Ceiling leaves headroom for the cache-line round-up (align_up
+        // computes n + align - 1 left to right): anything above
+        // u32::MAX - 64 would overflow the 32-bit offset arithmetic.
+        let max = u32::MAX as usize - CACHE_LINE;
+        let size = layout::align_up(config.size.clamp(min, max) as u32, CACHE_LINE as u32) as usize;
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len((HEADER_LEN + size) as u64)?;
+        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
+        let pool = FilePool {
+            map,
+            file,
+            path,
+            size,
+            policy: config.sync,
+            was_clean: true,
+            pending: new_pending(),
+        };
+        pool.write_header();
+        pool.map.msync(0, HEADER_LEN)?;
+        Ok(pool)
+    }
+
+    /// Opens an existing pool file, validating magic, format version,
+    /// geometry CRC, size and watermark. The previous session's clean flag
+    /// is captured in [`was_clean`](Self::was_clean), then the pool is
+    /// marked dirty for the new session.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FilePool> {
+        Self::open_with_sync(path, SyncPolicy::default())
+    }
+
+    /// [`open`](Self::open) with an explicit fence durability policy.
+    pub fn open_with_sync(path: impl AsRef<Path>, sync: SyncPolicy) -> io::Result<FilePool> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::options().read(true).write(true).open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN as u64 {
+            return Err(invalid(format!(
+                "{}: {} bytes is too short to hold a pool-file header",
+                path.display(),
+                file_len
+            )));
+        }
+        // Map the header page first: geometry must be validated before the
+        // pool size is trusted for the full mapping.
+        let header_map = MmapRegion::map(&file, HEADER_LEN)?;
+        let header =
+            // SAFETY: the mapping is at least HEADER_LEN bytes.
+            unsafe { std::slice::from_raw_parts(header_map.as_ptr(), HEADER_LEN) };
+        let read_u64 = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().unwrap());
+        let read_u32 = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().unwrap());
+        if read_u64(H_MAGIC) != MAGIC {
+            return Err(invalid(format!(
+                "{}: bad magic {:#018x} (not a durable-queues pool file)",
+                path.display(),
+                read_u64(H_MAGIC)
+            )));
+        }
+        let version = read_u32(H_VERSION);
+        if version != FORMAT_VERSION {
+            return Err(invalid(format!(
+                "{}: pool-file format version {} (this build reads {})",
+                path.display(),
+                version,
+                FORMAT_VERSION
+            )));
+        }
+        let geo_crc = crc32(&header[..GEO_LEN]);
+        if geo_crc != read_u32(H_GEO_CRC) {
+            return Err(invalid(format!(
+                "{}: header CRC mismatch (stored {:#010x}, computed {:#010x})",
+                path.display(),
+                read_u32(H_GEO_CRC),
+                geo_crc
+            )));
+        }
+        if read_u32(H_HEADER_LEN) as usize != HEADER_LEN
+            || read_u32(H_ROOT_SLOTS) as usize != ROOT_SLOTS
+        {
+            return Err(invalid(format!(
+                "{}: unsupported geometry (header_len {}, root_slots {})",
+                path.display(),
+                read_u32(H_HEADER_LEN),
+                read_u32(H_ROOT_SLOTS)
+            )));
+        }
+        let size = read_u64(H_POOL_SIZE) as usize;
+        if size > u32::MAX as usize || (HEADER_LEN + size) as u64 > file_len {
+            return Err(invalid(format!(
+                "{}: header claims {} pool bytes but the file holds {}",
+                path.display(),
+                size,
+                file_len.saturating_sub(HEADER_LEN as u64)
+            )));
+        }
+        let watermark = read_u32(H_WATERMARK);
+        if watermark < layout::HEAP_START || watermark as usize > size {
+            return Err(invalid(format!(
+                "{}: corrupt watermark {} (heap starts at {}, pool size {})",
+                path.display(),
+                watermark,
+                layout::HEAP_START,
+                size
+            )));
+        }
+        let was_clean = read_u32(H_FLAGS) & FLAG_CLEAN != 0;
+        drop(header_map);
+
+        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
+        let pool = FilePool {
+            map,
+            file,
+            path,
+            size,
+            policy: sync,
+            was_clean,
+            pending: new_pending(),
+        };
+        pool.set_flags(false); // dirty while open
+        pool.map.msync(0, HEADER_LEN)?;
+        Ok(pool)
+    }
+
+    /// Whether the previous session closed this pool cleanly. `true` for a
+    /// freshly created pool; `false` after a crash/kill, in which case the
+    /// caller should run the queue's `recover` procedure (running it after a
+    /// clean shutdown is also always safe).
+    pub fn was_clean(&self) -> bool {
+        self.was_clean
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fence durability policy in effect.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Wraps this backend in an [`Arc<PmemPool>`] — the handle every queue
+    /// constructor takes.
+    pub fn into_pool(self) -> Arc<PmemPool> {
+        Arc::new(PmemPool::from_backend(Box::new(self)))
+    }
+
+    // ------------------------------------------------------------------
+    // Raw access helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn check_bounds(&self, off: u32, bytes: u32) {
+        debug_assert!(
+            off as usize + bytes as usize <= self.size,
+            "pool access out of bounds"
+        );
+        debug_assert_eq!(off % bytes, 0, "unaligned pool access");
+    }
+
+    /// The mapped address of pool offset `off`.
+    #[inline]
+    fn addr(&self, off: u32) -> *mut u8 {
+        // SAFETY: callers stay within HEADER_LEN + size (debug-checked).
+        unsafe { self.map.as_ptr().add(HEADER_LEN + off as usize) }
+    }
+
+    #[inline]
+    fn word(&self, off: u32) -> &AtomicU64 {
+        self.check_bounds(off, 8);
+        // SAFETY: in bounds, 8-byte aligned (the mapping is page aligned),
+        // and only ever accessed atomically.
+        unsafe { &*(self.addr(off) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn header_u32(&self, off: usize) -> &AtomicU32 {
+        debug_assert!(off + 4 <= HEADER_LEN && off.is_multiple_of(4));
+        // SAFETY: in bounds of the header page, 4-byte aligned.
+        unsafe { &*(self.map.as_ptr().add(off) as *const AtomicU32) }
+    }
+
+    #[inline]
+    fn header_u64(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(off + 8 <= HEADER_LEN && off.is_multiple_of(8));
+        // SAFETY: in bounds of the header page, 8-byte aligned.
+        unsafe { &*(self.map.as_ptr().add(off) as *const AtomicU64) }
+    }
+
+    /// Fills in a fresh header (create path; the mapping is zeroed).
+    fn write_header(&self) {
+        self.header_u64(H_MAGIC).store(MAGIC, Ordering::Relaxed);
+        self.header_u32(H_VERSION)
+            .store(FORMAT_VERSION, Ordering::Relaxed);
+        self.header_u32(H_HEADER_LEN)
+            .store(HEADER_LEN as u32, Ordering::Relaxed);
+        self.header_u64(H_POOL_SIZE)
+            .store(self.size as u64, Ordering::Relaxed);
+        self.header_u32(H_ROOT_SLOTS)
+            .store(ROOT_SLOTS as u32, Ordering::Relaxed);
+        // SAFETY: the header page is mapped and at least GEO_LEN bytes.
+        let geo = unsafe { std::slice::from_raw_parts(self.map.as_ptr(), GEO_LEN) };
+        self.header_u32(H_GEO_CRC)
+            .store(crc32(geo), Ordering::Relaxed);
+        self.header_u32(H_FLAGS).store(0, Ordering::Relaxed); // dirty
+        self.header_u32(H_WATERMARK)
+            .store(layout::HEAP_START, Ordering::Release);
+    }
+
+    fn set_flags(&self, clean: bool) {
+        let flags = if clean { FLAG_CLEAN } else { 0 };
+        self.header_u32(H_FLAGS).store(flags, Ordering::Release);
+        // SAFETY: the header page is valid readable memory.
+        unsafe { pmem::hw::clflush(self.map.as_ptr().add(H_FLAGS)) };
+        pmem::hw::sfence();
+    }
+
+    /// Durably persists the header page when the policy demands it (rare
+    /// path: watermark movement, root-slot writes, clean/dirty marking).
+    fn persist_header(&self) {
+        // SAFETY: the header page is valid readable memory.
+        unsafe { pmem::hw::persist_range(self.map.as_ptr(), HEADER_LEN) };
+        if self.policy == SyncPolicy::PowerFail {
+            let _ = self.map.msync(0, HEADER_LEN);
+        }
+    }
+
+    fn with_pending<R>(&self, tid: usize, f: impl FnOnce(&mut Vec<usize>) -> R) -> R {
+        assert!(tid < MAX_THREADS, "tid {tid} exceeds MAX_THREADS");
+        // SAFETY: by the persist-API contract only the owner of `tid` calls
+        // this, and the borrow is confined to the call.
+        f(unsafe { &mut *self.pending[tid].0.get() })
+    }
+}
+
+fn new_pending() -> Box<[CachePadded<PendingPages>]> {
+    (0..MAX_THREADS)
+        .map(|_| CachePadded::new(PendingPages::default()))
+        .collect()
+}
+
+impl Drop for FilePool {
+    /// Orderly close: full durability barrier, then mark the header clean.
+    /// A killed process never gets here, leaving the dirty flag set.
+    fn drop(&mut self) {
+        let _ = self.map.msync(0, HEADER_LEN + self.size);
+        let _ = self.file.sync_all();
+        self.set_flags(true);
+        let _ = self.map.msync(0, HEADER_LEN);
+        let _ = self.file.sync_all();
+    }
+}
+
+impl PoolBackend for FilePool {
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+
+    fn len(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn load_u64(&self, off: u32) -> u64 {
+        self.word(off).load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn store_u64(&self, off: u32, val: u64) {
+        self.word(off).store(val, Ordering::Release)
+    }
+
+    #[inline]
+    fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
+        self.word(off)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    #[inline]
+    fn fetch_add_u64(&self, off: u32, val: u64) -> u64 {
+        self.word(off).fetch_add(val, Ordering::AcqRel)
+    }
+
+    #[inline]
+    fn swap_u64(&self, off: u32, val: u64) -> u64 {
+        self.word(off).swap(val, Ordering::AcqRel)
+    }
+
+    #[inline]
+    fn flush(&self, tid: usize, off: u32) {
+        self.check_bounds(off, 8);
+        // SAFETY: the line containing `off` is inside the mapping.
+        unsafe { pmem::hw::clflush(self.addr(off)) };
+        if self.policy == SyncPolicy::PowerFail {
+            let page = (HEADER_LEN + off as usize) / page_size();
+            self.with_pending(tid, |pending| {
+                if pending.last() != Some(&page) {
+                    pending.push(page);
+                }
+            });
+        }
+    }
+
+    fn sfence(&self, tid: usize) {
+        pmem::hw::sfence();
+        if self.policy == SyncPolicy::PowerFail {
+            let mut pages = self.with_pending(tid, std::mem::take);
+            pages.sort_unstable();
+            pages.dedup();
+            let page = page_size();
+            for p in pages {
+                let _ = self.map.msync(p * page, page);
+            }
+        }
+    }
+
+    #[inline]
+    fn nt_store_u64(&self, tid: usize, off: u32, val: u64) {
+        self.check_bounds(off, 8);
+        // SAFETY: in bounds, 8-byte aligned; concurrent access to pool words
+        // is atomic by contract (a racing movnti would be the caller's
+        // single-writer-per-word violation, same as on real hardware).
+        unsafe { pmem::hw::nt_store_u64(self.addr(off) as *mut u64, val) };
+        if self.policy == SyncPolicy::PowerFail {
+            let page = (HEADER_LEN + off as usize) / page_size();
+            self.with_pending(tid, |pending| pending.push(page));
+        }
+    }
+
+    fn persist_now(&self, off: u32) {
+        self.check_bounds(off, 8);
+        // SAFETY: the line containing `off` is inside the mapping.
+        unsafe { pmem::hw::persist_range(self.addr(off), 8) };
+        if self.policy == SyncPolicy::PowerFail {
+            let page = page_size();
+            let start = (HEADER_LEN + off as usize) & !(page - 1);
+            let _ = self.map.msync(start, page);
+        }
+    }
+
+    fn zero_range(&self, off: u32, len: u32) {
+        assert_eq!(off % 8, 0);
+        assert_eq!(len % 8, 0);
+        assert!(off as usize + len as usize <= self.size);
+        for i in 0..(len / 8) {
+            self.word(off + i * 8).store(0, Ordering::Release);
+        }
+    }
+
+    fn watermark(&self) -> u32 {
+        self.header_u32(H_WATERMARK).load(Ordering::Acquire)
+    }
+
+    fn cas_watermark(&self, current: u32, new: u32) -> Result<u32, u32> {
+        let r = self.header_u32(H_WATERMARK).compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        if r.is_ok() {
+            // Allocations are rare (the ssmem layer carves whole designated
+            // areas); persist the moved watermark eagerly so a reopened pool
+            // never re-hands-out reserved space.
+            // SAFETY: the header page is valid readable memory.
+            unsafe { pmem::hw::clflush(self.map.as_ptr().add(H_WATERMARK)) };
+            pmem::hw::sfence();
+            if self.policy == SyncPolicy::PowerFail {
+                let _ = self.map.msync(0, HEADER_LEN);
+            }
+        }
+        r
+    }
+
+    fn root_u64(&self, slot: usize) -> u64 {
+        debug_assert!(slot < ROOT_SLOTS);
+        self.header_u64(H_ROOTS + slot * 8).load(Ordering::Acquire)
+    }
+
+    fn set_root_u64(&self, slot: usize, val: u64) {
+        debug_assert!(slot < ROOT_SLOTS);
+        self.header_u64(H_ROOTS + slot * 8)
+            .store(val, Ordering::Release);
+        self.persist_header();
+    }
+
+    fn sync(&self) {
+        let _ = self.map.msync(0, HEADER_LEN + self.size);
+        let _ = self.file.sync_all();
+    }
+
+    fn mark_clean(&self, clean: bool) {
+        self.set_flags(clean);
+        let _ = self.map.msync(0, HEADER_LEN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("store-filepool-{tag}-{}", std::process::id()))
+    }
+
+    fn small() -> FileConfig {
+        FileConfig::with_size(1 << 20)
+    }
+
+    #[test]
+    fn create_open_roundtrip_preserves_data_and_watermark() {
+        let path = temp_path("roundtrip");
+        let off;
+        {
+            let pool = FilePool::create(&path, small()).unwrap();
+            assert!(pool.was_clean());
+            let p = pool.into_pool();
+            off = p.alloc_raw(64, 64);
+            p.store_u64(off, 0xFEED);
+            p.flush(0, off);
+            p.sfence(0);
+            p.set_root_u64(0, off as u64);
+        } // clean drop
+        {
+            let pool = FilePool::open(&path).unwrap();
+            assert!(pool.was_clean(), "orderly drop must mark the pool clean");
+            let p = pool.into_pool();
+            assert_eq!(p.backend_kind(), "file");
+            assert_eq!(p.root_u64(0), off as u64);
+            assert_eq!(p.load_u64(off), 0xFEED);
+            assert!(p.watermark() >= off + 64, "watermark must persist");
+            // The watermark protects existing data: a new allocation lands
+            // strictly above it.
+            assert!(p.alloc_raw(64, 64) >= off + 64);
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dirty_flag_survives_until_clean_close() {
+        let path = temp_path("dirty");
+        {
+            let _pool = FilePool::create(&path, small()).unwrap();
+            // Reopening while another handle holds the pool open (or after a
+            // kill) must observe the dirty flag.
+            let second = FilePool::open(&path).unwrap();
+            assert!(!second.was_clean());
+        }
+        let third = FilePool::open(&path).unwrap();
+        assert!(third.was_clean());
+        drop(third);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_bad_magic_version_and_crc() {
+        use std::io::{Seek, SeekFrom, Write};
+        let path = temp_path("validate");
+        drop(FilePool::create(&path, small()).unwrap());
+
+        let corrupt_at = |pos: u64, bytes: &[u8]| {
+            let mut f = File::options().read(true).write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(pos)).unwrap();
+            f.write_all(bytes).unwrap();
+        };
+        let reopen = || FilePool::open(&path).map(|_| ()).unwrap_err().to_string();
+
+        corrupt_at(0, b"NOTAPOOL");
+        assert!(reopen().contains("bad magic"), "{}", reopen());
+        corrupt_at(0, b"DQSTORE1");
+        // Magic restored but the CRC content changed? No — magic is part of
+        // the CRC'd region and was restored bit-for-bit, so this reopens.
+        FilePool::open(&path).unwrap();
+
+        corrupt_at(8, &99u32.to_le_bytes());
+        assert!(reopen().contains("version"), "{}", reopen());
+        corrupt_at(8, &FORMAT_VERSION.to_le_bytes());
+
+        corrupt_at(16, &(123456789u64).to_le_bytes());
+        assert!(reopen().contains("CRC"), "{}", reopen());
+
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_truncated_files_and_corrupt_watermarks() {
+        let path = temp_path("truncate");
+        drop(FilePool::create(&path, small()).unwrap());
+        let f = File::options().read(true).write(true).open(&path).unwrap();
+        f.set_len(HEADER_LEN as u64 + 100).unwrap();
+        drop(f);
+        let err = FilePool::open(&path).map(|_| ()).unwrap_err().to_string();
+        assert!(err.contains("claims"), "{err}");
+        fs::remove_file(&path).unwrap();
+
+        let path = temp_path("watermark");
+        drop(FilePool::create(&path, small()).unwrap());
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = File::options().read(true).write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(H_WATERMARK as u64)).unwrap();
+            f.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        }
+        let err = FilePool::open(&path).map(|_| ()).unwrap_err().to_string();
+        assert!(err.contains("watermark"), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn power_fail_policy_msyncs_without_changing_semantics() {
+        let path = temp_path("powerfail");
+        {
+            let pool = FilePool::create(&path, small().with_sync(SyncPolicy::PowerFail)).unwrap();
+            assert_eq!(pool.sync_policy(), SyncPolicy::PowerFail);
+            let p = pool.into_pool();
+            let off = p.alloc_raw(256, 64);
+            for i in 0..32 {
+                p.store_u64(off + i * 8, i as u64 + 1);
+            }
+            p.flush_range(0, off, 256);
+            p.sfence(0);
+            p.nt_store_u64(0, off, 999);
+            p.sfence(0);
+            p.persist_now(off + 8);
+            p.sync();
+            assert_eq!(p.load_u64(off), 999);
+            assert_eq!(p.load_u64(off + 8), 2);
+        }
+        drop(FilePool::open_with_sync(&path, SyncPolicy::PowerFail).unwrap());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomics_and_roots_behave_like_the_sim_backend() {
+        let path = temp_path("atomics");
+        let pool = FilePool::create(&path, small()).unwrap();
+        let p = pool.into_pool();
+        let off = p.alloc_raw(64, 64);
+        assert_eq!(p.fetch_add_u64(off, 5), 0);
+        assert_eq!(p.cas_u64(off, 5, 6), Ok(5));
+        assert_eq!(p.cas_u64(off, 5, 7), Err(6));
+        assert_eq!(p.swap_u64(off, 100), 6);
+        p.zero_range(off, 64);
+        assert_eq!(p.load_u64(off), 0);
+        p.set_root_u64(3, 0xBEEF);
+        assert_eq!(p.root_u64(3), 0xBEEF);
+        assert_eq!(p.persistent_u64_at(off), 0);
+        p.mark_line_cached(off); // no-op, must not panic
+        drop(p);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_clamps_huge_sizes_without_align_overflow() {
+        // u32::MAX used to overflow the cache-line round-up inside create.
+        let path = temp_path("huge");
+        let pool = FilePool::create(&path, FileConfig::with_size(u32::MAX as usize)).unwrap();
+        assert!(pool.len() <= u32::MAX as usize);
+        assert_eq!(pool.len() % CACHE_LINE, 0);
+        assert!(pool.len() >= (u32::MAX as usize) - 2 * CACHE_LINE);
+        drop(pool);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sizes_are_floored_and_aligned() {
+        let path = temp_path("sizing");
+        let pool = FilePool::create(&path, FileConfig::with_size(10)).unwrap();
+        assert!(pool.len() >= layout::HEAP_START as usize + CACHE_LINE);
+        assert_eq!(pool.len() % CACHE_LINE, 0);
+        assert_eq!(
+            pool.path().file_name(),
+            path.file_name(),
+            "path is recorded"
+        );
+        drop(pool);
+        fs::remove_file(&path).unwrap();
+    }
+}

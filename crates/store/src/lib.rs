@@ -1,0 +1,53 @@
+//! # store — file-backed persistent pools
+//!
+//! The `pmem` crate simulates NVRAM in DRAM; this crate makes the same
+//! offset-addressed pool API durable for real. A [`FilePool`] is a shared
+//! memory mapping of an ordinary file implementing [`pmem::PoolBackend`], so
+//! every queue algorithm in the workspace — all of them operate on
+//! `Arc<PmemPool>` — runs unchanged on storage that survives an actual
+//! process restart:
+//!
+//! * a **versioned pool-file header** (magic, format version, pool size,
+//!   clean/dirty flag, CRC-checked geometry, persistent watermark, root
+//!   slots) lets a fresh process validate and reopen a pool with nothing but
+//!   the file,
+//! * flush/fence map to the **real x86-64 persistence instructions**
+//!   (`CLWB`/`CLFLUSHOPT`-style flushes and `SFENCE` via [`pmem::hw`]), and
+//!   the [`SyncPolicy`] decides whether fences additionally `msync` for
+//!   power-fail durability on non-DAX storage,
+//! * a `kill -9` mid-traffic is recoverable: the page cache preserves every
+//!   retired store, the header's dirty flag records the unclean shutdown,
+//!   and the queue's ordinary `RecoverableQueue::recover` procedure
+//!   reconstructs the structure — exercised end to end by this crate's
+//!   subprocess crash test and the `harness restart` verb.
+//!
+//! ```no_run
+//! use store::{FileConfig, FilePool};
+//!
+//! // First life: create a pool file and a queue on it.
+//! let pool = FilePool::create("/tmp/queue.pool", FileConfig::with_size(64 << 20))?;
+//! let pool = pool.into_pool(); // Arc<PmemPool>, same as the simulator
+//! // ... Q::create(pool, cfg), traffic, possibly a crash ...
+//!
+//! // Second life (new process): reopen and recover.
+//! let pool = FilePool::open("/tmp/queue.pool")?;
+//! let needs_recovery = !pool.was_clean();
+//! let pool = pool.into_pool();
+//! // ... Q::recover(pool, cfg) ...
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! The `shard` crate builds its directory-of-pools shard-map manifest on
+//! top of this crate (one pool file per shard), using [`crc::crc32`] for
+//! manifest integrity.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod crc;
+pub mod file_pool;
+pub mod mmap;
+
+pub use crc::crc32;
+pub use file_pool::{FileConfig, FilePool, SyncPolicy, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use mmap::MmapRegion;

@@ -1,0 +1,253 @@
+//! A minimal shared file mapping.
+//!
+//! The offline build has no `libc` crate, so on Unix the handful of calls a
+//! pool file needs (`mmap`, `munmap`, `msync`, `getpagesize`) are declared
+//! directly against the C library that `std` already links. On other
+//! platforms a heap buffer stands in: the file is read at map time and
+//! written back on [`MmapRegion::msync`]/drop — the API works everywhere,
+//! but only the Unix mapping gives kill-`SIGKILL` durability (stores land in
+//! the OS page cache the moment they retire, so they survive the process).
+
+use std::fs::File;
+use std::io;
+
+/// A writable shared mapping of the leading `len` bytes of a file.
+pub struct MmapRegion {
+    ptr: *mut u8,
+    len: usize,
+    #[cfg(not(unix))]
+    file: File,
+    #[cfg(not(unix))]
+    layout: std::alloc::Layout,
+}
+
+// SAFETY: the region is only accessed through atomics (or during
+// single-threaded setup) by its users; the raw pointer itself is safe to
+// move between threads.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_SHARED: i32 = 1;
+    pub const MS_SYNC: i32 = 4;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn msync(addr: *mut c_void, len: usize, flags: i32) -> i32;
+        pub fn getpagesize() -> i32;
+    }
+}
+
+/// The system page size (granularity of [`MmapRegion::msync`] rounding).
+pub fn page_size() -> usize {
+    #[cfg(unix)]
+    // SAFETY: getpagesize has no preconditions.
+    unsafe {
+        sys::getpagesize() as usize
+    }
+    #[cfg(not(unix))]
+    4096
+}
+
+impl MmapRegion {
+    /// Maps the leading `len` bytes of `file`, shared and read-write. The
+    /// file must already be at least `len` bytes long.
+    pub fn map(file: &File, len: usize) -> io::Result<MmapRegion> {
+        assert!(len > 0, "cannot map an empty region");
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid open file descriptor; len > 0; a shared
+            // file mapping has no other preconditions. The kernel validates
+            // the rest and reports failure as MAP_FAILED.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ | sys::PROT_WRITE,
+                    sys::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(MmapRegion {
+                ptr: ptr as *mut u8,
+                len,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let layout = std::alloc::Layout::from_size_align(len, 4096)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            // SAFETY: layout has non-zero size.
+            let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+            if ptr.is_null() {
+                return Err(io::Error::new(io::ErrorKind::OutOfMemory, "alloc failed"));
+            }
+            let mut f = file.try_clone()?;
+            f.seek(SeekFrom::Start(0))?;
+            // SAFETY: ptr is valid for len bytes, exclusively owned here.
+            let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            f.read_exact(buf)?;
+            Ok(MmapRegion {
+                ptr,
+                len,
+                file: f,
+                layout,
+            })
+        }
+    }
+
+    /// Base pointer of the mapping.
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the mapping is empty (never: `map` rejects len 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Synchronously writes the pages overlapping `[offset, offset + len)`
+    /// back to the file (`msync(MS_SYNC)`); the range is rounded out to page
+    /// boundaries.
+    pub fn msync(&self, offset: usize, len: usize) -> io::Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "msync range out of bounds"
+        );
+        #[cfg(unix)]
+        {
+            let page = page_size();
+            let start = offset & !(page - 1);
+            let end = offset + len;
+            // SAFETY: [start, end) is page-rounded and inside the mapping.
+            let rc = unsafe {
+                sys::msync(
+                    self.ptr.add(start) as *mut std::ffi::c_void,
+                    end - start,
+                    sys::MS_SYNC,
+                )
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = self.file.try_clone()?;
+            f.seek(SeekFrom::Start(offset as u64))?;
+            // SAFETY: in-bounds read of the owned buffer.
+            let buf = unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) };
+            f.write_all(buf)?;
+            f.flush()
+        }
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: ptr/len are exactly the mapping created in `map`.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = self.msync(0, self.len);
+            // SAFETY: allocated with exactly this layout in `map`.
+            unsafe { std::alloc::dealloc(self.ptr, self.layout) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Seek, SeekFrom, Write};
+
+    fn temp_file(len: u64) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!(
+            "store-mmap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut f = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        f.set_len(len).unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        (path, f)
+    }
+
+    #[test]
+    fn mapping_reads_and_writes_the_file() {
+        let (path, mut f) = temp_file(8192);
+        f.write_all(b"hello").unwrap();
+        f.flush().unwrap();
+        {
+            let region = MmapRegion::map(&f, 8192).unwrap();
+            // SAFETY: in-bounds of the mapping.
+            let bytes = unsafe { std::slice::from_raw_parts_mut(region.as_ptr(), 8192) };
+            assert_eq!(&bytes[..5], b"hello");
+            bytes[0] = b'H';
+            bytes[4096] = 0xAB;
+            region.msync(0, 8192).unwrap();
+        }
+        let mut back = vec![0u8; 8192];
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.read_exact(&mut back).unwrap();
+        assert_eq!(&back[..5], b"Hello");
+        assert_eq!(back[4096], 0xAB);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn page_size_is_a_power_of_two() {
+        let p = page_size();
+        assert!(p.is_power_of_two() && p >= 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn msync_rejects_out_of_bounds_ranges() {
+        let (path, f) = temp_file(4096);
+        let region = MmapRegion::map(&f, 4096).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            region.msync(4000, 200).unwrap()
+        }));
+        std::fs::remove_file(path).unwrap();
+        std::panic::resume_unwind(result.unwrap_err());
+    }
+}

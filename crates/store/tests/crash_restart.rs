@@ -1,0 +1,326 @@
+//! Real process-restart recovery: a child process drives traffic on a
+//! file-backed pool, the parent SIGKILLs it mid-traffic, reopens the pool
+//! file in *this* process and checks a linearizable suffix — every
+//! confirmed enqueue survives exactly once, no confirmed dequeue is
+//! resurrected, and FIFO order holds.
+//!
+//! Protocol: the child appends `E <seq>` / `D <val>` acknowledgment lines to
+//! plain log files *after* the corresponding queue operation returns. An
+//! append that reached the kernel survives the kill just like the pool's
+//! page-cache writes do, so the parent knows exactly which operations were
+//! confirmed:
+//!
+//! * confirmed enqueues (`E` lines) must be recovered or confirmedly
+//!   dequeued — except at most one in-flight dequeue per dequeuer thread
+//!   whose ack was lost to the kill,
+//! * confirmed dequeues (`D` lines) must NOT be recovered again,
+//! * unconfirmed enqueues (at most one per enqueuer thread) may appear, but
+//!   at most once,
+//! * the drained remainder must be in FIFO (strictly increasing) order.
+
+use durable_queues::{
+    DurableMsQueue, DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue,
+};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use store::{FileConfig, FilePool};
+
+const ENV_DIR: &str = "STORE_CRASH_CHILD_DIR";
+const ENV_ALGO: &str = "STORE_CRASH_CHILD_ALGO";
+
+fn queue_config() -> QueueConfig {
+    QueueConfig {
+        max_threads: 8,
+        area_size: 1 << 20,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Child side
+// ---------------------------------------------------------------------
+
+/// Hidden child entry point: runs only when the parent re-executes this test
+/// binary with the env vars set; a no-op test otherwise.
+#[test]
+fn crash_child_entry() {
+    let Ok(dir) = std::env::var(ENV_DIR) else {
+        return;
+    };
+    let algo = std::env::var(ENV_ALGO).unwrap_or_else(|_| "durable_msq".into());
+    run_child(Path::new(&dir), &algo);
+}
+
+fn run_child(dir: &Path, algo: &str) {
+    let pool = FilePool::create(dir.join("pool.dq"), FileConfig::with_size(256 << 20))
+        .expect("child: create pool")
+        .into_pool();
+    match algo {
+        "durable_msq" => drive_traffic(DurableMsQueue::create(pool, queue_config()), dir),
+        "opt_unlinked" => drive_traffic(OptUnlinkedQueue::create(pool, queue_config()), dir),
+        other => panic!("child: unknown algorithm {other}"),
+    }
+}
+
+/// One enqueuer (tid 0) and one dequeuer (tid 1), each acknowledging every
+/// completed operation with a log line before issuing the next.
+fn drive_traffic<Q: DurableQueue>(queue: Q, dir: &Path) {
+    let mut enq_log = std::fs::File::create(dir.join("enq.log")).expect("child: enq log");
+    let mut deq_log = std::fs::File::create(dir.join("deq.log")).expect("child: deq log");
+    std::thread::scope(|scope| {
+        let q = &queue;
+        scope.spawn(move || {
+            // Far more than the parent lets us finish before the kill. Each
+            // ack is one write syscall, so the kill can tear at most the
+            // final line.
+            for seq in 1..=2_000_000u64 {
+                q.enqueue(0, seq);
+                enq_log
+                    .write_all(format!("E {seq}\n").as_bytes())
+                    .expect("child: enq ack");
+            }
+        });
+        scope.spawn(move || loop {
+            if let Some(v) = q.dequeue(1) {
+                deq_log
+                    .write_all(format!("D {v}\n").as_bytes())
+                    .expect("child: deq ack");
+            }
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------
+
+fn spawn_child(dir: &Path, algo: &str) -> Child {
+    Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["crash_child_entry", "--exact", "--nocapture"])
+        .env(ENV_DIR, dir)
+        .env(ENV_ALGO, algo)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child")
+}
+
+/// Parses complete `<tag> <number>` lines; a torn trailing line (no final
+/// newline — the kill can land mid-write) is ignored, exactly like an
+/// unacknowledged operation.
+fn read_acks(path: &Path, tag: &str) -> Vec<u64> {
+    let Ok(raw) = std::fs::read(path) else {
+        return Vec::new();
+    };
+    let text = String::from_utf8_lossy(&raw);
+    let mut out = Vec::new();
+    for line in text.split_inclusive('\n') {
+        let Some(body) = line.strip_suffix('\n') else {
+            break; // torn tail
+        };
+        let Some(num) = body.strip_prefix(tag).map(str::trim) else {
+            panic!("malformed ack line {body:?}");
+        };
+        out.push(num.parse::<u64>().unwrap_or_else(|_| {
+            panic!("malformed ack number in {body:?}");
+        }));
+    }
+    out
+}
+
+/// Waits until the enqueue ack log reports at least `min_acks` confirmed
+/// operations, so the kill always lands mid-traffic, never before traffic.
+/// Polls with a plain newline count (the full parse runs after the kill)
+/// and fails fast if the child dies before reaching traffic.
+fn wait_for_progress(dir: &Path, child: &mut Child, min_acks: usize) {
+    let count_lines = |path: &Path| {
+        std::fs::read(path)
+            .map(|raw| raw.iter().filter(|&&b| b == b'\n').count())
+            .unwrap_or(0)
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if count_lines(&dir.join("enq.log")) >= min_acks {
+            return;
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("child exited prematurely ({status}) before reaching traffic");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child made no progress within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+struct SuffixCheck {
+    confirmed_enqueues: usize,
+    confirmed_dequeues: usize,
+    recovered: usize,
+}
+
+/// Drains `queue` and checks the linearizable-suffix conditions against the
+/// child's ack logs. `enqueuers`/`dequeuers` bound the per-thread in-flight
+/// windows.
+fn check_linearizable_suffix(
+    queue: &dyn DurableQueue,
+    dir: &Path,
+    enqueuers: usize,
+    dequeuers: usize,
+    require_fifo: bool,
+) -> SuffixCheck {
+    let acked_e: Vec<u64> = read_acks(&dir.join("enq.log"), "E");
+    let acked_d: Vec<u64> = read_acks(&dir.join("deq.log"), "D");
+    let drained: Vec<u64> = std::iter::from_fn(|| queue.dequeue(0)).collect();
+
+    // No value may come out twice — neither within the drain nor across the
+    // confirmed dequeues.
+    let mut seen = BTreeSet::new();
+    for &v in acked_d.iter().chain(&drained) {
+        assert!(seen.insert(v), "item {v} dequeued twice (duplication)");
+    }
+
+    let e_set: BTreeSet<u64> = acked_e.iter().copied().collect();
+    assert_eq!(e_set.len(), acked_e.len(), "enqueue acks must be unique");
+    let d_set: BTreeSet<u64> = acked_d.iter().copied().collect();
+    let r_set: BTreeSet<u64> = drained.iter().copied().collect();
+
+    // Confirmed enqueues survive: everything acked, not confirmedly
+    // dequeued, and not recovered can only be an in-flight dequeue whose ack
+    // was killed — at most one per dequeuer thread.
+    let missing: Vec<u64> = e_set
+        .iter()
+        .filter(|v| !d_set.contains(v) && !r_set.contains(v))
+        .copied()
+        .collect();
+    assert!(
+        missing.len() <= dequeuers,
+        "{} confirmed items lost (> {} in-flight dequeues): {:?}",
+        missing.len(),
+        dequeuers,
+        &missing[..missing.len().min(10)]
+    );
+
+    // Unconfirmed enqueues (ack lost to the kill): at most one per enqueuer.
+    let extras: Vec<u64> = r_set.difference(&e_set).copied().collect();
+    assert!(
+        extras.len() <= enqueuers,
+        "{} recovered items were never confirmed enqueued (> {} in-flight enqueues): {:?}",
+        extras.len(),
+        enqueuers,
+        &extras[..extras.len().min(10)]
+    );
+
+    // Confirmed dequeues stay dequeued.
+    let resurrected: Vec<u64> = r_set.intersection(&d_set).copied().collect();
+    assert!(
+        resurrected.is_empty(),
+        "confirmed dequeues resurrected: {resurrected:?}"
+    );
+
+    if require_fifo {
+        for pair in drained.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "FIFO violated across restart: {} before {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    SuffixCheck {
+        confirmed_enqueues: acked_e.len(),
+        confirmed_dequeues: acked_d.len(),
+        recovered: drained.len(),
+    }
+}
+
+fn crash_round<Q: RecoverableQueue>(algo: &str) {
+    let dir = std::env::temp_dir().join(format!(
+        "store-crash-{algo}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut child = spawn_child(&dir, algo);
+    wait_for_progress(&dir, &mut child, 500);
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    let pool = FilePool::open(dir.join("pool.dq")).expect("reopen pool file");
+    assert!(
+        !pool.was_clean(),
+        "a SIGKILLed process must leave the pool dirty"
+    );
+    let queue = Q::recover(pool.into_pool(), queue_config());
+    let check = check_linearizable_suffix(&queue, &dir, 1, 1, true);
+    eprintln!(
+        "[{algo}] confirmed enqueues {}, confirmed dequeues {}, recovered {}",
+        check.confirmed_enqueues, check.confirmed_dequeues, check.recovered
+    );
+    assert!(
+        check.confirmed_enqueues >= 500,
+        "kill landed before real traffic"
+    );
+    assert!(
+        check.recovered + check.confirmed_dequeues + 1 >= check.confirmed_enqueues,
+        "recovered {} + dequeued {} cannot cover {} confirmed enqueues",
+        check.recovered,
+        check.confirmed_dequeues,
+        check.confirmed_enqueues
+    );
+
+    // The recovered queue is a working queue: post-restart traffic flows.
+    queue.enqueue(0, u64::MAX);
+    assert_eq!(queue.dequeue(0), Some(u64::MAX));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_durable_msq_recovers_without_loss_or_duplication() {
+    crash_round::<DurableMsQueue>("durable_msq");
+}
+
+#[test]
+fn killed_opt_unlinked_recovers_without_loss_or_duplication() {
+    crash_round::<OptUnlinkedQueue>("opt_unlinked");
+}
+
+/// The non-crash baseline of the same protocol: a child that is allowed to
+/// finish cleanly must leave a pool whose recovered content is *exactly*
+/// enqueued-minus-dequeued with no windows.
+#[test]
+fn clean_restart_recovers_exact_content() {
+    let dir = std::env::temp_dir().join(format!("store-clean-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    {
+        let pool = FilePool::create(dir.join("pool.dq"), FileConfig::with_size(32 << 20))
+            .unwrap()
+            .into_pool();
+        let queue = DurableMsQueue::create(Arc::clone(&pool), queue_config());
+        for i in 1..=5_000u64 {
+            queue.enqueue(0, i);
+        }
+        for _ in 0..1_234 {
+            queue.dequeue(0).unwrap();
+        }
+    }
+
+    let pool = FilePool::open(dir.join("pool.dq")).unwrap();
+    assert!(pool.was_clean());
+    let queue = DurableMsQueue::recover(pool.into_pool(), queue_config());
+    let drained: Vec<u64> = std::iter::from_fn(|| queue.dequeue(0)).collect();
+    assert_eq!(drained, (1_235..=5_000).collect::<Vec<_>>());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

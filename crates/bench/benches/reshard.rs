@@ -1,0 +1,86 @@
+//! Reshard wall-clock vs. resident item count: what splitting and merging
+//! a file-backed shard directory costs as the data set grows.
+//!
+//! Each measured iteration is one full `RecoveryOrchestrator::reshard_dir`
+//! (intent write, scratch copies, recover + drain + rebuild, manifest
+//! commit, cleanup) alternating 4 -> 8 -> 4, so split and merge are
+//! averaged over the same directory and the shard count returns to its
+//! starting point between samples.
+//!
+//! ```bash
+//! cargo bench --bench reshard           # full run
+//! cargo bench --bench reshard -- --test # CI smoke mode
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig};
+use shard::{RecoveryOrchestrator, RoutePolicy, ShardConfig, ShardedQueue};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use store::FileConfig;
+
+fn queue_config() -> QueueConfig {
+    QueueConfig {
+        max_threads: 4,
+        area_size: 1 << 20,
+    }
+}
+
+/// Creates a 4-shard round-robin directory seeded with `items` items.
+fn seeded_dir(items: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-reshard-{items}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let orch = RecoveryOrchestrator::available_parallelism();
+    let queue: ShardedQueue<OptUnlinkedQueue> = orch
+        .create_dir(
+            &dir,
+            ShardConfig {
+                shards: 4,
+                queue: queue_config(),
+                pool: pmem::PoolConfig::test_with_size(16 << 20),
+                policy: RoutePolicy::RoundRobin,
+            },
+            FileConfig::with_size(16 << 20),
+        )
+        .expect("create bench dir");
+    for v in 1..=items {
+        queue.enqueue(0, v);
+    }
+    dir
+}
+
+fn reshard_wall_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reshard/wall_clock");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(2));
+    for items in [1_000u64, 10_000, 50_000] {
+        group.throughput(Throughput::Elements(items));
+        let dir = seeded_dir(items);
+        let orch = RecoveryOrchestrator::available_parallelism();
+        // Alternate 4 -> 8 -> 4 so every iteration is a real structural
+        // rewrite and the directory's shard count is restored pairwise.
+        let mut next = 8usize;
+        group.bench_function(BenchmarkId::new("split_merge_4_8", items), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let begun = Instant::now();
+                    let report = orch
+                        .reshard_dir::<OptUnlinkedQueue>(&dir, next, queue_config())
+                        .expect("bench reshard");
+                    total += begun.elapsed();
+                    assert_eq!(report.items_moved, items, "bench lost items");
+                    next = if next == 8 { 4 } else { 8 };
+                }
+                total
+            })
+        });
+        std::fs::remove_dir_all(&dir).expect("clean bench dir");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reshard_wall_clock);
+criterion_main!(benches);

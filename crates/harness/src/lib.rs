@@ -14,6 +14,7 @@
 pub mod algorithms;
 pub mod checker;
 pub mod counts;
+pub mod reshard;
 pub mod restart;
 pub mod runner;
 pub mod shard_sweep;

@@ -19,7 +19,10 @@ use harness::checker::{check_all, CrashCheckConfig};
 use harness::counts::{
     counts_json, persist_counts_table, persist_counts_table_sharded, render_counts,
 };
-use harness::restart::{render_outcome, run_child, run_round, RestartConfig};
+use harness::reshard::{
+    render_kill_outcome, run_reshard, run_reshard_child, run_reshard_kill_round, ReshardVerbConfig,
+};
+use harness::restart::{render_outcome, restart_json, run_child, run_round, RestartConfig};
 use harness::runner::{render_panel, run_panel, BackendChoice, SweepConfig};
 use harness::shard_sweep::{
     render_shard_sweep, run_shard_sweep, shard_sweep_json, ShardSweepConfig,
@@ -320,11 +323,12 @@ fn cmd_restart(flags: &HashMap<String, String>) {
     let base = restart_config(flags);
     // Default plan: the ratio baseline and one second-amendment queue, each
     // as a single pool and as a 4-shard manifest directory — the full
-    // kill-and-reopen matrix. `--algo`/`--shards` narrow it to one round.
-    let rounds: Vec<RestartConfig> = if flags.contains_key("algo")
+    // kill-and-reopen matrix, capped by a SIGKILL-mid-reshard round.
+    // `--algo`/`--shards` narrow it to one kill-and-reopen round.
+    let narrowed = flags.contains_key("algo")
         || flags.contains_key("algorithm")
-        || flags.contains_key("shards")
-    {
+        || flags.contains_key("shards");
+    let rounds: Vec<RestartConfig> = if narrowed {
         vec![base.clone()]
     } else {
         // run_round namespaces each round under a `round-<algo>-<N>shards`
@@ -342,15 +346,75 @@ fn cmd_restart(flags: &HashMap<String, String>) {
     };
     println!(
         "=== restart: SIGKILL mid-traffic, reopen pool file(s), recover, validate ===\n\
-         ({} round(s), {} confirmed enqueues before each kill)",
+         ({} round(s), {} confirmed enqueues before each kill{})",
         rounds.len(),
-        base.min_acks
+        base.min_acks,
+        if narrowed {
+            ""
+        } else {
+            ", plus a reshard kill"
+        }
     );
+    let mut json = JsonSink::from_flags(flags);
+    let mut outcomes = Vec::new();
     for cfg in &rounds {
         let outcome = run_round(cfg);
         print!("{}", render_outcome(cfg, &outcome));
+        outcomes.push((cfg.clone(), outcome));
     }
+    // The structural-rewrite coverage: kill a child inside reshard_dir and
+    // recover the directory to a consistent pre- or post-reshard state.
+    let reshard_outcome = if narrowed {
+        None
+    } else {
+        let outcome =
+            run_reshard_kill_round(base.algorithm, &base.dir, base.sync, base.min_acks as u64);
+        print!("{}", render_kill_outcome(base.algorithm, &outcome));
+        Some(outcome)
+    };
+    json.push(restart_json(&outcomes, reshard_outcome.as_ref()));
+    json.write();
     println!("restart: all rounds passed");
+}
+
+fn cmd_reshard(flags: &HashMap<String, String>) {
+    let mut cfg = ReshardVerbConfig::default();
+    let Some(to) = flags.get("to") else {
+        eprintln!("reshard: --to N' is required");
+        exit(2);
+    };
+    cfg.to = to.parse().expect("bad --to");
+    assert!(cfg.to >= 1, "--to must be >= 1");
+    if let Some(d) = flags.get("dir") {
+        cfg.dir = PathBuf::from(d);
+    } else {
+        eprintln!("reshard: --dir PATH is required");
+        exit(2);
+    }
+    if let Some(a) = flags.get("algo").or_else(|| flags.get("algorithm")) {
+        cfg.algorithm = Algorithm::parse(a).unwrap_or_else(|| panic!("unknown algorithm {a}"));
+    }
+    if let Some(c) = flags.get("create") {
+        cfg.create = Some(c.parse().expect("bad --create"));
+    }
+    if let Some(i) = flags.get("items") {
+        cfg.items = i.parse().expect("bad --items");
+    }
+    if let Some(p) = flags.get("policy") {
+        cfg.policy = parse_policy(p);
+    }
+    if let Some(p) = flags.get("pool-bytes") {
+        cfg.pool_bytes = p.parse().expect("bad --pool-bytes");
+    }
+    cfg.sync = parse_sync(flags);
+    cfg.verify = flags.contains_key("verify");
+    if let Some(e) = flags.get("expect") {
+        cfg.expect = Some(e.parse().expect("bad --expect"));
+    }
+    if let Some(k) = flags.get("key-shift") {
+        cfg.key_shift = Some(k.parse().expect("bad --key-shift"));
+    }
+    run_reshard(&cfg);
 }
 
 fn cmd_crashtest(flags: &HashMap<String, String>) {
@@ -377,8 +441,18 @@ fn main() {
         "crashtest" => cmd_crashtest(&flags),
         "shards" => cmd_shards(&flags),
         "restart" => cmd_restart(&flags),
+        "reshard" => cmd_reshard(&flags),
         // Hidden: the process `restart` spawns, kills and recovers from.
         "restart-child" => run_child(&restart_config(&flags)),
+        // Hidden: the process the reshard-kill round spawns and kills.
+        "reshard-child" => {
+            let cfg = restart_config(&flags);
+            let items = flags
+                .get("items")
+                .map(|s| s.parse().expect("bad --items"))
+                .unwrap_or(2_000);
+            run_reshard_child(cfg.algorithm, &cfg.dir, cfg.sync, items);
+        }
         "all" => {
             // `--json` is per-experiment; with `all` the sweeps would race
             // for one file, so require an explicit subcommand for it.
@@ -390,7 +464,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: harness <fig2|counts|crashtest|shards|restart|all> [flags]\n\
+                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|all> [flags]\n\
                  \n\
                  fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
                  counts     per-operation persistence counts (experiments E7/E8)\n\
@@ -399,7 +473,10 @@ fn main() {
                             persist counts and parallel crash-recovery latency\n\
                  restart    spawn a child on file-backed pool(s), SIGKILL it\n\
                             mid-traffic, reopen + recover() in-process and\n\
-                            validate no loss / no duplication / FIFO\n\
+                            validate no loss / no duplication / FIFO; ends with\n\
+                            a SIGKILL-mid-reshard round\n\
+                 reshard    split/merge a file-backed shard directory to --to N'\n\
+                            (crash-safe two-phase manifest protocol)\n\
                  all        counts, every fig2 panel, then the shard sweep\n\
                  \n\
                  common flags: --quick --workload W --threads 1,2,4 --ops N\n\
@@ -408,9 +485,12 @@ fn main() {
                                --recovery-threads N --nvram-read-ns N --no-latency\n\
                  backends:     --backend sim|file --dir PATH\n\
                                --sync process-crash|power-fail   (file backend)\n\
-                 output:       --json PATH   (counts + shards: JSON array of\n\
-                               experiment objects; schema in README)\n\
-                 restart:      --algo A --shards N --min-acks N --pool-bytes N"
+                 output:       --json PATH   (counts, shards + restart: JSON array\n\
+                               of experiment objects; schema in README)\n\
+                 restart:      --algo A --shards N --min-acks N --pool-bytes N\n\
+                 reshard:      --dir D --to N' [--algo A] [--create N --items M]\n\
+                               [--verify] [--expect M] [--key-shift B]\n\
+                               [--policy P] [--sync S]"
             );
             exit(2);
         }

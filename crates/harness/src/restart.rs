@@ -330,6 +330,53 @@ fn read_acks(path: &Path) -> BTreeSet<u64> {
     out
 }
 
+/// Renders the collected restart rounds — plus the reshard-kill round when
+/// one ran — as one machine-readable JSON experiment object (schema
+/// documented in the README under "Machine-readable results"), matching
+/// the experiment-object shape of `counts` and `shards`.
+pub fn restart_json(
+    rounds: &[(RestartConfig, RestartOutcome)],
+    reshard: Option<&crate::reshard::ReshardKillOutcome>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"restart\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, (cfg, outcome)) in rounds.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"shards\": {}, \"policy\": \"{}\", \"sync\": \"{}\", \
+             \"confirmed_enqueues\": {}, \"confirmed_dequeues\": {}, \"recovered\": {}, \
+             \"recovery_ms\": {}}}{}\n",
+            cfg.algorithm.name(),
+            cfg.shards,
+            cfg.policy.key(),
+            cfg.sync.key(),
+            outcome.confirmed_enqueues,
+            outcome.confirmed_dequeues,
+            outcome.recovered,
+            outcome.recovery.as_secs_f64() * 1e3,
+            if i + 1 < rounds.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    match reshard {
+        Some(o) => {
+            let resolution = match o.resolved {
+                Some(shard::ReshardResolution::RolledBack { .. }) => "\"rolled-back\"",
+                Some(shard::ReshardResolution::RolledForward { .. }) => "\"rolled-forward\"",
+                None => "null",
+            };
+            out.push_str(&format!(
+                "  \"reshard_kill\": {{\"completed_reshards\": {}, \"resolution\": {}, \
+                 \"shards_after\": {}, \"items\": {}}}\n",
+                o.completed_reshards, resolution, o.shards_after, o.items,
+            ));
+        }
+        None => out.push_str("  \"reshard_kill\": null\n"),
+    }
+    out.push('}');
+    out
+}
+
 /// Renders one round's outcome as the verb's report line.
 pub fn render_outcome(cfg: &RestartConfig, outcome: &RestartOutcome) -> String {
     format!(
@@ -380,5 +427,54 @@ mod tests {
         let e: BTreeSet<u64> = (1..=5).collect();
         let d = BTreeSet::new();
         validate_suffix(&e, &d, &[1, 2, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn restart_json_is_well_formed_with_and_without_reshard() {
+        let rounds = vec![
+            (
+                RestartConfig::default(),
+                RestartOutcome {
+                    confirmed_enqueues: 2_000,
+                    confirmed_dequeues: 990,
+                    recovered: 1_011,
+                    recovery: Duration::from_millis(3),
+                },
+            ),
+            (
+                RestartConfig {
+                    shards: 4,
+                    algorithm: Algorithm::OptUnlinked,
+                    ..RestartConfig::default()
+                },
+                RestartOutcome {
+                    confirmed_enqueues: 2_100,
+                    confirmed_dequeues: 1_000,
+                    recovered: 1_101,
+                    recovery: Duration::from_millis(2),
+                },
+            ),
+        ];
+        let json = restart_json(&rounds, None);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+        assert!(json.contains("\"experiment\": \"restart\""));
+        assert!(json.contains("\"reshard_kill\": null"));
+        assert_eq!(json.matches("\"algorithm\"").count(), 2);
+        assert!(json.contains("\"sync\": \"process-crash\""));
+
+        let reshard = crate::reshard::ReshardKillOutcome {
+            completed_reshards: 3,
+            resolved: Some(shard::ReshardResolution::RolledForward { from: 4, to: 2 }),
+            shards_after: 2,
+            items: 2_000,
+        };
+        let json = restart_json(&rounds, Some(&reshard));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"resolution\": \"rolled-forward\""));
+        assert!(json.contains("\"shards_after\": 2"));
     }
 }

@@ -6,9 +6,9 @@
 //!
 //! * the **simulated** backend ([`PmemPool::new`]): the in-DRAM working- vs.
 //!   persistent-image model with latency simulation, the eviction adversary
-//!   and crash simulation — see [`crate::sim`] for the model's docs. This arm
-//!   is statically dispatched so the paper-facing measurements are unchanged
-//!   by the abstraction.
+//!   and crash simulation — see the crate-private `sim` module for the
+//!   model's docs. This arm is statically dispatched so the paper-facing
+//!   measurements are unchanged by the abstraction.
 //! * an **external** backend ([`PmemPool::from_backend`]) implementing
 //!   [`PoolBackend`] — e.g. the `store` crate's memory-mapped, file-backed
 //!   pool whose contents survive a real process restart. External backends

@@ -10,7 +10,7 @@
 //! workspace (the paper's four amendment queues, the three baselines, and
 //! both PTM baselines) scales the same way.
 //!
-//! Three parts:
+//! Four parts:
 //!
 //! * [`RoutePolicy`] — how operations pick a shard: per-thread round-robin,
 //!   key hashing (via the [`durable_queues::KeyedQueue`] extension trait,
@@ -22,7 +22,18 @@
 //! * [`RecoveryOrchestrator`] — coherent crash fan-out over all shards and
 //!   **parallel** recovery across a bounded thread pool, timed per shard
 //!   ([`RecoveryReport`]) so restart latency and straggler shards are
-//!   visible.
+//!   visible. For file-backed deployments,
+//!   [`create_dir`](RecoveryOrchestrator::create_dir) /
+//!   [`open_dir`](RecoveryOrchestrator::open_dir) persist and recover a
+//!   whole directory of pool files under a CRC-checked [`ShardManifest`] —
+//!   the manifest, not the caller, is the authority on shard count and
+//!   routing policy.
+//! * [`reshard`] — elastic shard counts:
+//!   [`reshard_dir`](RecoveryOrchestrator::reshard_dir) splits or merges a
+//!   directory from N to N′ shards behind a crash-safe two-phase manifest
+//!   protocol (write-ahead [`ReshardIntent`], scratch-copy drain, atomic
+//!   manifest commit); an interrupted reshard is rolled back or forward by
+//!   [`resolve_reshard`] on the next `open_dir`.
 //!
 //! ```
 //! use durable_queues::{DurableQueue, KeyedQueue, OptUnlinkedQueue};
@@ -52,10 +63,12 @@
 
 pub mod manifest;
 pub mod recovery;
+pub mod reshard;
 pub mod route;
 pub mod sharded;
 
-pub use manifest::{ShardManifest, MANIFEST_FILE, MANIFEST_VERSION};
+pub use manifest::{ReshardIntent, ShardManifest, INTENT_FILE, MANIFEST_FILE, MANIFEST_VERSION};
 pub use recovery::{RecoveryOrchestrator, RecoveryReport, ShardRecovery};
+pub use reshard::{resolve_reshard, ReshardReport, ReshardResolution};
 pub use route::RoutePolicy;
 pub use sharded::{ShardConfig, ShardedQueue};

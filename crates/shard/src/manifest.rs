@@ -28,6 +28,19 @@
 //! a temporary file, `fsync`, and an atomic `rename`, followed by a
 //! directory `fsync` — a reader sees either the old manifest or the new
 //! one, never a mixture.
+//!
+//! ## Reshard intent records
+//!
+//! The resharding operation (`RecoveryOrchestrator::reshard_dir`) rewrites
+//! the directory *structurally* — it replaces N pool files with N′ — so the
+//! manifest protocol graduates from a record of creation to a write-ahead
+//! intent log: before touching any data, the operation durably writes a
+//! [`ReshardIntent`] ([`INTENT_FILE`], same line-oriented CRC-checked
+//! format) naming the source and destination pool files. The manifest
+//! rewrite is the commit point; a restart that finds a leftover intent
+//! compares the manifest against the intent's two sides and rolls the
+//! reshard back (manifest still names the sources) or forward (manifest
+//! names the destinations). See `crate::reshard` for the full protocol.
 
 use crate::route::RoutePolicy;
 use std::fs::{self, File};
@@ -38,11 +51,55 @@ use store::crc32;
 /// The manifest file's name inside a shard directory.
 pub const MANIFEST_FILE: &str = "SHARDS.manifest";
 
+/// The reshard intent record's file name inside a shard directory.
+pub const INTENT_FILE: &str = "SHARDS.manifest.reshard";
+
 /// Manifest format version this build reads and writes.
 pub const MANIFEST_VERSION: u32 = 1;
 
+/// Reshard-intent format version this build reads and writes.
+pub const INTENT_VERSION: u32 = 1;
+
 fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Atomically writes `body` + a trailing `crc` line as `dir/name`:
+/// temporary file, `fsync`, `rename`, directory `fsync`. Shared by the
+/// manifest and the reshard intent record.
+fn write_checked(dir: &Path, name: &str, body: &str) -> io::Result<()> {
+    let content = format!("{body}crc {:08x}\n", crc32(body.as_bytes()));
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(name))?;
+    // Persist the rename itself (the directory entry).
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Reads `path` and validates its trailing `crc` line, returning the body
+/// the CRC covers.
+fn read_checked(path: &Path) -> io::Result<String> {
+    let content = fs::read_to_string(path)?;
+    let Some(crc_start) = content.rfind("crc ") else {
+        return Err(invalid(format!("{}: missing crc line", path.display())));
+    };
+    let body = &content[..crc_start];
+    let stored = u32::from_str_radix(content[crc_start + 4..].trim(), 16)
+        .map_err(|_| invalid(format!("{}: malformed crc line", path.display())))?;
+    let computed = crc32(body.as_bytes());
+    if stored != computed {
+        return Err(invalid(format!(
+            "{}: CRC mismatch (stored {stored:08x}, computed {computed:08x})",
+            path.display()
+        )));
+    }
+    Ok(body.to_string())
 }
 
 /// The durable shard map of one sharded-queue directory.
@@ -90,39 +147,13 @@ impl ShardManifest {
     /// Atomically (re)writes the manifest into `dir`: temporary file,
     /// `fsync`, `rename`, directory `fsync`.
     pub fn write(&self, dir: &Path) -> io::Result<()> {
-        let body = self.body();
-        let content = format!("{body}crc {:08x}\n", crc32(body.as_bytes()));
-        let tmp = dir.join(format!(".{MANIFEST_FILE}.tmp.{}", std::process::id()));
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(content.as_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
-        // Persist the rename itself (the directory entry).
-        #[cfg(unix)]
-        File::open(dir)?.sync_all()?;
-        Ok(())
+        write_checked(dir, MANIFEST_FILE, &self.body())
     }
 
     /// Reads and validates the manifest in `dir`.
     pub fn read(dir: &Path) -> io::Result<ShardManifest> {
         let path = dir.join(MANIFEST_FILE);
-        let content = fs::read_to_string(&path)?;
-        let Some(crc_start) = content.rfind("crc ") else {
-            return Err(invalid(format!("{}: missing crc line", path.display())));
-        };
-        let body = &content[..crc_start];
-        let stored = u32::from_str_radix(content[crc_start + 4..].trim(), 16)
-            .map_err(|_| invalid(format!("{}: malformed crc line", path.display())))?;
-        let computed = crc32(body.as_bytes());
-        if stored != computed {
-            return Err(invalid(format!(
-                "{}: manifest CRC mismatch (stored {stored:08x}, computed {computed:08x})",
-                path.display()
-            )));
-        }
-
+        let body = read_checked(&path)?;
         let mut lines = body.lines();
         let header = lines.next().unwrap_or_default();
         let version = header
@@ -171,6 +202,155 @@ impl ShardManifest {
             )));
         }
         Ok(ShardManifest { policy, pool_files })
+    }
+}
+
+/// The durable **write-ahead intent record** of one resharding operation.
+///
+/// Written (atomically, CRC-checked) *before* the reshard touches any data,
+/// and removed only after the commit (or rollback) is complete. Its two
+/// file lists are the two consistent states the directory may be left in:
+///
+/// * `old_files` — the pool files named by the manifest **before** the
+///   reshard (the rollback state),
+/// * `new_files` — the destination pool files the new manifest will name
+///   (the roll-forward state).
+///
+/// A restart that finds this record compares `SHARDS.manifest` against the
+/// two lists to decide which way to resolve; the manifest rewrite is the
+/// single atomic commit point.
+///
+/// ## Format (version 1)
+///
+/// ```text
+/// dqreshard 1
+/// from 4
+/// to 2
+/// old shard-00.pool
+/// old shard-01.pool
+/// old shard-02.pool
+/// old shard-03.pool
+/// new shard-g1-00.pool
+/// new shard-g1-01.pool
+/// crc 9c24f11b
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReshardIntent {
+    /// Source pool-file names (the manifest's list when the reshard began).
+    pub old_files: Vec<String>,
+    /// Destination pool-file names (what the committed manifest will list).
+    pub new_files: Vec<String>,
+}
+
+impl ReshardIntent {
+    /// Source shard count.
+    pub fn from_shards(&self) -> usize {
+        self.old_files.len()
+    }
+
+    /// Destination shard count.
+    pub fn to_shards(&self) -> usize {
+        self.new_files.len()
+    }
+
+    /// Whether a reshard intent record exists in `dir`.
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(INTENT_FILE).exists()
+    }
+
+    fn body(&self) -> String {
+        let mut out = format!("dqreshard {INTENT_VERSION}\n");
+        out.push_str(&format!("from {}\n", self.from_shards()));
+        out.push_str(&format!("to {}\n", self.to_shards()));
+        for file in &self.old_files {
+            out.push_str(&format!("old {file}\n"));
+        }
+        for file in &self.new_files {
+            out.push_str(&format!("new {file}\n"));
+        }
+        out
+    }
+
+    /// Atomically writes the intent record into `dir` (temporary file,
+    /// `fsync`, `rename`, directory `fsync`) — the write-ahead step of the
+    /// reshard protocol.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        write_checked(dir, INTENT_FILE, &self.body())
+    }
+
+    /// Reads and validates the intent record in `dir`. `NotFound` when no
+    /// reshard is in flight.
+    pub fn read(dir: &Path) -> io::Result<ReshardIntent> {
+        let path = dir.join(INTENT_FILE);
+        let body = read_checked(&path)?;
+        let mut lines = body.lines();
+        let header = lines.next().unwrap_or_default();
+        let version = header
+            .strip_prefix("dqreshard ")
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| invalid(format!("{}: bad header {header:?}", path.display())))?;
+        if version != INTENT_VERSION {
+            return Err(invalid(format!(
+                "{}: reshard-intent version {version} (this build reads {INTENT_VERSION})",
+                path.display()
+            )));
+        }
+        let mut from: Option<usize> = None;
+        let mut to: Option<usize> = None;
+        let mut old_files = Vec::new();
+        let mut new_files = Vec::new();
+        for line in lines {
+            if let Some(v) = line.strip_prefix("from ") {
+                from =
+                    Some(v.trim().parse().map_err(|_| {
+                        invalid(format!("{}: bad from count {v:?}", path.display()))
+                    })?);
+            } else if let Some(v) = line.strip_prefix("to ") {
+                to = Some(
+                    v.trim()
+                        .parse()
+                        .map_err(|_| invalid(format!("{}: bad to count {v:?}", path.display())))?,
+                );
+            } else if let Some(v) = line.strip_prefix("old ") {
+                old_files.push(v.trim().to_string());
+            } else if let Some(v) = line.strip_prefix("new ") {
+                new_files.push(v.trim().to_string());
+            } else if !line.trim().is_empty() {
+                return Err(invalid(format!(
+                    "{}: unknown intent line {line:?}",
+                    path.display()
+                )));
+            }
+        }
+        let from =
+            from.ok_or_else(|| invalid(format!("{}: missing from count", path.display())))?;
+        let to = to.ok_or_else(|| invalid(format!("{}: missing to count", path.display())))?;
+        if from != old_files.len() || to != new_files.len() || from == 0 || to == 0 {
+            return Err(invalid(format!(
+                "{}: counts (from {from}, to {to}) do not match {} old / {} new files",
+                path.display(),
+                old_files.len(),
+                new_files.len()
+            )));
+        }
+        Ok(ReshardIntent {
+            old_files,
+            new_files,
+        })
+    }
+
+    /// Removes the intent record (the final step of commit or rollback) and
+    /// persists the removal with a directory `fsync`. Idempotent: a missing
+    /// record is success.
+    pub fn remove(dir: &Path) -> io::Result<()> {
+        match fs::remove_file(dir.join(INTENT_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        #[cfg(unix)]
+        File::open(dir)?.sync_all()?;
+        Ok(())
     }
 }
 
@@ -258,6 +438,71 @@ mod tests {
         );
         let paths = m.pool_paths(Path::new("/data/q"));
         assert_eq!(paths[2], Path::new("/data/q/shard-02.pool"));
+    }
+
+    #[test]
+    fn reshard_intent_roundtrips_and_removes_idempotently() {
+        let dir = temp_dir("intent");
+        let intent = ReshardIntent {
+            old_files: (0..4).map(|i| format!("shard-{i:02}.pool")).collect(),
+            new_files: (0..2).map(|i| format!("shard-g1-{i:02}.pool")).collect(),
+        };
+        assert!(!ReshardIntent::exists(&dir));
+        intent.write(&dir).unwrap();
+        assert!(ReshardIntent::exists(&dir));
+        let read = ReshardIntent::read(&dir).unwrap();
+        assert_eq!(read, intent);
+        assert_eq!(read.from_shards(), 4);
+        assert_eq!(read.to_shards(), 2);
+        ReshardIntent::remove(&dir).unwrap();
+        assert!(!ReshardIntent::exists(&dir));
+        ReshardIntent::remove(&dir).unwrap(); // idempotent
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reshard_intent_corruption_and_mismatches_are_detected() {
+        let dir = temp_dir("intent-corrupt");
+        let intent = ReshardIntent {
+            old_files: vec!["shard-00.pool".into()],
+            new_files: vec!["shard-g1-00.pool".into(), "shard-g1-01.pool".into()],
+        };
+        intent.write(&dir).unwrap();
+        let path = dir.join(INTENT_FILE);
+        let good = fs::read_to_string(&path).unwrap();
+
+        // Body corruption: CRC mismatch.
+        fs::write(&path, good.replace("to 2", "to 3")).unwrap();
+        let err = ReshardIntent::read(&dir).unwrap_err().to_string();
+        assert!(err.contains("CRC"), "{err}");
+
+        // Count/list mismatch survives the CRC but is rejected.
+        let bad_body = intent.body().replace("to 2", "to 9");
+        fs::write(
+            &path,
+            format!("{bad_body}crc {:08x}\n", crc32(bad_body.as_bytes())),
+        )
+        .unwrap();
+        let err = ReshardIntent::read(&dir).unwrap_err().to_string();
+        assert!(err.contains("do not match"), "{err}");
+
+        // Future version is refused.
+        let future = intent.body().replace("dqreshard 1", "dqreshard 7");
+        fs::write(
+            &path,
+            format!("{future}crc {:08x}\n", crc32(future.as_bytes())),
+        )
+        .unwrap();
+        let err = ReshardIntent::read(&dir).unwrap_err().to_string();
+        assert!(err.contains("version"), "{err}");
+
+        // Missing record: NotFound, and `exists` agrees.
+        fs::remove_file(&path).unwrap();
+        assert_eq!(
+            ReshardIntent::read(&dir).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

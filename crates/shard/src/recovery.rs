@@ -21,9 +21,13 @@ use store::{FileConfig, FilePool};
 
 /// Runs `f(shard_index)` for every shard on a bounded pool of scoped
 /// workers (work-stealing via an atomic claim counter) and returns the
-/// results in shard order. The shared scaffold of both the crash fan-out
-/// and the parallel recovery.
-fn par_map_shards<T: Send>(shards: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// results in shard order. The shared scaffold of the crash fan-out, the
+/// parallel recovery, and the reshard copy/build phases.
+pub(crate) fn par_map_shards<T: Send>(
+    shards: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     let slots: Vec<Mutex<Option<T>>> = (0..shards).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -244,7 +248,43 @@ impl RecoveryOrchestrator {
     /// pool, timing each shard exactly like [`recover`](Self::recover).
     ///
     /// Works identically after a clean shutdown and after a `kill -9`; the
-    /// returned manifest tells the caller what was recovered.
+    /// returned manifest tells the caller what was recovered. A reshard
+    /// interrupted by the crash is resolved first — rolled back or forward
+    /// to whichever shard count the manifest makes authoritative (see
+    /// [`crate::reshard::resolve_reshard`], which can be called directly
+    /// when the caller wants to know how the directory was resolved).
+    ///
+    /// ```
+    /// use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig};
+    /// use shard::{RecoveryOrchestrator, RoutePolicy, ShardConfig};
+    /// use store::FileConfig;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("open-dir-doc-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let orch = RecoveryOrchestrator::new(2);
+    ///
+    /// // First life: create a 2-shard directory and leave an item behind.
+    /// let config = ShardConfig {
+    ///     shards: 2,
+    ///     queue: QueueConfig::small_test(),
+    ///     pool: pmem::PoolConfig::test_with_size(4 << 20),
+    ///     policy: RoutePolicy::RoundRobin,
+    /// };
+    /// let queue = orch
+    ///     .create_dir::<OptUnlinkedQueue>(&dir, config, FileConfig::with_size(4 << 20))?;
+    /// queue.enqueue(0, 7);
+    /// drop(queue); // orderly close; a kill -9 would recover identically
+    ///
+    /// // Second life: the manifest dictates shard count and policy.
+    /// let (queue, report, manifest) =
+    ///     orch.open_dir::<OptUnlinkedQueue>(&dir, QueueConfig::small_test())?;
+    /// assert_eq!(manifest.shards(), 2);
+    /// assert_eq!(report.per_shard.len(), 2);
+    /// assert_eq!(queue.dequeue(0), Some(7));
+    /// drop(queue);
+    /// std::fs::remove_dir_all(&dir)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     ///
     /// Pools are reopened under the default (process-crash) fence policy; a
     /// deployment created with [`store::SyncPolicy::PowerFail`] must reopen
@@ -266,6 +306,9 @@ impl RecoveryOrchestrator {
         queue: QueueConfig,
         sync: store::SyncPolicy,
     ) -> io::Result<(ShardedQueue<Q>, RecoveryReport, ShardManifest)> {
+        // A crash may have interrupted a reshard: roll it back or forward
+        // before trusting the manifest's pool-file list.
+        crate::reshard::resolve_reshard(dir)?;
         let manifest = ShardManifest::read(dir)?;
         let paths = manifest.pool_paths(dir);
         let n = manifest.shards();

@@ -14,7 +14,7 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`](fn@vec).
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

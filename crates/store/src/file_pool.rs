@@ -162,6 +162,27 @@ struct PendingPages(UnsafeCell<Vec<usize>>);
 // SAFETY: each slot is only accessed by the single thread owning the tid.
 unsafe impl Sync for PendingPages {}
 
+/// The validated geometry of an existing pool file, read from its header
+/// without mapping the pool (see [`FilePool::read_geometry`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolGeometry {
+    /// Pool size in bytes (the offset-addressed space, header excluded).
+    pub pool_size: usize,
+    /// Persisted allocation watermark: the pool offset below which space
+    /// has been handed out. Never below `pmem::layout::HEAP_START`.
+    pub watermark: u32,
+    /// Whether the last session closed the pool cleanly.
+    pub was_clean: bool,
+}
+
+impl PoolGeometry {
+    /// Heap bytes actually handed out so far — what a copy or reshard of
+    /// this pool must at minimum be able to hold.
+    pub fn used_bytes(&self) -> usize {
+        self.watermark as usize - layout::HEAP_START as usize
+    }
+}
+
 /// The file-backed pool. See the [module docs](self).
 pub struct FilePool {
     map: MmapRegion,
@@ -175,6 +196,97 @@ pub struct FilePool {
 
 fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Validates a pool-file header (magic, format version, geometry CRC,
+/// size-vs-file-length, watermark) and returns the decoded geometry.
+/// Shared by [`FilePool::open_with_sync`] and [`FilePool::read_geometry`].
+fn validate_header(header: &[u8], file_len: u64, path: &Path) -> io::Result<PoolGeometry> {
+    let read_u64 = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().unwrap());
+    let read_u32 = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().unwrap());
+    if read_u64(H_MAGIC) != MAGIC {
+        return Err(invalid(format!(
+            "{}: bad magic {:#018x} (not a durable-queues pool file)",
+            path.display(),
+            read_u64(H_MAGIC)
+        )));
+    }
+    let version = read_u32(H_VERSION);
+    if version != FORMAT_VERSION {
+        return Err(invalid(format!(
+            "{}: pool-file format version {} (this build reads {})",
+            path.display(),
+            version,
+            FORMAT_VERSION
+        )));
+    }
+    let geo_crc = crc32(&header[..GEO_LEN]);
+    if geo_crc != read_u32(H_GEO_CRC) {
+        return Err(invalid(format!(
+            "{}: header CRC mismatch (stored {:#010x}, computed {:#010x})",
+            path.display(),
+            read_u32(H_GEO_CRC),
+            geo_crc
+        )));
+    }
+    if read_u32(H_HEADER_LEN) as usize != HEADER_LEN
+        || read_u32(H_ROOT_SLOTS) as usize != ROOT_SLOTS
+    {
+        return Err(invalid(format!(
+            "{}: unsupported geometry (header_len {}, root_slots {})",
+            path.display(),
+            read_u32(H_HEADER_LEN),
+            read_u32(H_ROOT_SLOTS)
+        )));
+    }
+    let size = read_u64(H_POOL_SIZE) as usize;
+    if size > u32::MAX as usize || (HEADER_LEN + size) as u64 > file_len {
+        return Err(invalid(format!(
+            "{}: header claims {} pool bytes but the file holds {}",
+            path.display(),
+            size,
+            file_len.saturating_sub(HEADER_LEN as u64)
+        )));
+    }
+    let watermark = read_u32(H_WATERMARK);
+    if watermark < layout::HEAP_START || watermark as usize > size {
+        return Err(invalid(format!(
+            "{}: corrupt watermark {} (heap starts at {}, pool size {})",
+            path.display(),
+            watermark,
+            layout::HEAP_START,
+            size
+        )));
+    }
+    Ok(PoolGeometry {
+        pool_size: size,
+        watermark,
+        was_clean: read_u32(H_FLAGS) & FLAG_CLEAN != 0,
+    })
+}
+
+/// Copies a pool file after validating its header, `fsync`ing the copy.
+/// Only the live prefix — the header page plus the pool bytes below the
+/// persisted watermark — is physically copied; the allocator never hands
+/// out (and the pool never writes) space above the watermark, so the tail
+/// is left as a sparse hole of zeroes and the copy keeps the source's full
+/// length. Returns that length.
+///
+/// The source must not be open in any process (a torn copy of a live pool
+/// would be a silent corruption); resharding uses this to drain source
+/// shards from scratch copies without mutating the originals.
+pub fn copy_pool_file(src: impl AsRef<Path>, dst: impl AsRef<Path>) -> io::Result<u64> {
+    use std::io::Read;
+    let src = src.as_ref();
+    let geometry = FilePool::read_geometry(src)?;
+    let len = std::fs::metadata(src)?.len();
+    let live = (HEADER_LEN + geometry.watermark as usize) as u64;
+    let mut from = File::open(src)?;
+    let mut to = File::create(dst.as_ref())?;
+    io::copy(&mut (&mut from).take(live.min(len)), &mut to)?;
+    to.set_len(len)?;
+    to.sync_all()?;
+    Ok(len)
 }
 
 impl FilePool {
@@ -237,65 +349,10 @@ impl FilePool {
         let header =
             // SAFETY: the mapping is at least HEADER_LEN bytes.
             unsafe { std::slice::from_raw_parts(header_map.as_ptr(), HEADER_LEN) };
-        let read_u64 = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().unwrap());
-        let read_u32 = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().unwrap());
-        if read_u64(H_MAGIC) != MAGIC {
-            return Err(invalid(format!(
-                "{}: bad magic {:#018x} (not a durable-queues pool file)",
-                path.display(),
-                read_u64(H_MAGIC)
-            )));
-        }
-        let version = read_u32(H_VERSION);
-        if version != FORMAT_VERSION {
-            return Err(invalid(format!(
-                "{}: pool-file format version {} (this build reads {})",
-                path.display(),
-                version,
-                FORMAT_VERSION
-            )));
-        }
-        let geo_crc = crc32(&header[..GEO_LEN]);
-        if geo_crc != read_u32(H_GEO_CRC) {
-            return Err(invalid(format!(
-                "{}: header CRC mismatch (stored {:#010x}, computed {:#010x})",
-                path.display(),
-                read_u32(H_GEO_CRC),
-                geo_crc
-            )));
-        }
-        if read_u32(H_HEADER_LEN) as usize != HEADER_LEN
-            || read_u32(H_ROOT_SLOTS) as usize != ROOT_SLOTS
-        {
-            return Err(invalid(format!(
-                "{}: unsupported geometry (header_len {}, root_slots {})",
-                path.display(),
-                read_u32(H_HEADER_LEN),
-                read_u32(H_ROOT_SLOTS)
-            )));
-        }
-        let size = read_u64(H_POOL_SIZE) as usize;
-        if size > u32::MAX as usize || (HEADER_LEN + size) as u64 > file_len {
-            return Err(invalid(format!(
-                "{}: header claims {} pool bytes but the file holds {}",
-                path.display(),
-                size,
-                file_len.saturating_sub(HEADER_LEN as u64)
-            )));
-        }
-        let watermark = read_u32(H_WATERMARK);
-        if watermark < layout::HEAP_START || watermark as usize > size {
-            return Err(invalid(format!(
-                "{}: corrupt watermark {} (heap starts at {}, pool size {})",
-                path.display(),
-                watermark,
-                layout::HEAP_START,
-                size
-            )));
-        }
-        let was_clean = read_u32(H_FLAGS) & FLAG_CLEAN != 0;
+        let geometry = validate_header(header, file_len, &path)?;
         drop(header_map);
 
+        let size = geometry.pool_size;
         let map = MmapRegion::map(&file, HEADER_LEN + size)?;
         let pool = FilePool {
             map,
@@ -303,12 +360,34 @@ impl FilePool {
             path,
             size,
             policy: sync,
-            was_clean,
+            was_clean: geometry.was_clean,
             pending: new_pending(),
         };
         pool.set_flags(false); // dirty while open
         pool.map.msync(0, HEADER_LEN)?;
         Ok(pool)
+    }
+
+    /// Reads and validates the header of an existing pool file **without
+    /// opening it**: no mapping of the pool space, no dirty-marking, no
+    /// side effects on the file. This is how a resharding (or inspection)
+    /// pass sizes destination pools from the source pools' persisted
+    /// watermarks before committing to anything.
+    pub fn read_geometry(path: impl AsRef<Path>) -> io::Result<PoolGeometry> {
+        use std::io::Read;
+        let path = path.as_ref();
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN as u64 {
+            return Err(invalid(format!(
+                "{}: {} bytes is too short to hold a pool-file header",
+                path.display(),
+                file_len
+            )));
+        }
+        let mut header = vec![0u8; HEADER_LEN];
+        file.read_exact(&mut header)?;
+        validate_header(&header, file_len, path)
     }
 
     /// Whether the previous session closed this pool cleanly. `true` for a
@@ -330,7 +409,22 @@ impl FilePool {
     }
 
     /// Wraps this backend in an [`Arc<PmemPool>`] — the handle every queue
-    /// constructor takes.
+    /// constructor takes, so any algorithm in the workspace runs unchanged
+    /// on file-backed storage.
+    ///
+    /// ```
+    /// use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
+    /// use store::{FileConfig, FilePool};
+    ///
+    /// let path = std::env::temp_dir().join(format!("into-pool-doc-{}.pool", std::process::id()));
+    /// let pool = FilePool::create(&path, FileConfig::with_size(4 << 20))?.into_pool();
+    /// let queue = OptUnlinkedQueue::create(pool, QueueConfig::small_test());
+    /// queue.enqueue(0, 7);
+    /// assert_eq!(queue.dequeue(0), Some(7));
+    /// drop(queue);
+    /// std::fs::remove_file(&path)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn into_pool(self) -> Arc<PmemPool> {
         Arc::new(PmemPool::from_backend(Box::new(self)))
     }
@@ -739,6 +833,66 @@ mod tests {
         p.mark_line_cached(off); // no-op, must not panic
         drop(p);
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_geometry_reports_size_watermark_and_cleanliness() {
+        let path = temp_path("geometry");
+        let off;
+        {
+            let pool = FilePool::create(&path, small()).unwrap();
+            let expected_size = pool.len();
+            let p = pool.into_pool();
+            off = p.alloc_raw(256, 64);
+            // Mid-session: dirty, watermark already moved.
+            let geo = FilePool::read_geometry(&path).unwrap();
+            assert_eq!(geo.pool_size, expected_size);
+            assert!(!geo.was_clean, "open pool reads as dirty");
+            assert!(geo.watermark >= off + 256);
+            assert_eq!(
+                geo.used_bytes(),
+                geo.watermark as usize - layout::HEAP_START as usize
+            );
+        }
+        let geo = FilePool::read_geometry(&path).unwrap();
+        assert!(geo.was_clean, "orderly drop marks the pool clean");
+        assert!(geo.used_bytes() >= 256);
+        // Reading the geometry has no side effects: the file still opens
+        // clean afterwards.
+        assert!(FilePool::open(&path).unwrap().was_clean());
+        fs::remove_file(&path).unwrap();
+
+        // Validation errors surface exactly like open's.
+        let err = FilePool::read_geometry(&path).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        fs::write(&path, b"short").unwrap();
+        let err = FilePool::read_geometry(&path).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("too short"), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn copy_pool_file_produces_an_identical_openable_pool() {
+        let src = temp_path("copy-src");
+        let dst = temp_path("copy-dst");
+        {
+            let pool = FilePool::create(&src, small()).unwrap().into_pool();
+            let off = pool.alloc_raw(64, 64);
+            pool.store_u64(off, 0xC0FFEE);
+            pool.set_root_u64(0, off as u64);
+        }
+        let bytes = copy_pool_file(&src, &dst).unwrap();
+        assert_eq!(bytes, fs::metadata(&src).unwrap().len());
+        let copy = FilePool::open(&dst).unwrap();
+        assert!(copy.was_clean());
+        let p = copy.into_pool();
+        let off = p.root_u64(0) as u32;
+        assert_eq!(p.load_u64(off), 0xC0FFEE);
+        // Copying a non-pool file is refused before any bytes move.
+        fs::write(&src, b"not a pool").unwrap();
+        assert!(copy_pool_file(&src, &dst).is_err());
+        fs::remove_file(&src).unwrap();
+        fs::remove_file(&dst).unwrap();
     }
 
     #[test]

@@ -21,25 +21,43 @@
 //!   reconstructs the structure — exercised end to end by this crate's
 //!   subprocess crash test and the `harness restart` verb.
 //!
-//! ```no_run
+//! ```
+//! use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
 //! use store::{FileConfig, FilePool};
 //!
-//! // First life: create a pool file and a queue on it.
-//! let pool = FilePool::create("/tmp/queue.pool", FileConfig::with_size(64 << 20))?;
-//! let pool = pool.into_pool(); // Arc<PmemPool>, same as the simulator
-//! // ... Q::create(pool, cfg), traffic, possibly a crash ...
+//! let path = std::env::temp_dir().join(format!("store-doc-{}.pool", std::process::id()));
 //!
-//! // Second life (new process): reopen and recover.
-//! let pool = FilePool::open("/tmp/queue.pool")?;
-//! let needs_recovery = !pool.was_clean();
-//! let pool = pool.into_pool();
-//! // ... Q::recover(pool, cfg) ...
+//! // First life: create a pool file and a queue on it.
+//! let pool = FilePool::create(&path, FileConfig::with_size(4 << 20))?;
+//! let pool = pool.into_pool(); // Arc<PmemPool>, same as the simulator
+//! let queue = OptUnlinkedQueue::create(pool, QueueConfig::small_test());
+//! queue.enqueue(0, 41);
+//! queue.enqueue(0, 42);
+//! drop(queue); // orderly close — a kill -9 here would recover identically
+//!
+//! // Second life (new process): reopen, check cleanliness, recover.
+//! let pool = FilePool::open(&path)?;
+//! let needs_recovery = !pool.was_clean(); // false after the clean drop
+//! assert!(!needs_recovery);
+//! let queue = OptUnlinkedQueue::recover(pool.into_pool(), QueueConfig::small_test());
+//! assert_eq!(queue.dequeue(0), Some(41));
+//! assert_eq!(queue.dequeue(0), Some(42));
+//! drop(queue);
+//! std::fs::remove_file(&path)?;
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
 //! The `shard` crate builds its directory-of-pools shard-map manifest on
 //! top of this crate (one pool file per shard), using [`crc::crc32`] for
-//! manifest integrity.
+//! manifest integrity, and its resharding operation leans on the pool-file
+//! helpers here: [`FilePool::read_geometry`] sizes destination pools from
+//! the sources' persisted watermarks, and [`copy_pool_file`] produces the
+//! scratch copies resharding drains so source pools are never mutated
+//! before the commit.
+//!
+//! On-disk layout: see `docs/FORMATS.md` at the repository root for the
+//! byte-level header table and the version-compatibility rule (readers
+//! reject unknown major versions).
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -49,5 +67,8 @@ pub mod file_pool;
 pub mod mmap;
 
 pub use crc::crc32;
-pub use file_pool::{FileConfig, FilePool, SyncPolicy, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use file_pool::{
+    copy_pool_file, FileConfig, FilePool, PoolGeometry, SyncPolicy, FORMAT_VERSION, HEADER_LEN,
+    MAGIC,
+};
 pub use mmap::MmapRegion;

@@ -89,6 +89,12 @@ fn sweep_from_flags(flags: &HashMap<String, String>) -> SweepConfig {
     if let Some(p) = flags.get("policy") {
         sweep.policy = parse_policy(p);
     }
+    if let Some(p) = flags.get("pool-bytes") {
+        sweep.pool_bytes = p.parse().expect("bad --pool-bytes");
+    }
+    if let Some(g) = flags.get("grow-step") {
+        sweep.grow_step = g.parse().expect("bad --grow-step");
+    }
     sweep.backend = backend_from_flags(flags);
     sweep
 }
@@ -305,6 +311,9 @@ fn restart_config(flags: &HashMap<String, String>) -> RestartConfig {
     if let Some(p) = flags.get("pool-bytes") {
         cfg.pool_bytes = p.parse().expect("bad --pool-bytes");
     }
+    if let Some(g) = flags.get("grow-step") {
+        cfg.grow_step = g.parse().expect("bad --grow-step");
+    }
     if let Some(m) = flags.get("min-acks") {
         cfg.min_acks = m.parse().expect("bad --min-acks");
     }
@@ -485,9 +494,12 @@ fn main() {
                                --recovery-threads N --nvram-read-ns N --no-latency\n\
                  backends:     --backend sim|file --dir PATH\n\
                                --sync process-crash|power-fail   (file backend)\n\
+                               --pool-bytes N --grow-step N   (file pools grow by\n\
+                               >= N bytes on exhaustion; 0 = fixed size)\n\
                  output:       --json PATH   (counts, shards + restart: JSON array\n\
                                of experiment objects; schema in README)\n\
                  restart:      --algo A --shards N --min-acks N --pool-bytes N\n\
+                               --grow-step N  (undersized pools grow under kill)\n\
                  reshard:      --dir D --to N' [--algo A] [--create N --items M]\n\
                                [--verify] [--expect M] [--key-shift B]\n\
                                [--policy P] [--sync S]"

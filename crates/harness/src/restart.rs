@@ -38,6 +38,11 @@ pub struct RestartConfig {
     pub dir: PathBuf,
     /// Per-pool file size in bytes.
     pub pool_bytes: usize,
+    /// Per-pool growth step in bytes (`0` = fixed-size pools). With a
+    /// deliberately undersized `--pool-bytes` this exercises elastic growth
+    /// under kill: the child outgrows its creation-time ceiling mid-traffic
+    /// and the kill can land inside the grow protocol itself.
+    pub grow_step: usize,
     /// Fence durability policy of the file pools.
     pub sync: SyncPolicy,
     /// Confirmed enqueues to wait for before the kill.
@@ -53,6 +58,7 @@ impl Default for RestartConfig {
             shards: 1,
             dir: std::env::temp_dir().join(format!("harness-restart-{}", std::process::id())),
             pool_bytes: 128 << 20,
+            grow_step: 0,
             sync: SyncPolicy::ProcessCrash,
             min_acks: 2_000,
             policy: RoutePolicy::RoundRobin,
@@ -78,13 +84,13 @@ const POOL_FILE: &str = "pool.dq";
 pub fn run_child(cfg: &RestartConfig) {
     std::fs::create_dir_all(&cfg.dir).expect("restart-child: create dir");
     with_recoverable!(cfg.algorithm, Q => {
+        let file_cfg = FileConfig::with_size(cfg.pool_bytes)
+            .with_sync(cfg.sync)
+            .with_growth(cfg.grow_step);
         if cfg.shards == 1 {
-            let pool = FilePool::create(
-                cfg.dir.join(POOL_FILE),
-                FileConfig::with_size(cfg.pool_bytes).with_sync(cfg.sync),
-            )
-            .expect("restart-child: create pool")
-            .into_pool();
+            let pool = FilePool::create(cfg.dir.join(POOL_FILE), file_cfg)
+                .expect("restart-child: create pool")
+                .into_pool();
             drive_traffic(&Q::create(pool, queue_config()), &cfg.dir);
         } else {
             let orch = RecoveryOrchestrator::new(cfg.shards);
@@ -97,7 +103,7 @@ pub fn run_child(cfg: &RestartConfig) {
                         pool: pmem::PoolConfig::test_with_size(cfg.pool_bytes),
                         policy: cfg.policy,
                     },
-                    FileConfig::with_size(cfg.pool_bytes).with_sync(cfg.sync),
+                    file_cfg,
                 )
                 .expect("restart-child: create shard dir");
             drive_traffic(&queue, &cfg.dir);
@@ -157,6 +163,9 @@ pub struct RestartOutcome {
     pub recovered: usize,
     /// Wall-clock recovery time (file open + `recover()`, all shards).
     pub recovery: Duration,
+    /// Committed pool growths inherited across the restart, summed over all
+    /// shards (`0` for rounds whose pools never outgrew `--pool-bytes`).
+    pub growth_epochs: u64,
 }
 
 /// Runs one full round: spawn, wait for progress, SIGKILL, reopen,
@@ -190,6 +199,8 @@ pub fn run_round(cfg: &RestartConfig) -> RestartOutcome {
             cfg.dir.to_str().expect("utf-8 dir"),
             "--pool-bytes",
             &cfg.pool_bytes.to_string(),
+            "--grow-step",
+            &cfg.grow_step.to_string(),
             "--sync",
             cfg.sync.key(),
             "--policy",
@@ -218,28 +229,31 @@ pub fn run_round(cfg: &RestartConfig) -> RestartOutcome {
 
     // `recovery` times file open + `recover()` only; the drain and FIFO
     // validation below are checker work, not restart latency.
-    let (drained, recovery) = with_recoverable!(cfg.algorithm, Q => {
+    let (drained, recovery, growth_epochs) = with_recoverable!(cfg.algorithm, Q => {
         if cfg.shards == 1 {
             let begun = Instant::now();
-            let pool = FilePool::open_with_sync(cfg.dir.join(POOL_FILE), cfg.sync)
-                .expect("reopen pool file");
+            let pool =
+                FilePool::open_with_growth(cfg.dir.join(POOL_FILE), cfg.sync, cfg.grow_step)
+                    .expect("reopen pool file");
             assert!(!pool.was_clean(), "SIGKILL must leave the pool dirty");
+            let growths = pool.growth_epoch() as u64;
             let queue = Q::recover(pool.into_pool(), queue_config());
             let recovery = begun.elapsed();
             let drained: Vec<u64> = std::iter::from_fn(|| queue.dequeue(0)).collect();
             for pair in drained.windows(2) {
                 assert!(pair[0] < pair[1], "FIFO violated across the restart");
             }
-            (drained, recovery)
+            (drained, recovery, growths)
         } else {
             let orch = RecoveryOrchestrator::new(cfg.shards);
             let begun = Instant::now();
             let (queue, report, manifest) = orch
-                .open_dir_with_sync::<Q>(&cfg.dir, queue_config(), cfg.sync)
+                .open_dir_with_growth::<Q>(&cfg.dir, queue_config(), cfg.sync, cfg.grow_step)
                 .expect("recover shard directory");
             let recovery = begun.elapsed();
             assert!(report.wall <= recovery, "report covers the recover() part");
             assert_eq!(manifest.shards(), cfg.shards, "manifest shard count");
+            let growths = report.total_growth_epochs();
             let mut drained = Vec::new();
             for i in 0..cfg.shards {
                 let mut last = None;
@@ -251,7 +265,7 @@ pub fn run_round(cfg: &RestartConfig) -> RestartOutcome {
                     drained.push(v);
                 }
             }
-            (drained, recovery)
+            (drained, recovery, growths)
         }
     });
 
@@ -269,6 +283,7 @@ pub fn run_round(cfg: &RestartConfig) -> RestartOutcome {
         confirmed_dequeues: acked_d.len(),
         recovered: drained.len(),
         recovery,
+        growth_epochs,
     }
 }
 
@@ -344,12 +359,16 @@ pub fn restart_json(
     for (i, (cfg, outcome)) in rounds.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"algorithm\": \"{}\", \"shards\": {}, \"policy\": \"{}\", \"sync\": \"{}\", \
+             \"pool_bytes\": {}, \"grow_step\": {}, \"growth_epochs\": {}, \
              \"confirmed_enqueues\": {}, \"confirmed_dequeues\": {}, \"recovered\": {}, \
              \"recovery_ms\": {}}}{}\n",
             cfg.algorithm.name(),
             cfg.shards,
             cfg.policy.key(),
             cfg.sync.key(),
+            cfg.pool_bytes,
+            cfg.grow_step,
+            outcome.growth_epochs,
             outcome.confirmed_enqueues,
             outcome.confirmed_dequeues,
             outcome.recovered,
@@ -379,9 +398,13 @@ pub fn restart_json(
 
 /// Renders one round's outcome as the verb's report line.
 pub fn render_outcome(cfg: &RestartConfig, outcome: &RestartOutcome) -> String {
+    let growth = match outcome.growth_epochs {
+        0 => String::new(),
+        n => format!(" (pool grew x{n} past its creation ceiling)"),
+    };
     format!(
         "restart {} x{} [{}]: {} confirmed enqueues, {} confirmed dequeues, \
-         {} recovered in {:.3} ms — no loss, no duplication, FIFO intact\n",
+         {} recovered in {:.3} ms — no loss, no duplication, FIFO intact{}\n",
         cfg.algorithm.name(),
         cfg.shards,
         cfg.sync.key(),
@@ -389,6 +412,7 @@ pub fn render_outcome(cfg: &RestartConfig, outcome: &RestartOutcome) -> String {
         outcome.confirmed_dequeues,
         outcome.recovered,
         outcome.recovery.as_secs_f64() * 1e3,
+        growth,
     )
 }
 
@@ -439,6 +463,7 @@ mod tests {
                     confirmed_dequeues: 990,
                     recovered: 1_011,
                     recovery: Duration::from_millis(3),
+                    growth_epochs: 0,
                 },
             ),
             (
@@ -452,6 +477,7 @@ mod tests {
                     confirmed_dequeues: 1_000,
                     recovered: 1_101,
                     recovery: Duration::from_millis(2),
+                    growth_epochs: 3,
                 },
             ),
         ];
@@ -465,6 +491,9 @@ mod tests {
         assert!(json.contains("\"reshard_kill\": null"));
         assert_eq!(json.matches("\"algorithm\"").count(), 2);
         assert!(json.contains("\"sync\": \"process-crash\""));
+        assert!(json.contains("\"growth_epochs\": 0"));
+        assert!(json.contains("\"growth_epochs\": 3"));
+        assert!(json.contains("\"grow_step\": 0"));
 
         let reshard = crate::reshard::ReshardKillOutcome {
             completed_reshards: 3,

@@ -45,6 +45,11 @@ pub struct SweepConfig {
     /// Pool size in bytes for every run (split across shards when
     /// `shards > 1`).
     pub pool_bytes: usize,
+    /// Growth step in bytes for file-backed pools (`0` = fixed-size, the
+    /// default). Lets a deliberately undersized `--pool-bytes` panel run to
+    /// completion through elastic growth; ignored by the simulated backend,
+    /// which is always fixed-size.
+    pub grow_step: usize,
     /// Latency model of the simulated NVRAM.
     pub latency: LatencyModel,
     /// Designated-area size for the node allocator.
@@ -73,6 +78,7 @@ impl SweepConfig {
             initial_size: None,
             prefill: None,
             pool_bytes: 256 << 20,
+            grow_step: 0,
             latency: LatencyModel::optane_like(),
             area_size: 4 << 20,
             algorithms: Algorithm::figure2_set(),
@@ -91,6 +97,7 @@ impl SweepConfig {
             initial_size: None,
             prefill: None,
             pool_bytes: 64 << 20,
+            grow_step: 0,
             latency: LatencyModel::optane_like(),
             area_size: 1 << 20,
             algorithms: Algorithm::figure2_set(),
@@ -203,7 +210,9 @@ pub fn measure_point(
             BackendChoice::File { dir, sync } => {
                 let subdir = dir.join(format!("{}-{}shards", point_tag(), sweep.shards));
                 cleanup = Some((subdir.clone(), true));
-                let file_cfg = FileConfig::with_size(shard_cfg.pool.size).with_sync(*sync);
+                let file_cfg = FileConfig::with_size(shard_cfg.pool.size)
+                    .with_sync(*sync)
+                    .with_growth(sweep.grow_step);
                 alg.create_sharded_dir(&subdir, shard_cfg, file_cfg)
             }
         }
@@ -216,7 +225,9 @@ pub fn measure_point(
                 cleanup = Some((path.clone(), false));
                 FilePool::create(
                     &path,
-                    FileConfig::with_size(sweep.pool_bytes).with_sync(*sync),
+                    FileConfig::with_size(sweep.pool_bytes)
+                        .with_sync(*sync)
+                        .with_growth(sweep.grow_step),
                 )
                 .expect("create pool file")
                 .into_pool()
@@ -325,6 +336,7 @@ mod tests {
             initial_size: None,
             prefill: None,
             pool_bytes: 32 << 20,
+            grow_step: 0,
             latency: LatencyModel::ZERO,
             area_size: 256 * 1024,
             algorithms: vec![
@@ -426,6 +438,24 @@ mod tests {
         assert!(leftovers.is_empty(), "{leftovers:?}");
         let rendered = render_panel(Workload::Pairs, &sweep, &[]);
         assert!(rendered.contains("[file backend, process-crash]"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undersized_file_pools_grow_instead_of_exhausting() {
+        let dir = std::env::temp_dir().join(format!("runner-grow-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sweep = tiny_sweep();
+        // Far below a single designated area: without growth the very first
+        // allocation would abort the run with PoolExhausted.
+        sweep.pool_bytes = 1 << 16;
+        sweep.grow_step = 4 << 20;
+        sweep.backend = BackendChoice::File {
+            dir: dir.clone(),
+            sync: SyncPolicy::ProcessCrash,
+        };
+        let cell = measure_point(Algorithm::OptUnlinked, Workload::Pairs, 2, &sweep);
+        assert!(cell.mops > 0.0, "the point must complete via growth");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

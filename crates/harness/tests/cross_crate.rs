@@ -17,6 +17,7 @@ fn tiny_sweep(algorithms: Vec<Algorithm>) -> SweepConfig {
         initial_size: None,
         prefill: None,
         pool_bytes: 32 << 20,
+        grow_step: 0,
         latency: LatencyModel::ZERO,
         area_size: 256 * 1024,
         algorithms,

@@ -119,6 +119,30 @@ pub trait PoolBackend: Send + Sync {
     /// [`crate::PmemPool::try_alloc_raw`] is built on this.
     fn cas_watermark(&self, current: u32, new: u32) -> Result<u32, u32>;
 
+    /// Attempts to extend the pool so [`len`](Self::len) is at least
+    /// `min_len` bytes, returning whether it is afterwards. The allocation
+    /// loop calls this before giving up on an exhausted pool; a `true`
+    /// return means "retry", not "this exact request was reserved" — the
+    /// caller re-runs its watermark CAS against the larger pool.
+    ///
+    /// The default declines: backends are fixed-size unless they opt in
+    /// (the `store` crate's file pool grows by `ftruncate` + remap when
+    /// configured with a growth step). Implementations must be safe to call
+    /// concurrently with every other pool operation and must only return
+    /// `true` once the new capacity is crash-durably committed, so no
+    /// allocation above the old ceiling can outlive a crash that forgets
+    /// the growth.
+    fn try_grow(&self, min_len: usize) -> bool {
+        let _ = min_len;
+        false
+    }
+
+    /// Number of capacity growths durably committed over the pool's
+    /// lifetime (`0` for fixed-size backends).
+    fn growth_epoch(&self) -> u32 {
+        0
+    }
+
     /// Reads durable root slot `slot` (`< ROOT_SLOTS`).
     fn root_u64(&self, slot: usize) -> u64;
 

@@ -216,6 +216,17 @@ impl PmemPool {
         matches!(self.inner, PoolImpl::Sim(_))
     }
 
+    /// Number of capacity growths durably committed over the pool's
+    /// lifetime — `0` for the (always fixed-size) simulated backend and for
+    /// external backends that never grew. See
+    /// [`PoolBackend::growth_epoch`].
+    pub fn growth_epoch(&self) -> u32 {
+        match &self.inner {
+            PoolImpl::Sim(_) => 0,
+            PoolImpl::Ext(b) => b.growth_epoch(),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Loads / stores / CAS
     // ------------------------------------------------------------------
@@ -424,6 +435,13 @@ impl PmemPool {
     /// [`PoolExhausted`] error instead of panicking, so callers that can
     /// degrade (spill, shed load, grow elsewhere) get the diagnostics
     /// without unwinding.
+    ///
+    /// On an **external** backend that supports growth (e.g. a `store` file
+    /// pool configured with a growth step), exhaustion first asks the
+    /// backend to [`try_grow`](PoolBackend::try_grow) and retries, so an
+    /// elastic pool only surfaces `PoolExhausted` once it truly cannot be
+    /// extended any further. The **simulated** backend never grows: the
+    /// paper-facing measurements run on a fixed, statically-dispatched pool.
     pub fn try_alloc_raw(&self, len: u32, align: u32) -> Result<u32, PoolExhausted> {
         assert!(align.is_power_of_two() && align >= 8);
         let exhausted = |watermark: u32| PoolExhausted {
@@ -440,7 +458,13 @@ impl PmemPool {
                 None => return Err(exhausted(cur)),
             };
             if end as usize > self.len() {
-                return Err(exhausted(cur));
+                match &self.inner {
+                    // try_grow(true) guarantees len() >= end afterwards, so
+                    // the retry makes progress; false means the backend is
+                    // fixed-size or at its ceiling, and the error stands.
+                    PoolImpl::Ext(b) if b.try_grow(end as usize) => continue,
+                    _ => return Err(exhausted(cur)),
+                }
             }
             match self.cas_watermark(cur, end) {
                 Ok(_) => return Ok(start),

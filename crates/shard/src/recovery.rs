@@ -47,13 +47,21 @@ pub(crate) fn par_map_shards<T: Send>(
         .collect()
 }
 
-/// Recovery timing of one shard.
+/// Recovery timing (and pool state) of one shard.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardRecovery {
     /// The shard index.
     pub shard: usize,
     /// Wall-clock time of this shard's recovery procedure.
     pub latency: Duration,
+    /// Effective pool size of this shard in bytes at recovery time. For
+    /// file-backed shards this reflects any committed growth (shards grow
+    /// independently, so sizes may diverge within one directory).
+    pub pool_bytes: usize,
+    /// Committed growth epoch read from the shard's pool-file header
+    /// (`0` = never grown; always `0` for simulated-crash campaigns, whose
+    /// pools are fixed-size).
+    pub growth_epoch: u32,
 }
 
 /// The outcome of one parallel recovery campaign.
@@ -83,6 +91,18 @@ impl RecoveryReport {
             .unwrap_or(Duration::ZERO)
     }
 
+    /// Total committed pool growths across all shards (`0` when no shard's
+    /// pool ever grew — always the case for simulated-crash campaigns).
+    pub fn total_growth_epochs(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.growth_epoch as u64).sum()
+    }
+
+    /// Total pool bytes across all shards at recovery time (effective,
+    /// growth included).
+    pub fn total_pool_bytes(&self) -> usize {
+        self.per_shard.iter().map(|s| s.pool_bytes).sum()
+    }
+
     /// Parallel speedup actually achieved (sequential cost / wall time).
     pub fn speedup(&self) -> f64 {
         let wall = self.wall.as_secs_f64();
@@ -95,14 +115,19 @@ impl RecoveryReport {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
+        let growth = match self.total_growth_epochs() {
+            0 => String::new(),
+            n => format!(", {n} pool growth(s) inherited"),
+        };
         format!(
-            "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x)",
+            "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x{})",
             self.per_shard.len(),
             self.threads,
             self.wall,
             self.sequential_cost(),
             self.critical_path(),
-            self.speedup()
+            self.speedup(),
+            growth
         )
     }
 }
@@ -188,8 +213,13 @@ impl RecoveryOrchestrator {
         let mut shards = Vec::with_capacity(n);
         let mut per_shard = Vec::with_capacity(n);
         for (i, (shard, latency)) in recovered.into_iter().enumerate() {
+            per_shard.push(ShardRecovery {
+                shard: i,
+                latency,
+                pool_bytes: shard.pool.len(),
+                growth_epoch: shard.pool.growth_epoch(),
+            });
             shards.push(shard);
-            per_shard.push(ShardRecovery { shard: i, latency });
         }
         let queue = ShardedQueue::from_shards(shards.into_boxed_slice(), config);
         let report = RecoveryReport {
@@ -243,9 +273,13 @@ impl RecoveryOrchestrator {
 
     /// Reopens a file-backed sharded queue from `dir` after a restart: reads
     /// the [`ShardManifest`] (the manifest, not the caller, is the authority
-    /// on shard count and routing policy), opens every shard's pool file and
-    /// runs the per-shard `Q::recover` procedures in parallel on the worker
-    /// pool, timing each shard exactly like [`recover`](Self::recover).
+    /// on shard count and routing policy), validates every shard's pool-file
+    /// header — each shard's effective size comes from its own header, so
+    /// shards that grew independently reopen at their grown sizes — opens
+    /// the pools and runs the per-shard `Q::recover` procedures in parallel
+    /// on the worker pool, timing each shard exactly like
+    /// [`recover`](Self::recover). Per-shard sizes and inherited growth
+    /// epochs are reported in the [`RecoveryReport`].
     ///
     /// Works identically after a clean shutdown and after a `kill -9`; the
     /// returned manifest tells the caller what was recovered. A reshard
@@ -306,6 +340,22 @@ impl RecoveryOrchestrator {
         queue: QueueConfig,
         sync: store::SyncPolicy,
     ) -> io::Result<(ShardedQueue<Q>, RecoveryReport, ShardManifest)> {
+        self.open_dir_with_growth(dir, queue, sync, 0)
+    }
+
+    /// [`open_dir`](Self::open_dir) with an explicit fence durability
+    /// policy and growth step (`0` = fixed-size) for the reopened pool
+    /// files. A directory whose shards grew past their creation ceiling in
+    /// a previous life is usually still under the traffic that grew them —
+    /// and its pools are near-full, so even `Q::recover`'s own allocator
+    /// areas may need room; reopen it elastic to keep going.
+    pub fn open_dir_with_growth<Q: RecoverableQueue>(
+        &self,
+        dir: &Path,
+        queue: QueueConfig,
+        sync: store::SyncPolicy,
+        grow_step: usize,
+    ) -> io::Result<(ShardedQueue<Q>, RecoveryReport, ShardManifest)> {
         // A crash may have interrupted a reshard: roll it back or forward
         // before trusting the manifest's pool-file list.
         crate::reshard::resolve_reshard(dir)?;
@@ -315,7 +365,12 @@ impl RecoveryOrchestrator {
         let started = Instant::now();
         let recovered: Vec<(Shard<Q>, Duration)> =
             par_map_shards(n, self.threads, |i| -> io::Result<(Shard<Q>, Duration)> {
-                let pool = FilePool::open_with_sync(&paths[i], sync)?.into_pool();
+                // Each shard's header is the authority on its own effective
+                // size — shards grow independently, so neither the manifest
+                // nor the siblings can know it. `open_with_growth` validates
+                // the header (magic, versions, CRCs, grown size, watermark
+                // bounds) before mapping.
+                let pool = FilePool::open_with_growth(&paths[i], sync, grow_step)?.into_pool();
                 let begun = Instant::now();
                 let q = Q::recover(Arc::clone(&pool), queue);
                 Ok((Shard { queue: q, pool }, begun.elapsed()))
@@ -326,14 +381,23 @@ impl RecoveryOrchestrator {
         let config = ShardConfig {
             shards: n,
             queue,
-            pool: PoolConfig::test_with_size(recovered[0].0.pool.len()),
+            // Sizes may diverge across grown shards; size the (sim-facing)
+            // config from the largest so derived pools are never smaller.
+            pool: PoolConfig::test_with_size(
+                recovered.iter().map(|(s, _)| s.pool.len()).max().unwrap(),
+            ),
             policy: manifest.policy,
         };
         let mut shards = Vec::with_capacity(n);
         let mut per_shard = Vec::with_capacity(n);
         for (i, (shard, latency)) in recovered.into_iter().enumerate() {
+            per_shard.push(ShardRecovery {
+                shard: i,
+                latency,
+                pool_bytes: shard.pool.len(),
+                growth_epoch: shard.pool.growth_epoch(),
+            });
             shards.push(shard);
-            per_shard.push(ShardRecovery { shard: i, latency });
         }
         let queue = ShardedQueue::from_shards(shards.into_boxed_slice(), config);
         let report = RecoveryReport {
@@ -384,6 +448,16 @@ mod tests {
         assert!(report.sequential_cost() >= report.critical_path());
         assert_eq!(report.threads, 3);
         assert!(report.summary().contains("8 shards"));
+        // Simulated pools are fixed-size: no growth to inherit, and the
+        // per-shard sizes are the pools' actual sizes.
+        assert_eq!(report.total_growth_epochs(), 0);
+        assert!(!report.summary().contains("growth"));
+        assert!(report.per_shard.iter().all(|s| s.growth_epoch == 0));
+        assert_eq!(
+            report.total_pool_bytes(),
+            report.per_shard.iter().map(|s| s.pool_bytes).sum::<usize>()
+        );
+        assert!(report.per_shard.iter().all(|s| s.pool_bytes > 0));
     }
 
     #[test]

@@ -287,7 +287,9 @@ impl RecoveryOrchestrator {
         // Destination sizing, unless overridden: every destination can hold
         // the entire resident data set (skew-proof — key hashing may route
         // every item to one shard) plus allocator slack, and is never
-        // smaller than the largest source pool.
+        // smaller than the largest source pool. Geometry reads report the
+        // *effective* (grown) size and the watermark within it, so sources
+        // that outgrew their creation size are never under-provisioned.
         let file = match dest_file {
             Some(f) => f,
             None => {
@@ -337,8 +339,14 @@ impl RecoveryOrchestrator {
         })
         .into_iter()
         .collect::<io::Result<Vec<()>>>()?;
+        // A source that grew under load is typically near-full, and
+        // `Q::recover` + the drain allocate fresh designated areas on top of
+        // the copied heap; the scratch is throwaway, so open it elastic with
+        // enough step for the allocator's per-thread areas.
+        let scratch_grow = (queue.max_threads * queue.area_size as usize).max(1 << 20);
         let sources: Vec<Q> = par_map_shards(from_shards, self.threads(), |i| {
-            FilePool::open(&scratch[i]).map(|p| Q::recover(p.into_pool(), queue))
+            FilePool::open_with_growth(&scratch[i], store::SyncPolicy::default(), scratch_grow)
+                .map(|p| Q::recover(p.into_pool(), queue))
         })
         .into_iter()
         .collect::<io::Result<_>>()?;
@@ -466,6 +474,54 @@ mod tests {
         let mut got: Vec<u64> = std::iter::from_fn(|| q.dequeue(0)).collect();
         got.sort_unstable();
         assert_eq!(got, (1..=500).collect::<Vec<_>>());
+        drop(q);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grown_sources_reshard_with_destinations_sized_from_grown_geometry() {
+        // Shards created deliberately tiny grow past their creation ceiling
+        // under load; the reshard must size destinations from the *grown*
+        // geometry (effective size + watermark), not the creation size.
+        let dir = temp_dir("grown");
+        let orch = RecoveryOrchestrator::new(2);
+        let items = 8_000u64;
+        {
+            let q: crate::ShardedQueue<OptUnlinkedQueue> = orch
+                .create_dir(
+                    &dir,
+                    config(2, RoutePolicy::RoundRobin),
+                    FileConfig::with_size(128 << 10).with_growth(128 << 10),
+                )
+                .unwrap();
+            for i in 1..=items {
+                q.enqueue(0, i);
+            }
+        }
+        let manifest = crate::ShardManifest::read(&dir).unwrap();
+        let grown: u32 = manifest
+            .pool_paths(&dir)
+            .iter()
+            .map(|p| store::FilePool::read_geometry(p).unwrap().growth_epoch)
+            .sum();
+        assert!(grown >= 2, "both tiny shards must have grown, got {grown}");
+
+        let report = orch
+            .reshard_dir::<OptUnlinkedQueue>(&dir, 1, QueueConfig::small_test())
+            .unwrap();
+        assert_eq!(report.items_moved, items);
+
+        let (q, recovery, manifest) = orch
+            .open_dir::<OptUnlinkedQueue>(&dir, QueueConfig::small_test())
+            .unwrap();
+        assert_eq!(manifest.shards(), 1);
+        // The merged destination was built fresh at its (grown-aware) size:
+        // it holds every item without having needed to grow itself.
+        assert_eq!(recovery.total_growth_epochs(), 0);
+        let mut got: Vec<u64> = std::iter::from_fn(|| q.dequeue(0)).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), items as usize);
+        assert_eq!(got, (1..=items).collect::<Vec<_>>());
         drop(q);
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -7,29 +7,54 @@
 //! result to `RecoverableQueue::create` / `recover` exactly like a simulated
 //! pool.
 //!
-//! ## File format (version 1)
+//! ## File format (version 1, minor 1)
 //!
 //! ```text
-//! byte 0                                  byte 4096             4096+pool_size
+//! byte 0                                  byte 4096             4096+size
 //! ┌──────────────────────────────────────┬─────────────────────────────┐
 //! │ header page                          │ pool bytes                  │
-//! │  0  magic      u64  "DQSTORE1"       │ offset-addressed space;     │
-//! │  8  version    u32  = 1              │ offset 0 is reserved        │
-//! │ 12  header_len u32  = 4096           │ (PRef::NULL), the queue     │
-//! │ 16  pool_size  u64                   │ root block and the ssmem    │
-//! │ 24  root_slots u32  = 8              │ directory sit at the fixed  │
-//! │ 28  geo_crc    u32  CRC-32 of [0,28) │ pmem::layout offsets, the   │
-//! │ 32  flags      u32  bit0 = clean     │ heap above HEAP_START       │
-//! │ 36  watermark  u32  (atomic)         │                             │
-//! │ 64  roots      [u64; 8] (atomic)     │                             │
+//! │   0  magic      u64  "DQSTORE1"      │ offset-addressed space;     │
+//! │   8  version    u32  major|minor<<16 │ offset 0 is reserved        │
+//! │  12  header_len u32  = 4096          │ (PRef::NULL), the queue     │
+//! │  16  pool_size  u64  (creation size) │ root block and the ssmem    │
+//! │  24  root_slots u32  = 8             │ directory sit at the fixed  │
+//! │  28  geo_crc    u32  CRC-32 of [0,28)│ pmem::layout offsets, the   │
+//! │  32  flags      u32  bit0 = clean    │ heap above HEAP_START       │
+//! │  36  watermark  u32  (atomic)        │                             │
+//! │  40  grown_size u64  (minor ≥ 1)     │ `size` is `pool_size` until │
+//! │  48  grow_epoch u32  (minor ≥ 1)     │ the pool grows, then the    │
+//! │  52  grow_crc   u32  CRC of [40,52)  │ committed `grown_size`      │
+//! │  64  roots      [u64; 8] (atomic)    │                             │
+//! │ 128  grow-commit journal (32 B)      │                             │
 //! │ ...zero...                           │                             │
 //! └──────────────────────────────────────┴─────────────────────────────┘
 //! ```
 //!
 //! The geometry CRC covers only the immutable fields (magic through
-//! root-slot count): the mutable words below it — flags, watermark, roots —
-//! are each a single naturally-aligned word updated atomically in place, so
-//! they are always self-consistent and deliberately outside the checksum.
+//! root-slot count, including the version word): the mutable words below it
+//! — flags, watermark, roots — are each a single naturally-aligned word
+//! updated atomically in place, so they are always self-consistent and
+//! deliberately outside the checksum. The grow record (`grown_size`,
+//! `grow_epoch`) carries its own CRC and is rewritten only through the
+//! journaled commit protocol described below.
+//!
+//! ## Elastic growth
+//!
+//! A pool created (or opened) with a non-zero growth step is **elastic**: when
+//! `try_alloc_raw` runs out of space, the backend extends the file by at
+//! least one growth step (`ftruncate`), remaps it, and retries — a queue can
+//! outgrow its creation-time watermark ceiling without ever surfacing
+//! `PoolExhausted`. Growth is stop-the-world for the pool's threads (the
+//! shared mapping is swapped under a write lock) and **crash-safe**: the
+//! durable commit point is a self-checksummed journal record in the header
+//! page, written after the `ftruncate` and before the grow record's home
+//! fields. A `kill -9` anywhere in the protocol recovers to either the old
+//! size (journal absent or torn) or the new size (journal intact, rolled
+//! forward on open); allocations above the old ceiling are only handed out
+//! once the commit record is durable, so no allocation is ever lost. The
+//! first committed growth bumps the header's minor version to 1, which makes
+//! readers that predate the grow record reject the file instead of silently
+//! ignoring the grown space.
 //!
 //! ## Durability model
 //!
@@ -59,13 +84,21 @@ use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// `"DQSTORE1"` in little-endian byte order.
 pub const MAGIC: u64 = u64::from_le_bytes(*b"DQSTORE1");
 
-/// Pool-file format version this build reads and writes.
+/// Pool-file **major** format version this build reads and writes (the low
+/// 16 bits of the header's version word).
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Highest **minor** format version this build reads (the high 16 bits of
+/// the version word). Minor 0 = the original fixed-size layout; minor 1
+/// adds the grow record. Files that have never grown keep minor 0, so they
+/// stay readable by builds that predate elastic growth; the first committed
+/// growth bumps the minor, which those old readers reject.
+pub const FORMAT_MINOR: u32 = 1;
 
 /// Size of the pool-file header page; pool offset 0 maps to this file byte.
 pub const HEADER_LEN: usize = 4096;
@@ -79,13 +112,29 @@ const H_ROOT_SLOTS: usize = 24;
 const H_GEO_CRC: usize = 28;
 const H_FLAGS: usize = 32;
 const H_WATERMARK: usize = 36;
+const H_GROWN_SIZE: usize = 40;
+const H_GROW_EPOCH: usize = 48;
+const H_GROW_CRC: usize = 52;
 const H_ROOTS: usize = 64;
+/// Grow-commit journal: the durable commit point of a growth. 24 bytes of
+/// record (`version`, `geo_crc`, `grown_size`, `grow_epoch`, `grow_crc` —
+/// the exact values the home fields will take) followed by a CRC-32 of
+/// those 24 bytes. All-zero (or torn) = no commit in flight.
+const H_JOURNAL: usize = 128;
+const JOURNAL_LEN: usize = 32;
 
 /// Extent of the geometry fields the header CRC covers.
 const GEO_LEN: usize = H_GEO_CRC;
 
+/// Extent of the grow record the grow CRC covers.
+const GROW_RECORD: std::ops::Range<usize> = H_GROWN_SIZE..H_GROW_CRC;
+
 /// `flags` bit: the pool was closed in an orderly fashion.
 const FLAG_CLEAN: u32 = 1;
+
+/// Largest representable pool size: offsets are 32-bit and `align_up`
+/// needs headroom for the cache-line round-up.
+const MAX_POOL_SIZE: usize = u32::MAX as usize - CACHE_LINE;
 
 /// What a fence must guarantee. See the [module docs](self#durability-model).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -130,6 +179,12 @@ pub struct FileConfig {
     pub size: usize,
     /// Fence durability policy.
     pub sync: SyncPolicy,
+    /// Growth step in bytes. `0` (the default) keeps the pool fixed-size:
+    /// exhaustion surfaces as `PoolExhausted` exactly as before. Non-zero
+    /// makes the pool elastic — on exhaustion the file is extended by at
+    /// least this many bytes (more if one allocation needs more) and the
+    /// allocation retried. See the [module docs](self#elastic-growth).
+    pub grow_step: usize,
 }
 
 impl FileConfig {
@@ -138,12 +193,19 @@ impl FileConfig {
         FileConfig {
             size,
             sync: SyncPolicy::default(),
+            grow_step: 0,
         }
     }
 
     /// Overrides the fence durability policy.
     pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
         self.sync = sync;
+        self
+    }
+
+    /// Enables elastic growth with the given step (`0` disables it).
+    pub fn with_growth(mut self, grow_step: usize) -> Self {
+        self.grow_step = grow_step;
         self
     }
 }
@@ -166,8 +228,16 @@ unsafe impl Sync for PendingPages {}
 /// without mapping the pool (see [`FilePool::read_geometry`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PoolGeometry {
-    /// Pool size in bytes (the offset-addressed space, header excluded).
+    /// Effective pool size in bytes (the offset-addressed space, header
+    /// excluded) — the committed grown size for pools that have grown, the
+    /// creation size otherwise. Resharding sizes destination pools from
+    /// this, so grown sources are never under-provisioned.
     pub pool_size: usize,
+    /// Creation-time pool size (the header's immutable `pool_size` field).
+    pub base_size: usize,
+    /// Committed growth epoch: how many times the pool has grown. `0` for a
+    /// pool that has never grown (minor version 0).
+    pub growth_epoch: u32,
     /// Persisted allocation watermark: the pool offset below which space
     /// has been handed out. Never below `pmem::layout::HEAP_START`.
     pub watermark: u32,
@@ -183,256 +253,17 @@ impl PoolGeometry {
     }
 }
 
-/// The file-backed pool. See the [module docs](self).
-pub struct FilePool {
+/// The mapping and its extent — everything a growth must swap atomically.
+/// All raw access goes through this struct, behind the pool's mapping lock:
+/// readers (every pool operation) share it, a growth takes it exclusively
+/// while the mapping is replaced.
+struct MapState {
     map: MmapRegion,
-    file: File,
-    path: PathBuf,
+    /// Current pool size in bytes (grows over the pool's lifetime).
     size: usize,
-    policy: SyncPolicy,
-    was_clean: bool,
-    pending: Box<[CachePadded<PendingPages>]>,
 }
 
-fn invalid(msg: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
-}
-
-/// Validates a pool-file header (magic, format version, geometry CRC,
-/// size-vs-file-length, watermark) and returns the decoded geometry.
-/// Shared by [`FilePool::open_with_sync`] and [`FilePool::read_geometry`].
-fn validate_header(header: &[u8], file_len: u64, path: &Path) -> io::Result<PoolGeometry> {
-    let read_u64 = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().unwrap());
-    let read_u32 = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().unwrap());
-    if read_u64(H_MAGIC) != MAGIC {
-        return Err(invalid(format!(
-            "{}: bad magic {:#018x} (not a durable-queues pool file)",
-            path.display(),
-            read_u64(H_MAGIC)
-        )));
-    }
-    let version = read_u32(H_VERSION);
-    if version != FORMAT_VERSION {
-        return Err(invalid(format!(
-            "{}: pool-file format version {} (this build reads {})",
-            path.display(),
-            version,
-            FORMAT_VERSION
-        )));
-    }
-    let geo_crc = crc32(&header[..GEO_LEN]);
-    if geo_crc != read_u32(H_GEO_CRC) {
-        return Err(invalid(format!(
-            "{}: header CRC mismatch (stored {:#010x}, computed {:#010x})",
-            path.display(),
-            read_u32(H_GEO_CRC),
-            geo_crc
-        )));
-    }
-    if read_u32(H_HEADER_LEN) as usize != HEADER_LEN
-        || read_u32(H_ROOT_SLOTS) as usize != ROOT_SLOTS
-    {
-        return Err(invalid(format!(
-            "{}: unsupported geometry (header_len {}, root_slots {})",
-            path.display(),
-            read_u32(H_HEADER_LEN),
-            read_u32(H_ROOT_SLOTS)
-        )));
-    }
-    let size = read_u64(H_POOL_SIZE) as usize;
-    if size > u32::MAX as usize || (HEADER_LEN + size) as u64 > file_len {
-        return Err(invalid(format!(
-            "{}: header claims {} pool bytes but the file holds {}",
-            path.display(),
-            size,
-            file_len.saturating_sub(HEADER_LEN as u64)
-        )));
-    }
-    let watermark = read_u32(H_WATERMARK);
-    if watermark < layout::HEAP_START || watermark as usize > size {
-        return Err(invalid(format!(
-            "{}: corrupt watermark {} (heap starts at {}, pool size {})",
-            path.display(),
-            watermark,
-            layout::HEAP_START,
-            size
-        )));
-    }
-    Ok(PoolGeometry {
-        pool_size: size,
-        watermark,
-        was_clean: read_u32(H_FLAGS) & FLAG_CLEAN != 0,
-    })
-}
-
-/// Copies a pool file after validating its header, `fsync`ing the copy.
-/// Only the live prefix — the header page plus the pool bytes below the
-/// persisted watermark — is physically copied; the allocator never hands
-/// out (and the pool never writes) space above the watermark, so the tail
-/// is left as a sparse hole of zeroes and the copy keeps the source's full
-/// length. Returns that length.
-///
-/// The source must not be open in any process (a torn copy of a live pool
-/// would be a silent corruption); resharding uses this to drain source
-/// shards from scratch copies without mutating the originals.
-pub fn copy_pool_file(src: impl AsRef<Path>, dst: impl AsRef<Path>) -> io::Result<u64> {
-    use std::io::Read;
-    let src = src.as_ref();
-    let geometry = FilePool::read_geometry(src)?;
-    let len = std::fs::metadata(src)?.len();
-    let live = (HEADER_LEN + geometry.watermark as usize) as u64;
-    let mut from = File::open(src)?;
-    let mut to = File::create(dst.as_ref())?;
-    io::copy(&mut (&mut from).take(live.min(len)), &mut to)?;
-    to.set_len(len)?;
-    to.sync_all()?;
-    Ok(len)
-}
-
-impl FilePool {
-    /// Creates (or overwrites) a pool file at `path` and opens it. The pool
-    /// starts zeroed with the watermark at [`layout::HEAP_START`], dirty
-    /// until dropped cleanly.
-    pub fn create(path: impl AsRef<Path>, config: FileConfig) -> io::Result<FilePool> {
-        let path = path.as_ref().to_path_buf();
-        let min = layout::HEAP_START as usize + CACHE_LINE;
-        // Ceiling leaves headroom for the cache-line round-up (align_up
-        // computes n + align - 1 left to right): anything above
-        // u32::MAX - 64 would overflow the 32-bit offset arithmetic.
-        let max = u32::MAX as usize - CACHE_LINE;
-        let size = layout::align_up(config.size.clamp(min, max) as u32, CACHE_LINE as u32) as usize;
-        let file = File::options()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
-        file.set_len((HEADER_LEN + size) as u64)?;
-        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
-        let pool = FilePool {
-            map,
-            file,
-            path,
-            size,
-            policy: config.sync,
-            was_clean: true,
-            pending: new_pending(),
-        };
-        pool.write_header();
-        pool.map.msync(0, HEADER_LEN)?;
-        Ok(pool)
-    }
-
-    /// Opens an existing pool file, validating magic, format version,
-    /// geometry CRC, size and watermark. The previous session's clean flag
-    /// is captured in [`was_clean`](Self::was_clean), then the pool is
-    /// marked dirty for the new session.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<FilePool> {
-        Self::open_with_sync(path, SyncPolicy::default())
-    }
-
-    /// [`open`](Self::open) with an explicit fence durability policy.
-    pub fn open_with_sync(path: impl AsRef<Path>, sync: SyncPolicy) -> io::Result<FilePool> {
-        let path = path.as_ref().to_path_buf();
-        let file = File::options().read(true).write(true).open(&path)?;
-        let file_len = file.metadata()?.len();
-        if file_len < HEADER_LEN as u64 {
-            return Err(invalid(format!(
-                "{}: {} bytes is too short to hold a pool-file header",
-                path.display(),
-                file_len
-            )));
-        }
-        // Map the header page first: geometry must be validated before the
-        // pool size is trusted for the full mapping.
-        let header_map = MmapRegion::map(&file, HEADER_LEN)?;
-        let header =
-            // SAFETY: the mapping is at least HEADER_LEN bytes.
-            unsafe { std::slice::from_raw_parts(header_map.as_ptr(), HEADER_LEN) };
-        let geometry = validate_header(header, file_len, &path)?;
-        drop(header_map);
-
-        let size = geometry.pool_size;
-        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
-        let pool = FilePool {
-            map,
-            file,
-            path,
-            size,
-            policy: sync,
-            was_clean: geometry.was_clean,
-            pending: new_pending(),
-        };
-        pool.set_flags(false); // dirty while open
-        pool.map.msync(0, HEADER_LEN)?;
-        Ok(pool)
-    }
-
-    /// Reads and validates the header of an existing pool file **without
-    /// opening it**: no mapping of the pool space, no dirty-marking, no
-    /// side effects on the file. This is how a resharding (or inspection)
-    /// pass sizes destination pools from the source pools' persisted
-    /// watermarks before committing to anything.
-    pub fn read_geometry(path: impl AsRef<Path>) -> io::Result<PoolGeometry> {
-        use std::io::Read;
-        let path = path.as_ref();
-        let mut file = File::open(path)?;
-        let file_len = file.metadata()?.len();
-        if file_len < HEADER_LEN as u64 {
-            return Err(invalid(format!(
-                "{}: {} bytes is too short to hold a pool-file header",
-                path.display(),
-                file_len
-            )));
-        }
-        let mut header = vec![0u8; HEADER_LEN];
-        file.read_exact(&mut header)?;
-        validate_header(&header, file_len, path)
-    }
-
-    /// Whether the previous session closed this pool cleanly. `true` for a
-    /// freshly created pool; `false` after a crash/kill, in which case the
-    /// caller should run the queue's `recover` procedure (running it after a
-    /// clean shutdown is also always safe).
-    pub fn was_clean(&self) -> bool {
-        self.was_clean
-    }
-
-    /// The path of the backing file.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-
-    /// The fence durability policy in effect.
-    pub fn sync_policy(&self) -> SyncPolicy {
-        self.policy
-    }
-
-    /// Wraps this backend in an [`Arc<PmemPool>`] — the handle every queue
-    /// constructor takes, so any algorithm in the workspace runs unchanged
-    /// on file-backed storage.
-    ///
-    /// ```
-    /// use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
-    /// use store::{FileConfig, FilePool};
-    ///
-    /// let path = std::env::temp_dir().join(format!("into-pool-doc-{}.pool", std::process::id()));
-    /// let pool = FilePool::create(&path, FileConfig::with_size(4 << 20))?.into_pool();
-    /// let queue = OptUnlinkedQueue::create(pool, QueueConfig::small_test());
-    /// queue.enqueue(0, 7);
-    /// assert_eq!(queue.dequeue(0), Some(7));
-    /// drop(queue);
-    /// std::fs::remove_file(&path)?;
-    /// # Ok::<(), std::io::Error>(())
-    /// ```
-    pub fn into_pool(self) -> Arc<PmemPool> {
-        Arc::new(PmemPool::from_backend(Box::new(self)))
-    }
-
-    // ------------------------------------------------------------------
-    // Raw access helpers
-    // ------------------------------------------------------------------
-
+impl MapState {
     #[inline]
     fn check_bounds(&self, off: u32, bytes: u32) {
         debug_assert!(
@@ -471,24 +302,11 @@ impl FilePool {
         unsafe { &*(self.map.as_ptr().add(off) as *const AtomicU64) }
     }
 
-    /// Fills in a fresh header (create path; the mapping is zeroed).
-    fn write_header(&self) {
-        self.header_u64(H_MAGIC).store(MAGIC, Ordering::Relaxed);
-        self.header_u32(H_VERSION)
-            .store(FORMAT_VERSION, Ordering::Relaxed);
-        self.header_u32(H_HEADER_LEN)
-            .store(HEADER_LEN as u32, Ordering::Relaxed);
-        self.header_u64(H_POOL_SIZE)
-            .store(self.size as u64, Ordering::Relaxed);
-        self.header_u32(H_ROOT_SLOTS)
-            .store(ROOT_SLOTS as u32, Ordering::Relaxed);
-        // SAFETY: the header page is mapped and at least GEO_LEN bytes.
-        let geo = unsafe { std::slice::from_raw_parts(self.map.as_ptr(), GEO_LEN) };
-        self.header_u32(H_GEO_CRC)
-            .store(crc32(geo), Ordering::Relaxed);
-        self.header_u32(H_FLAGS).store(0, Ordering::Relaxed); // dirty
-        self.header_u32(H_WATERMARK)
-            .store(layout::HEAP_START, Ordering::Release);
+    /// A byte slice of the header range `r` (for CRC computation).
+    fn header_bytes(&self, r: std::ops::Range<usize>) -> &[u8] {
+        debug_assert!(r.end <= HEADER_LEN);
+        // SAFETY: the header page is mapped and valid for HEADER_LEN bytes.
+        unsafe { std::slice::from_raw_parts(self.map.as_ptr().add(r.start), r.end - r.start) }
     }
 
     fn set_flags(&self, clean: bool) {
@@ -500,13 +318,558 @@ impl FilePool {
     }
 
     /// Durably persists the header page when the policy demands it (rare
-    /// path: watermark movement, root-slot writes, clean/dirty marking).
-    fn persist_header(&self) {
+    /// path: watermark movement, root-slot writes, clean/dirty marking,
+    /// growth commits).
+    fn persist_header(&self, policy: SyncPolicy) {
         // SAFETY: the header page is valid readable memory.
         unsafe { pmem::hw::persist_range(self.map.as_ptr(), HEADER_LEN) };
-        if self.policy == SyncPolicy::PowerFail {
+        if policy == SyncPolicy::PowerFail {
             let _ = self.map.msync(0, HEADER_LEN);
         }
+    }
+}
+
+/// The file-backed pool. See the [module docs](self).
+pub struct FilePool {
+    /// Mapping lock: shared for every pool operation, exclusive while a
+    /// growth swaps the mapping (the stop-the-world guard).
+    state: RwLock<MapState>,
+    file: File,
+    path: PathBuf,
+    policy: SyncPolicy,
+    grow_step: usize,
+    was_clean: bool,
+    pending: Box<[CachePadded<PendingPages>]>,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The five header words a growth commits, as staged in the journal.
+#[derive(Clone, Copy)]
+struct GrowCommit {
+    version: u32,
+    geo_crc: u32,
+    grown_size: u64,
+    grow_epoch: u32,
+    grow_crc: u32,
+}
+
+impl GrowCommit {
+    fn to_bytes(self) -> [u8; 24] {
+        let mut b = [0u8; 24];
+        b[0..4].copy_from_slice(&self.version.to_le_bytes());
+        b[4..8].copy_from_slice(&self.geo_crc.to_le_bytes());
+        b[8..16].copy_from_slice(&self.grown_size.to_le_bytes());
+        b[16..20].copy_from_slice(&self.grow_epoch.to_le_bytes());
+        b[20..24].copy_from_slice(&self.grow_crc.to_le_bytes());
+        b
+    }
+}
+
+/// Decodes the grow-commit journal, returning the staged record only if its
+/// CRC matches and it names a real growth (epoch > 0). A torn or absent
+/// record reads as `None`: the commit never happened.
+fn read_journal(header: &[u8]) -> Option<GrowCommit> {
+    let read_u32 = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().unwrap());
+    let read_u64 = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().unwrap());
+    if crc32(&header[H_JOURNAL..H_JOURNAL + 24]) != read_u32(H_JOURNAL + 24) {
+        return None;
+    }
+    let rec = GrowCommit {
+        version: read_u32(H_JOURNAL),
+        geo_crc: read_u32(H_JOURNAL + 4),
+        grown_size: read_u64(H_JOURNAL + 8),
+        grow_epoch: read_u32(H_JOURNAL + 16),
+        grow_crc: read_u32(H_JOURNAL + 20),
+    };
+    (rec.grow_epoch > 0).then_some(rec)
+}
+
+/// Env-gated deterministic crash point for the grow protocol's subprocess
+/// tests (same pattern as `shard`'s `DQ_RESHARD_ABORT_AFTER_*` points):
+/// when the named variable is set, the process dies on the spot — no
+/// unwinding, no destructors — exactly like a `kill -9` landing there.
+fn grow_abort_point(name: &str) {
+    if std::env::var_os(name).is_some() {
+        std::process::abort();
+    }
+}
+
+/// Validates a pool-file header (magic, format version, geometry CRC,
+/// grow record, size-vs-file-length, watermark) and returns the decoded
+/// geometry plus whether a grow-commit journal record is pending (the crash
+/// landed between a growth's commit point and its home-field rewrite; the
+/// journal's values supersede the home fields and `open` rolls them
+/// forward). Shared by [`FilePool::open_with_growth`] and
+/// [`FilePool::read_geometry`].
+fn validate_header(header: &[u8], file_len: u64, path: &Path) -> io::Result<(PoolGeometry, bool)> {
+    // Splice a pending commit's values over the home fields before
+    // validating, so a journal-committed growth reads exactly like a fully
+    // home-written one.
+    let journal = read_journal(header);
+    let mut image = [0u8; H_JOURNAL];
+    image.copy_from_slice(&header[..H_JOURNAL]);
+    if let Some(rec) = journal {
+        image[H_VERSION..H_VERSION + 4].copy_from_slice(&rec.version.to_le_bytes());
+        image[H_GEO_CRC..H_GEO_CRC + 4].copy_from_slice(&rec.geo_crc.to_le_bytes());
+        image[H_GROWN_SIZE..H_GROWN_SIZE + 8].copy_from_slice(&rec.grown_size.to_le_bytes());
+        image[H_GROW_EPOCH..H_GROW_EPOCH + 4].copy_from_slice(&rec.grow_epoch.to_le_bytes());
+        image[H_GROW_CRC..H_GROW_CRC + 4].copy_from_slice(&rec.grow_crc.to_le_bytes());
+    }
+    let header = &image[..];
+    let read_u64 = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().unwrap());
+    let read_u32 = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().unwrap());
+    if read_u64(H_MAGIC) != MAGIC {
+        return Err(invalid(format!(
+            "{}: bad magic {:#018x} (not a durable-queues pool file)",
+            path.display(),
+            read_u64(H_MAGIC)
+        )));
+    }
+    let version = read_u32(H_VERSION);
+    let (major, minor) = (version & 0xFFFF, version >> 16);
+    if major != FORMAT_VERSION || minor > FORMAT_MINOR {
+        return Err(invalid(format!(
+            "{}: pool-file format version {}.{} (this build reads {}.0 through {}.{})",
+            path.display(),
+            major,
+            minor,
+            FORMAT_VERSION,
+            FORMAT_VERSION,
+            FORMAT_MINOR
+        )));
+    }
+    let geo_crc = crc32(&header[..GEO_LEN]);
+    if geo_crc != read_u32(H_GEO_CRC) {
+        return Err(invalid(format!(
+            "{}: header CRC mismatch (stored {:#010x}, computed {:#010x})",
+            path.display(),
+            read_u32(H_GEO_CRC),
+            geo_crc
+        )));
+    }
+    if read_u32(H_HEADER_LEN) as usize != HEADER_LEN
+        || read_u32(H_ROOT_SLOTS) as usize != ROOT_SLOTS
+    {
+        return Err(invalid(format!(
+            "{}: unsupported geometry (header_len {}, root_slots {})",
+            path.display(),
+            read_u32(H_HEADER_LEN),
+            read_u32(H_ROOT_SLOTS)
+        )));
+    }
+    let base_size = read_u64(H_POOL_SIZE) as usize;
+    if base_size > u32::MAX as usize || (HEADER_LEN + base_size) as u64 > file_len {
+        return Err(invalid(format!(
+            "{}: header claims {} pool bytes but the file holds {}",
+            path.display(),
+            base_size,
+            file_len.saturating_sub(HEADER_LEN as u64)
+        )));
+    }
+    let (size, growth_epoch) = if minor >= 1 {
+        if crc32(&header[GROW_RECORD]) != read_u32(H_GROW_CRC) {
+            return Err(invalid(format!(
+                "{}: grow-record CRC mismatch (stored {:#010x}, computed {:#010x})",
+                path.display(),
+                read_u32(H_GROW_CRC),
+                crc32(&header[GROW_RECORD])
+            )));
+        }
+        let grown = read_u64(H_GROWN_SIZE);
+        let epoch = read_u32(H_GROW_EPOCH);
+        if epoch == 0
+            || (grown as usize) < base_size
+            || grown > u32::MAX as u64
+            || HEADER_LEN as u64 + grown > file_len
+        {
+            return Err(invalid(format!(
+                "{}: corrupt grow record (grown_size {}, epoch {}, base size {}, file length {})",
+                path.display(),
+                grown,
+                epoch,
+                base_size,
+                file_len
+            )));
+        }
+        (grown as usize, epoch)
+    } else {
+        (base_size, 0)
+    };
+    let watermark = read_u32(H_WATERMARK);
+    if watermark < layout::HEAP_START || watermark as usize > size {
+        return Err(invalid(format!(
+            "{}: corrupt watermark {} (heap starts at {}, pool size {})",
+            path.display(),
+            watermark,
+            layout::HEAP_START,
+            size
+        )));
+    }
+    Ok((
+        PoolGeometry {
+            pool_size: size,
+            base_size,
+            growth_epoch,
+            watermark,
+            was_clean: read_u32(H_FLAGS) & FLAG_CLEAN != 0,
+        },
+        journal.is_some(),
+    ))
+}
+
+/// Copies a pool file after validating its header, `fsync`ing the copy.
+/// Only the live prefix — the header page plus the pool bytes below the
+/// persisted watermark — is physically copied; the allocator never hands
+/// out (and the pool never writes) space above the watermark, so the tail
+/// is left as a sparse hole of zeroes and the copy keeps the source's full
+/// length. Returns that length.
+///
+/// The source must not be open in any process (a torn copy of a live pool
+/// would be a silent corruption); resharding uses this to drain source
+/// shards from scratch copies without mutating the originals.
+pub fn copy_pool_file(src: impl AsRef<Path>, dst: impl AsRef<Path>) -> io::Result<u64> {
+    use std::io::Read;
+    let src = src.as_ref();
+    let geometry = FilePool::read_geometry(src)?;
+    let len = std::fs::metadata(src)?.len();
+    let live = (HEADER_LEN + geometry.watermark as usize) as u64;
+    let mut from = File::open(src)?;
+    let mut to = File::create(dst.as_ref())?;
+    io::copy(&mut (&mut from).take(live.min(len)), &mut to)?;
+    to.set_len(len)?;
+    to.sync_all()?;
+    Ok(len)
+}
+
+impl FilePool {
+    /// Creates (or overwrites) a pool file at `path` and opens it. The pool
+    /// starts zeroed with the watermark at [`layout::HEAP_START`], dirty
+    /// until dropped cleanly.
+    pub fn create(path: impl AsRef<Path>, config: FileConfig) -> io::Result<FilePool> {
+        let path = path.as_ref().to_path_buf();
+        let min = layout::HEAP_START as usize + CACHE_LINE;
+        // Ceiling leaves headroom for the cache-line round-up (align_up
+        // computes n + align - 1 left to right): anything above
+        // u32::MAX - 64 would overflow the 32-bit offset arithmetic.
+        let size = layout::align_up(
+            config.size.clamp(min, MAX_POOL_SIZE) as u32,
+            CACHE_LINE as u32,
+        ) as usize;
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len((HEADER_LEN + size) as u64)?;
+        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
+        let pool = FilePool {
+            state: RwLock::new(MapState { map, size }),
+            file,
+            path,
+            policy: config.sync,
+            grow_step: config.grow_step,
+            was_clean: true,
+            pending: new_pending(),
+        };
+        pool.write_header(size);
+        pool.state().map.msync(0, HEADER_LEN)?;
+        Ok(pool)
+    }
+
+    /// Opens an existing pool file, validating magic, format version,
+    /// geometry CRC, grow record, size and watermark. The previous session's
+    /// clean flag is captured in [`was_clean`](Self::was_clean), then the
+    /// pool is marked dirty for the new session. A growth whose commit was
+    /// journaled but not home-written when the last session died is rolled
+    /// forward here.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FilePool> {
+        Self::open_with_sync(path, SyncPolicy::default())
+    }
+
+    /// [`open`](Self::open) with an explicit fence durability policy.
+    pub fn open_with_sync(path: impl AsRef<Path>, sync: SyncPolicy) -> io::Result<FilePool> {
+        Self::open_with_growth(path, sync, 0)
+    }
+
+    /// [`open`](Self::open) with an explicit fence durability policy and
+    /// growth step (`0` = fixed-size; growth is a runtime property, not
+    /// recorded in the file, so each session chooses its own step).
+    pub fn open_with_growth(
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+        grow_step: usize,
+    ) -> io::Result<FilePool> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::options().read(true).write(true).open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN as u64 {
+            return Err(invalid(format!(
+                "{}: {} bytes is too short to hold a pool-file header",
+                path.display(),
+                file_len
+            )));
+        }
+        // Map the header page first: geometry must be validated before the
+        // pool size is trusted for the full mapping.
+        let header_map = MmapRegion::map(&file, HEADER_LEN)?;
+        let header =
+            // SAFETY: the mapping is at least HEADER_LEN bytes.
+            unsafe { std::slice::from_raw_parts(header_map.as_ptr(), HEADER_LEN) };
+        let (geometry, journal_pending) = validate_header(header, file_len, &path)?;
+        drop(header_map);
+
+        let size = geometry.pool_size;
+        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
+        let pool = FilePool {
+            state: RwLock::new(MapState { map, size }),
+            file,
+            path,
+            policy: sync,
+            grow_step,
+            was_clean: geometry.was_clean,
+            pending: new_pending(),
+        };
+        if journal_pending {
+            pool.roll_forward_grow();
+        }
+        pool.state().set_flags(false); // dirty while open
+        pool.state().map.msync(0, HEADER_LEN)?;
+        Ok(pool)
+    }
+
+    /// Reads and validates the header of an existing pool file **without
+    /// opening it**: no mapping of the pool space, no dirty-marking, no
+    /// side effects on the file. This is how a resharding (or inspection)
+    /// pass sizes destination pools from the source pools' persisted
+    /// watermarks before committing to anything. A pending grow-commit
+    /// journal is honoured virtually (the reported size is the committed
+    /// grown size) but not rolled forward.
+    pub fn read_geometry(path: impl AsRef<Path>) -> io::Result<PoolGeometry> {
+        use std::io::Read;
+        let path = path.as_ref();
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN as u64 {
+            return Err(invalid(format!(
+                "{}: {} bytes is too short to hold a pool-file header",
+                path.display(),
+                file_len
+            )));
+        }
+        let mut header = vec![0u8; HEADER_LEN];
+        file.read_exact(&mut header)?;
+        validate_header(&header, file_len, path).map(|(geometry, _)| geometry)
+    }
+
+    /// Whether the previous session closed this pool cleanly. `true` for a
+    /// freshly created pool; `false` after a crash/kill, in which case the
+    /// caller should run the queue's `recover` procedure (running it after a
+    /// clean shutdown is also always safe).
+    pub fn was_clean(&self) -> bool {
+        self.was_clean
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fence durability policy in effect.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// The configured growth step in bytes (`0` = fixed-size).
+    pub fn grow_step(&self) -> usize {
+        self.grow_step
+    }
+
+    /// The committed growth epoch: how many growths have reached their
+    /// commit point over this pool file's lifetime (`0` = never grown).
+    pub fn growth_epoch(&self) -> u32 {
+        self.state()
+            .header_u32(H_GROW_EPOCH)
+            .load(Ordering::Acquire)
+    }
+
+    /// Wraps this backend in an [`Arc<PmemPool>`] — the handle every queue
+    /// constructor takes, so any algorithm in the workspace runs unchanged
+    /// on file-backed storage.
+    ///
+    /// ```
+    /// use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
+    /// use store::{FileConfig, FilePool};
+    ///
+    /// let path = std::env::temp_dir().join(format!("into-pool-doc-{}.pool", std::process::id()));
+    /// let pool = FilePool::create(&path, FileConfig::with_size(4 << 20))?.into_pool();
+    /// let queue = OptUnlinkedQueue::create(pool, QueueConfig::small_test());
+    /// queue.enqueue(0, 7);
+    /// assert_eq!(queue.dequeue(0), Some(7));
+    /// drop(queue);
+    /// std::fs::remove_file(&path)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn into_pool(self) -> Arc<PmemPool> {
+        Arc::new(PmemPool::from_backend(Box::new(self)))
+    }
+
+    // ------------------------------------------------------------------
+    // Growth
+    // ------------------------------------------------------------------
+
+    /// Grows the pool so its size is at least `min_len` bytes, extending by
+    /// at least the configured growth step. Returns `Ok(true)` when the pool
+    /// now holds `min_len` bytes (including when a concurrent growth already
+    /// got there), `Ok(false)` when it cannot (growth disabled, or `min_len`
+    /// exceeds the 32-bit offset ceiling). The protocol — stop the world,
+    /// `ftruncate`, remap, journaled header commit — is described in the
+    /// [module docs](self#elastic-growth); a crash at any point recovers to
+    /// either the old or the new size with no allocation lost.
+    pub fn grow_to(&self, min_len: usize) -> io::Result<bool> {
+        let mut state = self.state.write().unwrap();
+        if state.size >= min_len {
+            return Ok(true); // a concurrent growth already satisfied us
+        }
+        if self.grow_step == 0 {
+            return Ok(false);
+        }
+        let target = min_len
+            .max(state.size.saturating_add(self.grow_step))
+            .min(MAX_POOL_SIZE);
+        let new_size = layout::align_up(target as u32, CACHE_LINE as u32) as usize;
+        if new_size < min_len {
+            return Ok(false); // even the offset ceiling cannot satisfy this
+        }
+
+        // 1. Extend the file. Its new length must be durable before the
+        //    commit record can claim space inside it.
+        self.file.set_len((HEADER_LEN + new_size) as u64)?;
+        self.file.sync_all()?;
+        grow_abort_point("DQ_GROW_ABORT_AFTER_TRUNCATE");
+
+        // 2. Remap: map the new length alongside the old mapping, then
+        //    retire the old one. The write lock is the stop-the-world
+        //    guard — no thread holds a pointer into the old mapping.
+        #[cfg(not(unix))]
+        state.map.msync(0, HEADER_LEN + state.size)?;
+        let new_map = MmapRegion::map(&self.file, HEADER_LEN + new_size)?;
+        state.map = new_map; // the old mapping is unmapped on drop
+        state.size = new_size;
+
+        // 3. Compose the commit: the grow record, plus the minor-version
+        //    bump (with its re-covered geometry CRC) that makes pre-growth
+        //    readers reject the file rather than ignore the grown space.
+        let version = FORMAT_VERSION | (FORMAT_MINOR << 16);
+        let mut geo = [0u8; GEO_LEN];
+        geo.copy_from_slice(state.header_bytes(0..GEO_LEN));
+        geo[H_VERSION..H_VERSION + 4].copy_from_slice(&version.to_le_bytes());
+        let mut grow = [0u8; 12];
+        grow[0..8].copy_from_slice(&(new_size as u64).to_le_bytes());
+        let epoch = state.header_u32(H_GROW_EPOCH).load(Ordering::Acquire) + 1;
+        grow[8..12].copy_from_slice(&epoch.to_le_bytes());
+        let commit = GrowCommit {
+            version,
+            geo_crc: crc32(&geo),
+            grown_size: new_size as u64,
+            grow_epoch: epoch,
+            grow_crc: crc32(&grow),
+        };
+
+        // 3a. Journal record — the durable commit point. Once this is
+        //     persistent the growth happened; before, it did not.
+        let record = commit.to_bytes();
+        for (i, chunk) in record.chunks(8).enumerate() {
+            state.header_u64(H_JOURNAL + i * 8).store(
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+                Ordering::Release,
+            );
+        }
+        state.header_u32(H_JOURNAL + 24).store(
+            crc32(state.header_bytes(H_JOURNAL..H_JOURNAL + 24)),
+            Ordering::Release,
+        );
+        state.persist_header(self.policy);
+        grow_abort_point("DQ_GROW_ABORT_AFTER_COMMIT");
+
+        // 3b. Home fields (idempotent with open's journal roll-forward),
+        //     then retire the journal.
+        Self::write_grow_home(&state, commit, self.policy);
+        Ok(true)
+    }
+
+    /// Writes a grow commit's five home fields and clears the journal; the
+    /// tail of [`grow_to`](Self::grow_to) and of the roll-forward in `open`.
+    fn write_grow_home(state: &MapState, commit: GrowCommit, policy: SyncPolicy) {
+        state
+            .header_u32(H_VERSION)
+            .store(commit.version, Ordering::Release);
+        state
+            .header_u32(H_GEO_CRC)
+            .store(commit.geo_crc, Ordering::Release);
+        state
+            .header_u64(H_GROWN_SIZE)
+            .store(commit.grown_size, Ordering::Release);
+        state
+            .header_u32(H_GROW_EPOCH)
+            .store(commit.grow_epoch, Ordering::Release);
+        state
+            .header_u32(H_GROW_CRC)
+            .store(commit.grow_crc, Ordering::Release);
+        state.persist_header(policy);
+        for off in (H_JOURNAL..H_JOURNAL + JOURNAL_LEN).step_by(8) {
+            state.header_u64(off).store(0, Ordering::Release);
+        }
+        state.persist_header(policy);
+    }
+
+    /// Rolls a journaled-but-not-home-written growth forward (open path;
+    /// the crash landed between the commit point and the home rewrite).
+    fn roll_forward_grow(&self) {
+        let state = self.state();
+        let commit = read_journal(state.header_bytes(0..HEADER_LEN))
+            .expect("roll_forward_grow called without a valid journal");
+        Self::write_grow_home(&state, commit, self.policy);
+    }
+
+    // ------------------------------------------------------------------
+    // Raw access helpers
+    // ------------------------------------------------------------------
+
+    /// Shared access to the mapping (the per-operation fast path; a growth
+    /// in progress blocks here until the new mapping is committed).
+    #[inline]
+    fn state(&self) -> RwLockReadGuard<'_, MapState> {
+        self.state.read().unwrap()
+    }
+
+    /// Fills in a fresh header (create path; the mapping is zeroed).
+    fn write_header(&self, size: usize) {
+        let state = self.state();
+        state.header_u64(H_MAGIC).store(MAGIC, Ordering::Relaxed);
+        state
+            .header_u32(H_VERSION)
+            .store(FORMAT_VERSION, Ordering::Relaxed); // minor 0 until grown
+        state
+            .header_u32(H_HEADER_LEN)
+            .store(HEADER_LEN as u32, Ordering::Relaxed);
+        state
+            .header_u64(H_POOL_SIZE)
+            .store(size as u64, Ordering::Relaxed);
+        state
+            .header_u32(H_ROOT_SLOTS)
+            .store(ROOT_SLOTS as u32, Ordering::Relaxed);
+        let geo_crc = crc32(state.header_bytes(0..GEO_LEN));
+        state
+            .header_u32(H_GEO_CRC)
+            .store(geo_crc, Ordering::Relaxed);
+        state.header_u32(H_FLAGS).store(0, Ordering::Relaxed); // dirty
+        state
+            .header_u32(H_WATERMARK)
+            .store(layout::HEAP_START, Ordering::Release);
     }
 
     fn with_pending<R>(&self, tid: usize, f: impl FnOnce(&mut Vec<usize>) -> R) -> R {
@@ -527,10 +890,11 @@ impl Drop for FilePool {
     /// Orderly close: full durability barrier, then mark the header clean.
     /// A killed process never gets here, leaving the dirty flag set.
     fn drop(&mut self) {
-        let _ = self.map.msync(0, HEADER_LEN + self.size);
+        let state = self.state.get_mut().unwrap();
+        let _ = state.map.msync(0, HEADER_LEN + state.size);
         let _ = self.file.sync_all();
-        self.set_flags(true);
-        let _ = self.map.msync(0, HEADER_LEN);
+        state.set_flags(true);
+        let _ = state.map.msync(0, HEADER_LEN);
         let _ = self.file.sync_all();
     }
 }
@@ -541,40 +905,43 @@ impl PoolBackend for FilePool {
     }
 
     fn len(&self) -> usize {
-        self.size
+        self.state().size
     }
 
     #[inline]
     fn load_u64(&self, off: u32) -> u64 {
-        self.word(off).load(Ordering::Acquire)
+        self.state().word(off).load(Ordering::Acquire)
     }
 
     #[inline]
     fn store_u64(&self, off: u32, val: u64) {
-        self.word(off).store(val, Ordering::Release)
+        self.state().word(off).store(val, Ordering::Release)
     }
 
     #[inline]
     fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
-        self.word(off)
+        self.state()
+            .word(off)
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
     #[inline]
     fn fetch_add_u64(&self, off: u32, val: u64) -> u64 {
-        self.word(off).fetch_add(val, Ordering::AcqRel)
+        self.state().word(off).fetch_add(val, Ordering::AcqRel)
     }
 
     #[inline]
     fn swap_u64(&self, off: u32, val: u64) -> u64 {
-        self.word(off).swap(val, Ordering::AcqRel)
+        self.state().word(off).swap(val, Ordering::AcqRel)
     }
 
     #[inline]
     fn flush(&self, tid: usize, off: u32) {
-        self.check_bounds(off, 8);
+        let state = self.state();
+        state.check_bounds(off, 8);
         // SAFETY: the line containing `off` is inside the mapping.
-        unsafe { pmem::hw::clflush(self.addr(off)) };
+        unsafe { pmem::hw::clflush(state.addr(off)) };
+        drop(state);
         if self.policy == SyncPolicy::PowerFail {
             let page = (HEADER_LEN + off as usize) / page_size();
             self.with_pending(tid, |pending| {
@@ -592,19 +959,22 @@ impl PoolBackend for FilePool {
             pages.sort_unstable();
             pages.dedup();
             let page = page_size();
+            let state = self.state();
             for p in pages {
-                let _ = self.map.msync(p * page, page);
+                let _ = state.map.msync(p * page, page);
             }
         }
     }
 
     #[inline]
     fn nt_store_u64(&self, tid: usize, off: u32, val: u64) {
-        self.check_bounds(off, 8);
+        let state = self.state();
+        state.check_bounds(off, 8);
         // SAFETY: in bounds, 8-byte aligned; concurrent access to pool words
         // is atomic by contract (a racing movnti would be the caller's
         // single-writer-per-word violation, same as on real hardware).
-        unsafe { pmem::hw::nt_store_u64(self.addr(off) as *mut u64, val) };
+        unsafe { pmem::hw::nt_store_u64(state.addr(off) as *mut u64, val) };
+        drop(state);
         if self.policy == SyncPolicy::PowerFail {
             let page = (HEADER_LEN + off as usize) / page_size();
             self.with_pending(tid, |pending| pending.push(page));
@@ -612,31 +982,34 @@ impl PoolBackend for FilePool {
     }
 
     fn persist_now(&self, off: u32) {
-        self.check_bounds(off, 8);
+        let state = self.state();
+        state.check_bounds(off, 8);
         // SAFETY: the line containing `off` is inside the mapping.
-        unsafe { pmem::hw::persist_range(self.addr(off), 8) };
+        unsafe { pmem::hw::persist_range(state.addr(off), 8) };
         if self.policy == SyncPolicy::PowerFail {
             let page = page_size();
             let start = (HEADER_LEN + off as usize) & !(page - 1);
-            let _ = self.map.msync(start, page);
+            let _ = state.map.msync(start, page);
         }
     }
 
     fn zero_range(&self, off: u32, len: u32) {
         assert_eq!(off % 8, 0);
         assert_eq!(len % 8, 0);
-        assert!(off as usize + len as usize <= self.size);
+        let state = self.state();
+        assert!(off as usize + len as usize <= state.size);
         for i in 0..(len / 8) {
-            self.word(off + i * 8).store(0, Ordering::Release);
+            state.word(off + i * 8).store(0, Ordering::Release);
         }
     }
 
     fn watermark(&self) -> u32 {
-        self.header_u32(H_WATERMARK).load(Ordering::Acquire)
+        self.state().header_u32(H_WATERMARK).load(Ordering::Acquire)
     }
 
     fn cas_watermark(&self, current: u32, new: u32) -> Result<u32, u32> {
-        let r = self.header_u32(H_WATERMARK).compare_exchange(
+        let state = self.state();
+        let r = state.header_u32(H_WATERMARK).compare_exchange(
             current,
             new,
             Ordering::AcqRel,
@@ -647,35 +1020,62 @@ impl PoolBackend for FilePool {
             // areas); persist the moved watermark eagerly so a reopened pool
             // never re-hands-out reserved space.
             // SAFETY: the header page is valid readable memory.
-            unsafe { pmem::hw::clflush(self.map.as_ptr().add(H_WATERMARK)) };
+            unsafe { pmem::hw::clflush(state.map.as_ptr().add(H_WATERMARK)) };
             pmem::hw::sfence();
             if self.policy == SyncPolicy::PowerFail {
-                let _ = self.map.msync(0, HEADER_LEN);
+                let _ = state.map.msync(0, HEADER_LEN);
             }
         }
         r
     }
 
+    fn try_grow(&self, min_len: usize) -> bool {
+        match self.grow_to(min_len) {
+            Ok(grown) => grown,
+            Err(e) => {
+                // The caller surfaces PoolExhausted, which would otherwise
+                // bury a real filesystem failure (ENOSPC, mmap) as a sizing
+                // problem; growth is rare, so a stderr line is affordable.
+                eprintln!(
+                    "store: growing pool {} to {} bytes failed: {e}",
+                    self.path.display(),
+                    min_len
+                );
+                false
+            }
+        }
+    }
+
+    fn growth_epoch(&self) -> u32 {
+        FilePool::growth_epoch(self)
+    }
+
     fn root_u64(&self, slot: usize) -> u64 {
         debug_assert!(slot < ROOT_SLOTS);
-        self.header_u64(H_ROOTS + slot * 8).load(Ordering::Acquire)
+        self.state()
+            .header_u64(H_ROOTS + slot * 8)
+            .load(Ordering::Acquire)
     }
 
     fn set_root_u64(&self, slot: usize, val: u64) {
         debug_assert!(slot < ROOT_SLOTS);
-        self.header_u64(H_ROOTS + slot * 8)
+        let state = self.state();
+        state
+            .header_u64(H_ROOTS + slot * 8)
             .store(val, Ordering::Release);
-        self.persist_header();
+        state.persist_header(self.policy);
     }
 
     fn sync(&self) {
-        let _ = self.map.msync(0, HEADER_LEN + self.size);
+        let state = self.state();
+        let _ = state.map.msync(0, HEADER_LEN + state.size);
         let _ = self.file.sync_all();
     }
 
     fn mark_clean(&self, clean: bool) {
-        self.set_flags(clean);
-        let _ = self.map.msync(0, HEADER_LEN);
+        let state = self.state();
+        state.set_flags(clean);
+        let _ = state.map.msync(0, HEADER_LEN);
     }
 }
 
@@ -759,6 +1159,14 @@ mod tests {
 
         corrupt_at(8, &99u32.to_le_bytes());
         assert!(reopen().contains("version"), "{}", reopen());
+        // An unknown minor version is rejected too (the geometry CRC is
+        // recomputed so the minor check itself is what trips).
+        let bad_minor = FORMAT_VERSION | ((FORMAT_MINOR + 1) << 16);
+        corrupt_at(8, &bad_minor.to_le_bytes());
+        let mut geo = fs::read(&path).unwrap()[..GEO_LEN].to_vec();
+        geo[H_VERSION..H_VERSION + 4].copy_from_slice(&bad_minor.to_le_bytes());
+        corrupt_at(H_GEO_CRC as u64, &crc32(&geo).to_le_bytes());
+        assert!(reopen().contains("version 1.2"), "{}", reopen());
         corrupt_at(8, &FORMAT_VERSION.to_le_bytes());
 
         corrupt_at(16, &(123456789u64).to_le_bytes());
@@ -847,6 +1255,8 @@ mod tests {
             // Mid-session: dirty, watermark already moved.
             let geo = FilePool::read_geometry(&path).unwrap();
             assert_eq!(geo.pool_size, expected_size);
+            assert_eq!(geo.base_size, expected_size);
+            assert_eq!(geo.growth_epoch, 0);
             assert!(!geo.was_clean, "open pool reads as dirty");
             assert!(geo.watermark >= off + 256);
             assert_eq!(
@@ -919,6 +1329,282 @@ mod tests {
             "path is recorded"
         );
         drop(pool);
+        fs::remove_file(&path).unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Growth
+    // ------------------------------------------------------------------
+
+    /// A 256 KiB pool that grows in 256 KiB steps.
+    fn tiny_elastic() -> FileConfig {
+        FileConfig::with_size(256 << 10).with_growth(256 << 10)
+    }
+
+    #[test]
+    fn grow_to_extends_preserves_data_and_bumps_the_epoch() {
+        let path = temp_path("grow");
+        let pool = FilePool::create(&path, tiny_elastic()).unwrap();
+        let base = pool.len();
+        assert_eq!(pool.growth_epoch(), 0);
+        assert_eq!(pool.grow_step(), 256 << 10);
+        let p = pool.into_pool();
+        let off = p.alloc_raw(64, 64);
+        p.store_u64(off, 0xDA7A);
+
+        // Exhaust the base size through the public allocation API: the pool
+        // grows instead of failing.
+        let mut last = off;
+        while (last as usize) < base {
+            last = p.alloc_raw(4096, 64);
+        }
+        assert!(p.len() > base, "pool must have grown");
+        assert_eq!(p.growth_epoch(), 1);
+        assert_eq!(p.load_u64(off), 0xDA7A, "pre-growth data survives remap");
+        p.store_u64(last, 0x600D);
+        assert_eq!(p.load_u64(last), 0x600D, "grown space is addressable");
+
+        drop(p); // clean close
+        let geo = FilePool::read_geometry(&path).unwrap();
+        assert_eq!(geo.growth_epoch, 1);
+        assert_eq!(geo.base_size, base);
+        assert!(geo.pool_size > base);
+        assert!(geo.was_clean);
+
+        // Reopen: the grown size is the effective size, the data is intact.
+        let pool = FilePool::open(&path).unwrap();
+        assert_eq!(pool.len(), geo.pool_size);
+        assert_eq!(pool.growth_epoch(), 1);
+        let p = pool.into_pool();
+        assert_eq!(p.load_u64(off), 0xDA7A);
+        assert_eq!(p.load_u64(last), 0x600D);
+        drop(p);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn growth_bumps_the_minor_version_so_old_readers_reject() {
+        let path = temp_path("grow-minor");
+        {
+            let pool = FilePool::create(&path, tiny_elastic()).unwrap();
+            let want = pool.len() + 1;
+            assert!(pool.grow_to(want).unwrap());
+            assert!(pool.len() >= want);
+        }
+        // A reader that predates elastic growth compares the whole version
+        // word against 1 — a grown file's word is 1 | (1 << 16), so it is
+        // rejected instead of silently ignoring the grown space.
+        let header = fs::read(&path).unwrap();
+        let version = u32::from_le_bytes(header[H_VERSION..H_VERSION + 4].try_into().unwrap());
+        assert_eq!(version, FORMAT_VERSION | (FORMAT_MINOR << 16));
+        assert_ne!(version, 1, "pre-growth readers must reject this file");
+        // This build accepts it, with the geometry CRC re-covering the new
+        // version word.
+        let geo = FilePool::read_geometry(&path).unwrap();
+        assert_eq!(geo.growth_epoch, 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ungrown_pools_keep_minor_zero_for_old_readers() {
+        let path = temp_path("grow-compat");
+        drop(FilePool::create(&path, tiny_elastic()).unwrap());
+        let header = fs::read(&path).unwrap();
+        let version = u32::from_le_bytes(header[H_VERSION..H_VERSION + 4].try_into().unwrap());
+        assert_eq!(
+            version, 1,
+            "never-grown files stay readable by minor-0 readers"
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn grow_to_is_refused_on_fixed_pools_and_past_the_offset_ceiling() {
+        let path = temp_path("grow-fixed");
+        let pool = FilePool::create(&path, small()).unwrap();
+        let len = pool.len();
+        assert!(!pool.grow_to(len * 2).unwrap(), "grow_step 0 = fixed size");
+        assert!(
+            pool.grow_to(len).unwrap(),
+            "already-satisfied requests succeed even on fixed pools"
+        );
+        assert_eq!(pool.len(), len);
+        assert_eq!(pool.growth_epoch(), 0);
+        drop(pool);
+        fs::remove_file(&path).unwrap();
+
+        let path = temp_path("grow-ceiling");
+        let pool = FilePool::create(&path, tiny_elastic()).unwrap();
+        assert!(
+            !pool.grow_to(usize::MAX).unwrap(),
+            "past the u32 offset ceiling"
+        );
+        drop(pool);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repeated_growth_accumulates_epochs_across_reopens() {
+        let path = temp_path("grow-epochs");
+        let mut expected = 0u32;
+        let mut sizes = Vec::new();
+        for _ in 0..3 {
+            let pool = if expected == 0 {
+                FilePool::create(&path, tiny_elastic()).unwrap()
+            } else {
+                FilePool::open_with_growth(&path, SyncPolicy::default(), 256 << 10).unwrap()
+            };
+            assert_eq!(pool.growth_epoch(), expected);
+            let want = pool.len() + 1;
+            assert!(pool.grow_to(want).unwrap());
+            expected += 1;
+            assert_eq!(pool.growth_epoch(), expected);
+            sizes.push(pool.len());
+        }
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_pending_grow_journal_is_honoured_and_rolled_forward() {
+        use std::io::{Seek, SeekFrom, Write};
+        let path = temp_path("grow-journal");
+        {
+            let pool = FilePool::create(&path, tiny_elastic()).unwrap();
+            let want = pool.len() + 1;
+            assert!(pool.grow_to(want).unwrap());
+        }
+        // Rewind the home fields to their pre-growth values and re-stage the
+        // commit in the journal — the exact on-disk state of a crash between
+        // the commit point and the home-field rewrite.
+        let bytes = fs::read(&path).unwrap();
+        let grown = u64::from_le_bytes(bytes[H_GROWN_SIZE..H_GROWN_SIZE + 8].try_into().unwrap());
+        let commit = GrowCommit {
+            version: u32::from_le_bytes(bytes[H_VERSION..H_VERSION + 4].try_into().unwrap()),
+            geo_crc: u32::from_le_bytes(bytes[H_GEO_CRC..H_GEO_CRC + 4].try_into().unwrap()),
+            grown_size: grown,
+            grow_epoch: 1,
+            grow_crc: u32::from_le_bytes(bytes[H_GROW_CRC..H_GROW_CRC + 4].try_into().unwrap()),
+        };
+        let mut old_geo = bytes[..GEO_LEN].to_vec();
+        old_geo[H_VERSION..H_VERSION + 4].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        {
+            let mut f = File::options().read(true).write(true).open(&path).unwrap();
+            let record = commit.to_bytes();
+            f.seek(SeekFrom::Start(H_JOURNAL as u64)).unwrap();
+            f.write_all(&record).unwrap();
+            f.write_all(&crc32(&record).to_le_bytes()).unwrap();
+            // Home fields back to minor 0 / no grow record.
+            f.seek(SeekFrom::Start(H_VERSION as u64)).unwrap();
+            f.write_all(&FORMAT_VERSION.to_le_bytes()).unwrap();
+            f.seek(SeekFrom::Start(H_GEO_CRC as u64)).unwrap();
+            f.write_all(&crc32(&old_geo).to_le_bytes()).unwrap();
+            f.seek(SeekFrom::Start(H_GROWN_SIZE as u64)).unwrap();
+            f.write_all(&[0u8; 16]).unwrap();
+        }
+        // read_geometry honours the journal virtually...
+        let geo = FilePool::read_geometry(&path).unwrap();
+        assert_eq!(geo.growth_epoch, 1);
+        assert_eq!(geo.pool_size as u64, grown);
+        // ...and open rolls it forward durably.
+        drop(FilePool::open(&path).unwrap());
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(bytes[H_GROWN_SIZE..H_GROWN_SIZE + 8].try_into().unwrap()),
+            grown,
+            "home fields rewritten from the journal"
+        );
+        assert!(
+            bytes[H_JOURNAL..H_JOURNAL + JOURNAL_LEN]
+                .iter()
+                .all(|&b| b == 0),
+            "journal retired after roll-forward"
+        );
+        let geo = FilePool::read_geometry(&path).unwrap();
+        assert_eq!(geo.growth_epoch, 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_torn_grow_journal_is_ignored() {
+        use std::io::{Seek, SeekFrom, Write};
+        let path = temp_path("grow-torn");
+        drop(FilePool::create(&path, tiny_elastic()).unwrap());
+        {
+            // Garbage where the journal lives: the CRC cannot match, so the
+            // record reads as "no commit in flight".
+            let mut f = File::options().read(true).write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(H_JOURNAL as u64)).unwrap();
+            f.write_all(&[0xAB; JOURNAL_LEN]).unwrap();
+        }
+        let geo = FilePool::read_geometry(&path).unwrap();
+        assert_eq!(geo.growth_epoch, 0, "torn journal = commit never happened");
+        let pool = FilePool::open(&path).unwrap();
+        assert_eq!(pool.growth_epoch(), 0);
+        drop(pool);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pool_exhausted_diagnostics_report_the_file_pools_true_state() {
+        let path = temp_path("exhaust-diag");
+        let pool = FilePool::create(&path, small()).unwrap();
+        let capacity = pool.len();
+        let p = pool.into_pool();
+        let err = loop {
+            match p.try_alloc_raw(8192, 64) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.requested, 8192, "requested bytes surface");
+        assert_eq!(err.align, 64);
+        assert_eq!(err.capacity, capacity, "capacity is the pool size");
+        assert_eq!(err.watermark, p.watermark(), "watermark is the live one");
+        assert!(err.watermark as usize <= capacity);
+        let rendered = err.to_string();
+        for needle in ["requested 8192 bytes", "watermark", "capacity", "free"] {
+            assert!(rendered.contains(needle), "{rendered}");
+        }
+        drop(p);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn growth_is_safe_under_concurrent_traffic() {
+        // Writers hammer already-allocated words while other threads force
+        // repeated growths: the stop-the-world remap must never lose a
+        // committed store or hand out overlapping space.
+        let path = temp_path("grow-race");
+        let pool = FilePool::create(
+            &path,
+            FileConfig::with_size(256 << 10).with_growth(64 << 10),
+        )
+        .unwrap();
+        let p = pool.into_pool();
+        let slots: Vec<u32> = (0..8).map(|_| p.alloc_raw(64, 64)).collect();
+        std::thread::scope(|scope| {
+            for (tid, &slot) in slots.iter().enumerate() {
+                let p = &p;
+                scope.spawn(move || {
+                    for i in 1..=500u64 {
+                        p.store_u64(slot, i);
+                        p.flush(tid, slot);
+                        p.sfence(tid);
+                        if i % 50 == 0 {
+                            // Force allocation pressure from this thread too.
+                            let off = p.alloc_raw(4096, 64);
+                            p.store_u64(off, i);
+                        }
+                    }
+                });
+            }
+        });
+        for &slot in &slots {
+            assert_eq!(p.load_u64(slot), 500);
+        }
+        assert!(p.growth_epoch() >= 1, "the race must have grown the pool");
+        drop(p);
         fs::remove_file(&path).unwrap();
     }
 }

@@ -19,7 +19,12 @@
 //!   retired store, the header's dirty flag records the unclean shutdown,
 //!   and the queue's ordinary `RecoverableQueue::recover` procedure
 //!   reconstructs the structure — exercised end to end by this crate's
-//!   subprocess crash test and the `harness restart` verb.
+//!   subprocess crash test and the `harness restart` verb,
+//! * pools configured with a growth step are **elastic**: exhaustion grows
+//!   the file (`ftruncate` + remap behind a journaled, crash-atomic header
+//!   commit) instead of failing, so a long-lived queue outgrows its
+//!   creation-time ceiling — see [`file_pool`](self::file_pool#elastic-growth)
+//!   and the grow-under-`SIGKILL` subprocess test.
 //!
 //! ```
 //! use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
@@ -68,7 +73,7 @@ pub mod mmap;
 
 pub use crc::crc32;
 pub use file_pool::{
-    copy_pool_file, FileConfig, FilePool, PoolGeometry, SyncPolicy, FORMAT_VERSION, HEADER_LEN,
-    MAGIC,
+    copy_pool_file, FileConfig, FilePool, PoolGeometry, SyncPolicy, FORMAT_MINOR, FORMAT_VERSION,
+    HEADER_LEN, MAGIC,
 };
 pub use mmap::MmapRegion;

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate `harness ... --json` output against the README schema.
+
+The CI perf-track job runs this over every BENCH_*.json artifact before
+uploading, so a schema regression is caught on the push that introduces it
+rather than when someone later tries to plot the trajectory.
+
+Schema (see "Machine-readable results" in README.md): each file is a JSON
+array of experiment objects. Every object carries an "experiment" key naming
+its shape; required keys per shape are checked for presence and type. The
+schema is additive — unknown keys are allowed, required keys must keep their
+meaning and type.
+
+Usage: validate_bench_json.py FILE.json [FILE.json ...]
+"""
+
+import json
+import numbers
+import sys
+
+
+def is_num(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def require(obj, key, pred, what, ctx):
+    if key not in obj:
+        raise SystemExit(f"{ctx}: missing required key {key!r}")
+    if not pred(obj[key]):
+        raise SystemExit(f"{ctx}: key {key!r} must be {what}, got {obj[key]!r}")
+
+
+def check_rows(obj, ctx, row_keys):
+    require(obj, "rows", lambda v: isinstance(v, list), "an array", ctx)
+    for i, row in enumerate(obj["rows"]):
+        rctx = f"{ctx} rows[{i}]"
+        if not isinstance(row, dict):
+            raise SystemExit(f"{rctx}: must be an object")
+        for key, pred, what in row_keys:
+            require(row, key, pred, what, rctx)
+
+
+STR = (lambda v: isinstance(v, str), "a string")
+NUM = (is_num, "a number")
+
+
+def check_counts(obj, ctx):
+    require(obj, "ops", is_num, "a number", ctx)
+    require(obj, "shards", is_num, "a number", ctx)
+    require(obj, "policy", *STR, ctx)
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("algorithm", *STR),
+            ("enq_fences", *NUM),
+            ("deq_fences", *NUM),
+            ("enq_flushes", *NUM),
+            ("nt_stores_per_op", *NUM),
+            ("post_flush_per_op", *NUM),
+        ],
+    )
+
+
+def check_shards(obj, ctx):
+    for key in ("algorithm", "workload", "policy"):
+        require(obj, key, *STR, ctx)
+    for key in ("threads", "ops_per_thread", "recovery_threads"):
+        require(obj, key, *NUM, ctx)
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("shards", *NUM),
+            ("mops", *NUM),
+            ("scaling", *NUM),
+            ("fences_per_op", *NUM),
+            ("recovered_items", *NUM),
+            ("recovery_wall_ms", *NUM),
+            ("recovery_critical_path_ms", *NUM),
+            ("recovery_sequential_ms", *NUM),
+            ("recovery_speedup", *NUM),
+            ("per_shard", lambda v: isinstance(v, list), "an array"),
+        ],
+    )
+    for i, row in enumerate(obj["rows"]):
+        for j, shard in enumerate(row["per_shard"]):
+            sctx = f"{ctx} rows[{i}].per_shard[{j}]"
+            for key in ("shard", "fences", "flushes", "recovery_ms"):
+                require(shard, key, *NUM, sctx)
+
+
+def check_restart(obj, ctx):
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("algorithm", *STR),
+            ("shards", *NUM),
+            ("policy", *STR),
+            ("sync", *STR),
+            ("pool_bytes", *NUM),
+            ("grow_step", *NUM),
+            ("growth_epochs", *NUM),
+            ("confirmed_enqueues", *NUM),
+            ("confirmed_dequeues", *NUM),
+            ("recovered", *NUM),
+            ("recovery_ms", *NUM),
+        ],
+    )
+    if "reshard_kill" not in obj:
+        raise SystemExit(f"{ctx}: missing required key 'reshard_kill'")
+    kill = obj["reshard_kill"]
+    if kill is not None:
+        for key in ("completed_reshards", "shards_after", "items"):
+            require(kill, key, *NUM, f"{ctx} reshard_kill")
+        resolution = kill.get("resolution", "absent")
+        if resolution not in (None, "rolled-back", "rolled-forward"):
+            raise SystemExit(f"{ctx}: bad reshard_kill.resolution {resolution!r}")
+
+
+CHECKERS = {"counts": check_counts, "shards": check_shards, "restart": check_restart}
+
+
+def validate(path):
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list) or not data:
+        raise SystemExit(f"{path}: must be a non-empty JSON array of experiment objects")
+    for n, obj in enumerate(data):
+        ctx = f"{path}[{n}]"
+        if not isinstance(obj, dict):
+            raise SystemExit(f"{ctx}: must be an object")
+        experiment = obj.get("experiment")
+        checker = CHECKERS.get(experiment)
+        if checker is None:
+            raise SystemExit(
+                f"{ctx}: unknown experiment {experiment!r} "
+                f"(expected one of {sorted(CHECKERS)})"
+            )
+        checker(obj, ctx)
+    print(f"{path}: {len(data)} experiment object(s) valid")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__.strip().splitlines()[-1])
+    for path in argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,16 +1,21 @@
 //! Sim vs. file persist costs: what a store+flush+fence round trip and a
 //! full queue operation cost on each backend.
 //!
-//! Four pool variants:
+//! Five pool variants:
 //!
 //! * `sim-zero` — simulated backend, zero modelled latency (the cost of
 //!   the simulator's own bookkeeping),
 //! * `sim-optane` — simulated backend with the Optane-like latency model
 //!   the paper-facing figures use,
 //! * `file-process-crash` — memory-mapped pool file, real CLWB/SFENCE only
-//!   (durable against `kill -9`; the DAX discipline),
+//!   (durable against `kill -9`; the DAX discipline). Fixed-size
+//!   (`grow_step == 0`), so every access takes the direct-pointer path
+//!   with zero mapping synchronization,
 //! * `file-power-fail` — pool file with `msync(MS_SYNC)` at every fence
-//!   (durable against power loss on ordinary storage).
+//!   (durable against power loss on ordinary storage),
+//! * `file-epoch` — elastic pool file (non-zero `grow_step`): every access
+//!   pins the current mapping generation in a hazard slot. The delta
+//!   against `file-process-crash` is the price of the lock-free pin.
 //!
 //! ```bash
 //! cargo bench --bench file_pool           # full run
@@ -24,10 +29,14 @@ use std::sync::Arc;
 use std::time::Duration;
 use store::{FileConfig, FilePool, SyncPolicy};
 
-fn file_pool(tag: &str, sync: SyncPolicy) -> Arc<PmemPool> {
+fn file_pool(tag: &str, sync: SyncPolicy, grow_step: usize) -> Arc<PmemPool> {
     let path =
         std::env::temp_dir().join(format!("bench-file-pool-{tag}-{}.pool", std::process::id()));
-    let pool = FilePool::create(&path, FileConfig::with_size(64 << 20).with_sync(sync))
+    let mut config = FileConfig::with_size(64 << 20).with_sync(sync);
+    if grow_step > 0 {
+        config = config.with_growth(grow_step);
+    }
+    let pool = FilePool::create(&path, config)
         .expect("create bench pool file")
         .into_pool();
     // Unlink immediately: the mapping keeps the file alive for the bench's
@@ -49,11 +58,15 @@ fn pool_variants() -> Vec<(&'static str, Arc<PmemPool>)> {
         ),
         (
             "file-process-crash",
-            file_pool("process-crash", SyncPolicy::ProcessCrash),
+            file_pool("process-crash", SyncPolicy::ProcessCrash, 0),
         ),
         (
             "file-power-fail",
-            file_pool("power-fail", SyncPolicy::PowerFail),
+            file_pool("power-fail", SyncPolicy::PowerFail, 0),
+        ),
+        (
+            "file-epoch",
+            file_pool("epoch", SyncPolicy::ProcessCrash, 16 << 20),
         ),
     ]
 }

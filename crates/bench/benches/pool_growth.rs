@@ -1,15 +1,17 @@
 //! What elastic pool growth costs: enqueue throughput on a pool that must
-//! grow mid-run (`ftruncate` + stop-the-world remap + journaled header
-//! commit per growth event) versus the same workload on a pre-sized pool.
+//! grow mid-run (`ftruncate` + journaled header commit + `mremap` and
+//! epoch retirement per growth event) versus the same workload on a
+//! pre-sized pool.
 //!
 //! Three file-pool variants push the same enqueue burst:
 //!
 //! * `pre-sized` — the pool is created big enough up front (the paper's
 //!   assumption); no growth events, the baseline,
 //! * `grow-coarse` — created deliberately tiny with a large growth step, so
-//!   a handful of remap pauses land inside the run,
+//!   a handful of growth events land inside the run,
 //! * `grow-fine` — created tiny with a small step, so the run pays many
-//!   remap pauses; the worst case for the stop-the-world guard.
+//!   growth events; the worst case for the growth protocol (readers never
+//!   pause — growth serializes only against other growths).
 //!
 //! The throughput gap between `pre-sized` and the `grow-*` variants is the
 //! amortised cost of growth (each variant ends the burst holding the same

@@ -1,0 +1,288 @@
+//! The `fastpath` experiment: what the lock-free mapping scheme costs.
+//!
+//! `store::FilePool` reaches its mapping in one of two modes:
+//!
+//! * **direct** (`grow_step == 0`) — the pool can never grow, so every
+//!   access dereferences one immutable pointer with zero mapping
+//!   synchronization,
+//! * **epoch-pinned** (`grow_step > 0`) — every access announces the
+//!   current mapping generation in a per-thread hazard slot so growth can
+//!   retire the old mapping safely.
+//!
+//! This experiment times both modes over the same primitives — a plain
+//! `load_u64`, a `store_u64 + flush + sfence` persist round trip, and a
+//! take/drop of the raw [`pmem::MapRef`] view — and reports per-op
+//! nanoseconds side by side. The delta between the two rows *is* the pin:
+//! the before/after comparison the perf-track lane graphs over time. The
+//! emitted JSON object carries `"lock_free_fast_path": true`, the marker
+//! that these numbers were produced by the epoch scheme rather than the
+//! earlier stop-the-world mapping lock.
+
+use std::time::Instant;
+
+use pmem::PmemPool;
+use std::sync::Arc;
+use store::{FileConfig, FilePool, SyncPolicy};
+
+/// Configuration for the [`run_fastpath`] measurement.
+#[derive(Clone, Debug)]
+pub struct FastpathConfig {
+    /// Timed operations per trial.
+    pub ops: u64,
+    /// Trials per metric; the minimum is reported (noise floor).
+    pub trials: usize,
+    /// Pool file size in bytes.
+    pub pool_bytes: usize,
+    /// Growth step for the epoch-pinned row (the direct row always uses 0).
+    pub grow_step: usize,
+    /// `msync` policy for both pools.
+    pub sync: SyncPolicy,
+}
+
+impl Default for FastpathConfig {
+    fn default() -> Self {
+        FastpathConfig {
+            ops: 200_000,
+            trials: 5,
+            pool_bytes: 16 << 20,
+            grow_step: 4 << 20,
+            sync: SyncPolicy::ProcessCrash,
+        }
+    }
+}
+
+impl FastpathConfig {
+    /// CI-sized variant: small enough for the perf-track smoke lane.
+    pub fn quick() -> Self {
+        FastpathConfig {
+            ops: 20_000,
+            trials: 3,
+            pool_bytes: 4 << 20,
+            grow_step: 1 << 20,
+            ..FastpathConfig::default()
+        }
+    }
+}
+
+/// One mapping mode's measured per-operation costs, in nanoseconds.
+pub struct FastpathRow {
+    /// `"direct"` or `"epoch"`.
+    pub mode: &'static str,
+    /// The growth step the pool was created with (0 for the direct row).
+    pub grow_step: usize,
+    /// Plain `load_u64` (one mapping access, no persistence).
+    pub load_ns: f64,
+    /// `store_u64 + flush + sfence` round trip.
+    pub persist_ns: f64,
+    /// Taking and dropping a [`pmem::MapRef`] (pin + unpin in epoch mode;
+    /// a pointer copy in direct mode).
+    pub map_ref_ns: f64,
+}
+
+fn bench_pool(tag: &str, cfg: &FastpathConfig, grow_step: usize) -> Arc<PmemPool> {
+    let path = std::env::temp_dir().join(format!(
+        "harness-fastpath-{tag}-{}.pool",
+        std::process::id()
+    ));
+    let mut file_config = FileConfig::with_size(cfg.pool_bytes).with_sync(cfg.sync);
+    if grow_step > 0 {
+        file_config = file_config.with_growth(grow_step);
+    }
+    let pool = FilePool::create(&path, file_config)
+        .expect("fastpath: create pool file")
+        .into_pool();
+    // The mapping keeps the file alive; nothing is left behind in $TMPDIR.
+    #[cfg(unix)]
+    let _ = std::fs::remove_file(&path);
+    #[cfg(not(unix))]
+    let _ = path;
+    pool
+}
+
+/// Minimum-of-`trials` per-op time of `op`, in nanoseconds.
+fn time_ns(cfg: &FastpathConfig, mut op: impl FnMut(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.trials {
+        let start = Instant::now();
+        for i in 0..cfg.ops {
+            op(i);
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / cfg.ops as f64);
+    }
+    best
+}
+
+fn measure(mode: &'static str, grow_step: usize, cfg: &FastpathConfig) -> FastpathRow {
+    let pool = bench_pool(mode, cfg, grow_step);
+    let off = pool.alloc_raw(64, 64);
+    pool.store_u64(off, 1);
+    let load_ns = time_ns(cfg, |_| {
+        std::hint::black_box(pool.load_u64(off));
+    });
+    let persist_ns = time_ns(cfg, |i| {
+        pool.store_u64(off, i);
+        pool.flush(0, off);
+        pool.sfence(0);
+    });
+    let map_ref_ns = time_ns(cfg, |_| {
+        let view = pool.map_ref().expect("file pools expose their mapping");
+        std::hint::black_box(view.len());
+    });
+    FastpathRow {
+        mode,
+        grow_step,
+        load_ns,
+        persist_ns,
+        map_ref_ns,
+    }
+}
+
+/// Times the direct and epoch-pinned mapping modes over identical pools
+/// and workloads. Returns one row per mode, direct first.
+pub fn run_fastpath(cfg: &FastpathConfig) -> Vec<FastpathRow> {
+    assert!(cfg.ops > 0 && cfg.trials > 0, "fastpath: empty measurement");
+    assert!(cfg.grow_step > 0, "fastpath: the epoch row needs a step");
+    vec![
+        measure("direct", 0, cfg),
+        measure("epoch", cfg.grow_step, cfg),
+    ]
+}
+
+/// Renders the comparison as the verb's report table.
+pub fn render_fastpath(cfg: &FastpathConfig, rows: &[FastpathRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n=== file-pool mapping fast path ({} ops x {} trials, min reported) ===\n",
+        cfg.ops, cfg.trials
+    ));
+    out.push_str(&format!(
+        "{:<14}{:>12}{:>12}{:>14}{:>14}\n",
+        "mode", "grow step", "load ns/op", "persist ns/op", "map_ref ns/op"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<14}{:>12}{:>12.1}{:>14.1}{:>14.1}\n",
+            row.mode, row.grow_step, row.load_ns, row.persist_ns, row.map_ref_ns
+        ));
+    }
+    if let [direct, epoch] = rows {
+        out.push_str(&format!(
+            "pin cost on a plain load: {:+.1} ns/op ({:.0}% of the direct path)\n",
+            epoch.load_ns - direct.load_ns,
+            if direct.load_ns > 0.0 {
+                100.0 * epoch.load_ns / direct.load_ns
+            } else {
+                0.0
+            },
+        ));
+    }
+    out
+}
+
+/// Renders the rows as one machine-readable JSON experiment object (schema
+/// documented in the README under "Machine-readable results"). The
+/// `lock_free_fast_path` marker distinguishes epoch-scheme numbers from
+/// the earlier mapping-lock implementation in a `BENCH_*.json` trajectory.
+pub fn fastpath_json(cfg: &FastpathConfig, rows: &[FastpathRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"fastpath\",\n");
+    out.push_str(&format!("  \"ops\": {},\n", cfg.ops));
+    out.push_str(&format!("  \"trials\": {},\n", cfg.trials));
+    out.push_str("  \"lock_free_fast_path\": true,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"grow_step\": {}, \"load_ns\": {:.3}, \
+             \"persist_ns\": {:.3}, \"map_ref_ns\": {:.3}}}{}\n",
+            row.mode,
+            row.grow_step,
+            row.load_ns,
+            row.persist_ns,
+            row.map_ref_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// Parses the `fastpath` verb's flags into a config (shared with tests).
+pub fn config_from_flags(flags: &std::collections::HashMap<String, String>) -> FastpathConfig {
+    let mut cfg = if flags.contains_key("quick") {
+        FastpathConfig::quick()
+    } else {
+        FastpathConfig::default()
+    };
+    if let Some(o) = flags.get("ops") {
+        cfg.ops = o.parse().expect("bad --ops");
+    }
+    if let Some(t) = flags.get("trials") {
+        cfg.trials = t.parse().expect("bad --trials");
+    }
+    if let Some(p) = flags.get("pool-bytes") {
+        cfg.pool_bytes = p.parse().expect("bad --pool-bytes");
+    }
+    if let Some(g) = flags.get("grow-step") {
+        cfg.grow_step = g.parse().expect("bad --grow-step");
+        assert!(cfg.grow_step > 0, "fastpath --grow-step must be > 0");
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FastpathConfig {
+        FastpathConfig {
+            ops: 200,
+            trials: 1,
+            pool_bytes: 1 << 20,
+            grow_step: 1 << 20,
+            sync: SyncPolicy::ProcessCrash,
+        }
+    }
+
+    #[test]
+    fn fastpath_measures_both_mapping_modes() {
+        let cfg = tiny();
+        let rows = run_fastpath(&cfg);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].mode, rows[0].grow_step), ("direct", 0));
+        assert_eq!((rows[1].mode, rows[1].grow_step), ("epoch", 1 << 20));
+        for row in &rows {
+            assert!(row.load_ns > 0.0 && row.load_ns.is_finite());
+            assert!(row.persist_ns > 0.0 && row.persist_ns.is_finite());
+            assert!(row.map_ref_ns > 0.0 && row.map_ref_ns.is_finite());
+        }
+        let rendered = render_fastpath(&cfg, &rows);
+        assert!(rendered.contains("direct"));
+        assert!(rendered.contains("epoch"));
+        assert!(rendered.contains("pin cost"));
+    }
+
+    #[test]
+    fn fastpath_json_is_well_formed_and_carries_the_marker() {
+        let cfg = tiny();
+        let rows = run_fastpath(&cfg);
+        let json = fastpath_json(&cfg, &rows);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"experiment\": \"fastpath\""));
+        assert!(json.contains("\"lock_free_fast_path\": true"));
+        assert!(json.contains("\"mode\": \"direct\""));
+        assert!(json.contains("\"mode\": \"epoch\""));
+        assert_eq!(json.matches("\"mode\"").count(), 2);
+    }
+
+    #[test]
+    fn flags_override_the_defaults() {
+        let mut flags = std::collections::HashMap::new();
+        flags.insert("quick".into(), "true".into());
+        flags.insert("ops".into(), "123".into());
+        flags.insert("grow-step".into(), "65536".into());
+        let cfg = config_from_flags(&flags);
+        assert_eq!(cfg.ops, 123);
+        assert_eq!(cfg.trials, FastpathConfig::quick().trials);
+        assert_eq!(cfg.grow_step, 65536);
+    }
+}

@@ -3,7 +3,8 @@
 //! Workload generators for the five panels of the paper's Figure 2
 //! ([`workloads`]), a thread-sweep runner producing the throughput and
 //! ratio-to-DurableMSQ tables ([`runner`]), the per-operation
-//! persistence-count experiment ([`counts`]), and a crash/durable-
+//! persistence-count experiment ([`counts`]), the file-pool mapping
+//! fast-path comparison ([`fastpath`]), and a crash/durable-
 //! linearizability checker spanning every implemented queue ([`checker`]).
 //!
 //! The `harness` binary exposes all of it on the command line; the `bench`
@@ -14,6 +15,7 @@
 pub mod algorithms;
 pub mod checker;
 pub mod counts;
+pub mod fastpath;
 pub mod reshard;
 pub mod restart;
 pub mod runner;

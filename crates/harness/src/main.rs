@@ -7,6 +7,8 @@
 //!              [--shards N] [--policy rr|keyhash|load]
 //!              [--nvram-read-ns N] [--quick]
 //! harness counts [--ops N] [--shards N]
+//! harness fastpath [--ops N] [--trials N] [--pool-bytes N] [--grow-step N]
+//!                  [--quick] [--json PATH]
 //! harness crashtest [--threads N] [--ops N] [--rounds N]
 //! harness shards [--shards 1,2,4,8] [--workload W] [--algorithm A]
 //!                [--threads N] [--ops N] [--policy rr|keyhash|load]
@@ -19,6 +21,7 @@ use harness::checker::{check_all, CrashCheckConfig};
 use harness::counts::{
     counts_json, persist_counts_table, persist_counts_table_sharded, render_counts,
 };
+use harness::fastpath::{self, fastpath_json, render_fastpath, run_fastpath};
 use harness::reshard::{
     render_kill_outcome, run_reshard, run_reshard_child, run_reshard_kill_round, ReshardVerbConfig,
 };
@@ -426,6 +429,15 @@ fn cmd_reshard(flags: &HashMap<String, String>) {
     run_reshard(&cfg);
 }
 
+fn cmd_fastpath(flags: &HashMap<String, String>) {
+    let cfg = fastpath::config_from_flags(flags);
+    let mut json = JsonSink::from_flags(flags);
+    let rows = run_fastpath(&cfg);
+    print!("{}", render_fastpath(&cfg, &rows));
+    json.push(fastpath_json(&cfg, &rows));
+    json.write();
+}
+
 fn cmd_crashtest(flags: &HashMap<String, String>) {
     let mut cfg = CrashCheckConfig::default();
     if let Some(t) = flags.get("threads") {
@@ -451,6 +463,7 @@ fn main() {
         "shards" => cmd_shards(&flags),
         "restart" => cmd_restart(&flags),
         "reshard" => cmd_reshard(&flags),
+        "fastpath" => cmd_fastpath(&flags),
         // Hidden: the process `restart` spawns, kills and recovers from.
         "restart-child" => run_child(&restart_config(&flags)),
         // Hidden: the process the reshard-kill round spawns and kills.
@@ -473,7 +486,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|all> [flags]\n\
+                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|fastpath|all> [flags]\n\
                  \n\
                  fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
                  counts     per-operation persistence counts (experiments E7/E8)\n\
@@ -486,6 +499,8 @@ fn main() {
                             a SIGKILL-mid-reshard round\n\
                  reshard    split/merge a file-backed shard directory to --to N'\n\
                             (crash-safe two-phase manifest protocol)\n\
+                 fastpath   time the file pool's direct vs epoch-pinned mapping\n\
+                            modes (per-op load / persist / map_ref costs)\n\
                  all        counts, every fig2 panel, then the shard sweep\n\
                  \n\
                  common flags: --quick --workload W --threads 1,2,4 --ops N\n\
@@ -496,8 +511,8 @@ fn main() {
                                --sync process-crash|power-fail   (file backend)\n\
                                --pool-bytes N --grow-step N   (file pools grow by\n\
                                >= N bytes on exhaustion; 0 = fixed size)\n\
-                 output:       --json PATH   (counts, shards + restart: JSON array\n\
-                               of experiment objects; schema in README)\n\
+                 output:       --json PATH   (counts, shards, restart + fastpath:\n\
+                               JSON array of experiment objects; schema in README)\n\
                  restart:      --algo A --shards N --min-acks N --pool-bytes N\n\
                                --grow-step N  (undersized pools grow under kill)\n\
                  reshard:      --dir D --to N' [--algo A] [--create N --items M]\n\

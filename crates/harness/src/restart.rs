@@ -359,7 +359,8 @@ pub fn restart_json(
     for (i, (cfg, outcome)) in rounds.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"algorithm\": \"{}\", \"shards\": {}, \"policy\": \"{}\", \"sync\": \"{}\", \
-             \"pool_bytes\": {}, \"grow_step\": {}, \"growth_epochs\": {}, \
+             \"pool_bytes\": {}, \"grow_step\": {}, \"mapping\": \"{}\", \
+             \"growth_epochs\": {}, \
              \"confirmed_enqueues\": {}, \"confirmed_dequeues\": {}, \"recovered\": {}, \
              \"recovery_ms\": {}}}{}\n",
             cfg.algorithm.name(),
@@ -368,6 +369,11 @@ pub fn restart_json(
             cfg.sync.key(),
             cfg.pool_bytes,
             cfg.grow_step,
+            if cfg.grow_step == 0 {
+                "direct"
+            } else {
+                "epoch-pinned"
+            },
             outcome.growth_epochs,
             outcome.confirmed_enqueues,
             outcome.confirmed_dequeues,
@@ -400,14 +406,20 @@ pub fn restart_json(
 pub fn render_outcome(cfg: &RestartConfig, outcome: &RestartOutcome) -> String {
     let growth = match outcome.growth_epochs {
         0 => String::new(),
-        n => format!(" (pool grew x{n} past its creation ceiling)"),
+        n => format!(" (pool grew x{n} past its creation ceiling, epoch-pinned mapping)"),
+    };
+    let mapping = if cfg.grow_step == 0 {
+        " [direct mapping]"
+    } else {
+        ""
     };
     format!(
-        "restart {} x{} [{}]: {} confirmed enqueues, {} confirmed dequeues, \
+        "restart {} x{} [{}{}]: {} confirmed enqueues, {} confirmed dequeues, \
          {} recovered in {:.3} ms — no loss, no duplication, FIFO intact{}\n",
         cfg.algorithm.name(),
         cfg.shards,
         cfg.sync.key(),
+        mapping,
         outcome.confirmed_enqueues,
         outcome.confirmed_dequeues,
         outcome.recovered,

@@ -22,6 +22,8 @@
 //! unaffected); external backends pay one virtual call per operation, which
 //! is noise next to a real flush or `msync`.
 
+use std::sync::atomic::AtomicU64;
+
 /// Number of 64-bit root slots every backend provides.
 ///
 /// Root slots are durable named words *outside* the offset-addressed pool
@@ -30,6 +32,112 @@
 /// The queue algorithms themselves use the fixed
 /// [`crate::layout::QUEUE_ROOT`] block instead.
 pub const ROOT_SLOTS: usize = 8;
+
+/// Release half of the [`MapRef`] capability: a backend that hands out
+/// pinned mapping views implements this so the view can drop its pin
+/// without `MapRef` knowing anything about the backend's reclamation
+/// scheme. The `token` round-trips opaquely from [`MapRef::new`].
+pub trait MapPin: Sync {
+    /// Releases the pin identified by `token`. Called exactly once, from
+    /// [`MapRef::drop`].
+    fn unpin_map(&self, token: usize);
+}
+
+/// A pinned, direct-pointer view of a backend's mapped pool space.
+///
+/// The queue hot path goes through [`PoolBackend`]'s per-word operations;
+/// `MapRef` is the capability for callers that want to amortize even that
+/// (bulk scans, checksumming, recovery walks): one pin up front, then raw
+/// pointer arithmetic with zero per-access synchronization. The referenced
+/// mapping is guaranteed valid for the life of the `MapRef` — an elastic
+/// backend defers unmapping a replaced (grown) mapping until every
+/// outstanding `MapRef` on it has dropped.
+///
+/// # Lifetime rules
+///
+/// * Offsets are pool offsets: `addr(0)` is pool offset 0, the backend's
+///   header (if any) is not addressable through a `MapRef`.
+/// * `len()` is the pool size *at pin time*. A concurrent growth may make
+///   `PoolBackend::len` larger while this view is live; offsets handed out
+///   by such an allocation may exceed this view's bounds. Drop and re-pin
+///   to observe the grown mapping.
+/// * A `MapRef` is `!Send`/`!Sync` (it carries a raw pointer and a
+///   thread-slot pin); keep it on the thread that created it and drop it
+///   promptly — on backends that pin (see [`is_pinned`](Self::is_pinned)),
+///   a held `MapRef` delays reclamation of replaced mappings, and on the
+///   non-Unix fallback it can block a concurrent growth.
+/// * On a fixed-size pool (`grow_step == 0` for the `store` file pool) the
+///   mapping can never move, so the view is unpinned: creating and
+///   dropping it is free, and holding it constrains nothing.
+pub struct MapRef<'p> {
+    base: *mut u8,
+    len: usize,
+    pin: Option<(&'p dyn MapPin, usize)>,
+}
+
+impl<'p> MapRef<'p> {
+    /// Builds a view over `len` bytes of pool space starting at `base`,
+    /// optionally carrying a pin to release on drop.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be valid for reads and writes of `len` bytes for the
+    /// whole lifetime `'p`, or — when `pin` is `Some` — at least until the
+    /// pin is released.
+    pub unsafe fn new(base: *mut u8, len: usize, pin: Option<(&'p dyn MapPin, usize)>) -> Self {
+        MapRef { base, len, pin }
+    }
+
+    /// Pool bytes addressable through this view (the pool size at pin
+    /// time).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the view is empty (never, for real pools).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this view holds a reclamation pin. `false` on a direct-path
+    /// (fixed-size) pool, where the mapping is immutable and the view costs
+    /// nothing to hold.
+    pub fn is_pinned(&self) -> bool {
+        self.pin.is_some()
+    }
+
+    /// The mapped address of pool offset `off`. Panics if `off` is out of
+    /// bounds. Dereferencing is `unsafe` and subject to the pool's usual
+    /// contract (concurrently-written words must be accessed atomically —
+    /// see [`atomic_u64`](Self::atomic_u64)).
+    #[inline]
+    pub fn addr(&self, off: u32) -> *mut u8 {
+        assert!((off as usize) < self.len, "MapRef offset out of bounds");
+        // SAFETY: in bounds of the pinned mapping.
+        unsafe { self.base.add(off as usize) }
+    }
+
+    /// The word at pool offset `off` as an atomic, for lock-free access in
+    /// place. Panics if `off` is out of bounds or unaligned.
+    #[inline]
+    pub fn atomic_u64(&self, off: u32) -> &AtomicU64 {
+        assert!(
+            off as usize + 8 <= self.len && off.is_multiple_of(8),
+            "MapRef word out of bounds or unaligned"
+        );
+        // SAFETY: in bounds, 8-byte aligned (mappings are page aligned),
+        // and AtomicU64 accesses are always valid on mapped pool words.
+        unsafe { &*(self.base.add(off as usize) as *const AtomicU64) }
+    }
+}
+
+impl Drop for MapRef<'_> {
+    fn drop(&mut self) {
+        if let Some((pin, token)) = self.pin.take() {
+            pin.unpin_map(token);
+        }
+    }
+}
 
 /// The operations a persistent pool backend must provide.
 ///
@@ -141,6 +249,17 @@ pub trait PoolBackend: Send + Sync {
     /// lifetime (`0` for fixed-size backends).
     fn growth_epoch(&self) -> u32 {
         0
+    }
+
+    /// Hands out a pinned direct-pointer view of the pool space, or `None`
+    /// for backends with no stable linear mapping to expose (the simulated
+    /// backend keeps its persistence accounting honest by refusing).
+    ///
+    /// The returned view stays valid across concurrent growths: an elastic
+    /// backend must not unmap a replaced mapping while any `MapRef` pinned
+    /// on it is live. See [`MapRef`] for the lifetime rules.
+    fn map_ref(&self) -> Option<MapRef<'_>> {
+        None
     }
 
     /// Reads durable root slot `slot` (`< ROOT_SLOTS`).

@@ -20,7 +20,7 @@
 //! value by [`PmemPool::nt_store_u64`]) followed by [`PmemPool::sfence`] on
 //! the issuing thread.
 
-use crate::backend::{PoolBackend, ROOT_SLOTS};
+use crate::backend::{MapRef, PoolBackend, ROOT_SLOTS};
 use crate::latency::LatencyModel;
 use crate::layout::{self, CACHE_LINE};
 use crate::sim::SimPool;
@@ -224,6 +224,29 @@ impl PmemPool {
         match &self.inner {
             PoolImpl::Sim(_) => 0,
             PoolImpl::Ext(b) => b.growth_epoch(),
+        }
+    }
+
+    /// A pinned direct-pointer view of the pool space, or `None` when the
+    /// backend has no stable linear mapping to expose.
+    ///
+    /// The simulated backend always refuses — letting callers bypass its
+    /// per-access persistence accounting would silently falsify the
+    /// paper-facing figures. The file backend returns a view that stays
+    /// valid across concurrent growth; see [`MapRef`] for the lifetime
+    /// rules and the `store` crate for the `grow_step == 0` zero-cost
+    /// direct path.
+    ///
+    /// ```
+    /// use pmem::{PmemPool, PoolConfig};
+    ///
+    /// let sim = PmemPool::new(PoolConfig::small_test());
+    /// assert!(sim.map_ref().is_none(), "sim pools never expose raw memory");
+    /// ```
+    pub fn map_ref(&self) -> Option<MapRef<'_>> {
+        match &self.inner {
+            PoolImpl::Sim(_) => None,
+            PoolImpl::Ext(b) => b.map_ref(),
         }
     }
 

@@ -38,23 +38,43 @@
 //! `grow_epoch`) carries its own CRC and is rewritten only through the
 //! journaled commit protocol described below.
 //!
+//! ## Lock-free mapping access
+//!
+//! Every pool operation dereferences the mapping through a wait-free pin:
+//! the current mapping generation is published as an atomic descriptor
+//! pointer, a reader announces the descriptor it is about to use in its own
+//! cache-padded hazard slot, re-checks the pointer, and proceeds — no lock,
+//! no contended write, no syscall. A **fixed-size pool (`grow_step == 0`)
+//! skips even that**: its mapping can never change, so the per-operation
+//! cost is one relaxed load of an immutable pointer — the direct path, and
+//! the reason the file backend's steady-state cost is just the flushes the
+//! algorithm itself issues. The epoch scheme, its proof obligations and the
+//! measured cost are chaptered in `docs/PERFORMANCE.md`.
+//!
 //! ## Elastic growth
 //!
 //! A pool created (or opened) with a non-zero growth step is **elastic**: when
 //! `try_alloc_raw` runs out of space, the backend extends the file by at
 //! least one growth step (`ftruncate`), remaps it, and retries — a queue can
 //! outgrow its creation-time watermark ceiling without ever surfacing
-//! `PoolExhausted`. Growth is stop-the-world for the pool's threads (the
-//! shared mapping is swapped under a write lock) and **crash-safe**: the
-//! durable commit point is a self-checksummed journal record in the header
-//! page, written after the `ftruncate` and before the grow record's home
-//! fields. A `kill -9` anywhere in the protocol recovers to either the old
-//! size (journal absent or torn) or the new size (journal intact, rolled
-//! forward on open); allocations above the old ceiling are only handed out
-//! once the commit record is durable, so no allocation is ever lost. The
-//! first committed growth bumps the header's minor version to 1, which makes
-//! readers that predate the grow record reject the file instead of silently
-//! ignoring the grown space.
+//! `PoolExhausted`. Growth never blocks readers (on Unix): the file is
+//! extended with `mremap` in place when the kernel allows it (same base
+//! pointer, no second VA range — concurrent readers don't even notice) and
+//! otherwise duplicated via `mremap(old, 0, new_len, MREMAP_MAYMOVE)`, the
+//! new descriptor is published atomically, and the replaced mapping is
+//! **epoch-retired**: it is unmapped only once no reader's hazard slot
+//! references it. Growth is also **crash-safe**: the durable commit point is
+//! a self-checksummed journal record in the header page, persisted after
+//! the `ftruncate` and *before* the larger size is published to allocators
+//! — the watermark is persisted eagerly on every allocation, so space above
+//! the old ceiling must never be handed out ahead of the record that makes
+//! the new size survive a crash. A `kill -9` anywhere in the protocol
+//! recovers to either the old size (journal absent or torn) or the new size
+//! (journal intact, rolled forward on open); no allocation is ever lost,
+//! and mapping retirement happens strictly after the commit point, so it
+//! can never delay it. The first committed growth bumps the header's minor
+//! version to 1, which makes readers that predate the grow record reject
+//! the file instead of silently ignoring the grown space.
 //!
 //! ## Durability model
 //!
@@ -75,16 +95,19 @@
 //! reopen.
 
 use crate::crc::crc32;
-use crate::mmap::{page_size, MmapRegion};
+use crate::mmap::{self, page_size};
 use crossbeam_utils::CachePadded;
 use pmem::layout::{self, CACHE_LINE};
-use pmem::{PmemPool, PoolBackend, MAX_THREADS, ROOT_SLOTS};
+use pmem::{MapPin, PmemPool, PoolBackend, MAX_THREADS, ROOT_SLOTS};
 use std::cell::UnsafeCell;
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::ptr;
+#[cfg(not(unix))]
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// `"DQSTORE1"` in little-endian byte order.
 pub const MAGIC: u64 = u64::from_le_bytes(*b"DQSTORE1");
@@ -253,17 +276,18 @@ impl PoolGeometry {
     }
 }
 
-/// The mapping and its extent — everything a growth must swap atomically.
-/// All raw access goes through this struct, behind the pool's mapping lock:
-/// readers (every pool operation) share it, a growth takes it exclusively
-/// while the mapping is replaced.
-struct MapState {
-    map: MmapRegion,
-    /// Current pool size in bytes (grows over the pool's lifetime).
+/// A raw view of one mapping generation: base pointer plus the pool size
+/// it was published with. All header/word access goes through these
+/// accessors; validity is guaranteed by whoever produced the view (a
+/// reader pin, the growth lock, or `&mut` exclusivity).
+#[derive(Clone, Copy)]
+struct RawMap {
+    base: *mut u8,
+    /// Pool size in bytes this generation was published with.
     size: usize,
 }
 
-impl MapState {
+impl RawMap {
     #[inline]
     fn check_bounds(&self, off: u32, bytes: u32) {
         debug_assert!(
@@ -277,7 +301,7 @@ impl MapState {
     #[inline]
     fn addr(&self, off: u32) -> *mut u8 {
         // SAFETY: callers stay within HEADER_LEN + size (debug-checked).
-        unsafe { self.map.as_ptr().add(HEADER_LEN + off as usize) }
+        unsafe { self.base.add(HEADER_LEN + off as usize) }
     }
 
     #[inline]
@@ -292,48 +316,316 @@ impl MapState {
     fn header_u32(&self, off: usize) -> &AtomicU32 {
         debug_assert!(off + 4 <= HEADER_LEN && off.is_multiple_of(4));
         // SAFETY: in bounds of the header page, 4-byte aligned.
-        unsafe { &*(self.map.as_ptr().add(off) as *const AtomicU32) }
+        unsafe { &*(self.base.add(off) as *const AtomicU32) }
     }
 
     #[inline]
     fn header_u64(&self, off: usize) -> &AtomicU64 {
         debug_assert!(off + 8 <= HEADER_LEN && off.is_multiple_of(8));
         // SAFETY: in bounds of the header page, 8-byte aligned.
-        unsafe { &*(self.map.as_ptr().add(off) as *const AtomicU64) }
+        unsafe { &*(self.base.add(off) as *const AtomicU64) }
     }
 
     /// A byte slice of the header range `r` (for CRC computation).
     fn header_bytes(&self, r: std::ops::Range<usize>) -> &[u8] {
         debug_assert!(r.end <= HEADER_LEN);
         // SAFETY: the header page is mapped and valid for HEADER_LEN bytes.
-        unsafe { std::slice::from_raw_parts(self.map.as_ptr().add(r.start), r.end - r.start) }
+        unsafe { std::slice::from_raw_parts(self.base.add(r.start), r.end - r.start) }
     }
 
     fn set_flags(&self, clean: bool) {
         let flags = if clean { FLAG_CLEAN } else { 0 };
         self.header_u32(H_FLAGS).store(flags, Ordering::Release);
         // SAFETY: the header page is valid readable memory.
-        unsafe { pmem::hw::clflush(self.map.as_ptr().add(H_FLAGS)) };
+        unsafe { pmem::hw::clflush(self.base.add(H_FLAGS)) };
         pmem::hw::sfence();
     }
+}
 
-    /// Durably persists the header page when the policy demands it (rare
-    /// path: watermark movement, root-slot writes, clean/dirty marking,
-    /// growth commits).
-    fn persist_header(&self, policy: SyncPolicy) {
-        // SAFETY: the header page is valid readable memory.
-        unsafe { pmem::hw::persist_range(self.map.as_ptr(), HEADER_LEN) };
-        if policy == SyncPolicy::PowerFail {
-            let _ = self.map.msync(0, HEADER_LEN);
+/// One generation of the mapping. Readers pin a descriptor through their
+/// hazard slot; growth publishes a new one and retires the old.
+struct MapDesc {
+    raw: RawMap,
+    /// Bytes mapped at `raw.base` when this generation was created — what
+    /// an unmap of this base must release.
+    map_len: usize,
+}
+
+/// A retired mapping generation awaiting reclamation. `unmap` is false
+/// when the descriptor's base is owned by a newer generation (in-place
+/// extension keeps the base; only the descriptor itself is stale).
+struct Retired {
+    desc: Box<MapDesc>,
+    unmap: bool,
+}
+
+/// Per-thread hazard slot: which descriptor this thread is currently
+/// dereferencing, plus a same-thread nesting depth so a pool operation
+/// running under an outstanding `MapRef` reuses (and never prematurely
+/// clears) the announcement.
+struct PinSlot {
+    pinned: AtomicPtr<MapDesc>,
+    /// Owner-thread only (the slot lease is thread-local).
+    depth: UnsafeCell<u32>,
+}
+
+// SAFETY: `pinned` is atomic; `depth` is only accessed by the single
+// thread holding the slot's lease (see `reader_slot`).
+unsafe impl Sync for PinSlot {}
+
+/// Reader slots outnumber the pool's `MAX_THREADS` worker tids because any
+/// thread (not just workers with a tid) may touch a pool.
+const PIN_SLOTS: usize = 4 * MAX_THREADS;
+
+/// The process-wide thread → hazard-slot lease. Slots are recycled through
+/// a free list when threads exit, so long-lived processes that churn
+/// threads never exhaust the `PIN_SLOTS` space. The same slot index is
+/// used on every pool (each pool has its own slot array), which keeps the
+/// lease a single thread-local.
+fn reader_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    static FREE: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    struct Lease(usize);
+    impl Drop for Lease {
+        fn drop(&mut self) {
+            FREE.lock().unwrap().push(self.0);
+        }
+    }
+    thread_local! {
+        static LEASE: Lease = Lease(FREE.lock().unwrap().pop().unwrap_or_else(|| {
+            let idx = NEXT.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                idx < PIN_SLOTS,
+                "more than {PIN_SLOTS} threads concurrently using file pools"
+            );
+            idx
+        }));
+    }
+    LEASE.with(|l| l.0)
+}
+
+/// The lock-free mapping table: the published current descriptor, the
+/// readers' hazard slots, and the retirement list. See the
+/// [module docs](self#lock-free-mapping-access).
+struct MapTable {
+    /// The current mapping generation (`Box::into_raw`; owned here).
+    current: AtomicPtr<MapDesc>,
+    /// Pool size of the current generation, mirrored out of it so `len()`
+    /// needs no pin.
+    size: AtomicUsize,
+    /// Fixed-size pool (`grow_step == 0`): the mapping is immutable, so
+    /// readers skip the hazard protocol entirely — the direct path.
+    direct: bool,
+    slots: Box<[CachePadded<PinSlot>]>,
+    retired: Mutex<Vec<Retired>>,
+    /// Serializes growth. Readers never take it.
+    grow: Mutex<()>,
+    /// Non-Unix only: the heap-buffer mapping stand-in is not coherent
+    /// across two buffers, so growth there briefly gates new pins while
+    /// the old buffer is written back and re-read (see `grow_to`).
+    #[cfg(not(unix))]
+    growing: AtomicBool,
+}
+
+// SAFETY: the raw descriptor pointers are owned by this table (Box);
+// mapped memory is only accessed through atomics, and the hazard protocol
+// (or &mut exclusivity) guarantees no use-after-unmap.
+unsafe impl Send for MapTable {}
+unsafe impl Sync for MapTable {}
+
+impl MapTable {
+    fn new(base: *mut u8, map_len: usize, size: usize, direct: bool) -> MapTable {
+        let desc = Box::new(MapDesc {
+            raw: RawMap { base, size },
+            map_len,
+        });
+        MapTable {
+            current: AtomicPtr::new(Box::into_raw(desc)),
+            size: AtomicUsize::new(size),
+            direct,
+            slots: (0..PIN_SLOTS)
+                .map(|_| {
+                    CachePadded::new(PinSlot {
+                        pinned: AtomicPtr::new(ptr::null_mut()),
+                        depth: UnsafeCell::new(0),
+                    })
+                })
+                .collect(),
+            retired: Mutex::new(Vec::new()),
+            grow: Mutex::new(()),
+            #[cfg(not(unix))]
+            growing: AtomicBool::new(false),
+        }
+    }
+
+    /// Pool size of the current generation (no pin required).
+    #[inline]
+    fn size(&self) -> usize {
+        self.size.load(Ordering::Acquire)
+    }
+
+    /// Pins the current mapping generation for this thread and returns its
+    /// raw view plus the hazard slot to release (None on the direct path).
+    #[inline]
+    fn pin(&self) -> (RawMap, Option<usize>) {
+        if self.direct {
+            // Fixed-size pool: the descriptor is immutable for the pool's
+            // lifetime, so one relaxed load is the whole fast path.
+            let d = self.current.load(Ordering::Relaxed);
+            // SAFETY: never retired or freed while the pool is alive.
+            return (unsafe { (*d).raw }, None);
+        }
+        let idx = reader_slot();
+        let slot = &self.slots[idx];
+        // SAFETY: `depth` belongs to this thread's slot lease alone.
+        let depth = unsafe { &mut *slot.depth.get() };
+        if *depth > 0 {
+            // Nested pin (a pool op under an outstanding MapRef): the slot
+            // already protects a descriptor; reuse it rather than
+            // re-announcing, so the inner unpin cannot strip the outer
+            // pin's protection.
+            *depth += 1;
+            let d = slot.pinned.load(Ordering::Relaxed);
+            // SAFETY: protected by this very slot since the outer pin.
+            return (unsafe { (*d).raw }, Some(idx));
+        }
+        #[cfg(not(unix))]
+        while self.growing.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        loop {
+            let d = self.current.load(Ordering::SeqCst);
+            // Hazard announcement: publish which descriptor this thread is
+            // about to dereference, then re-check that it is still
+            // current. Once the re-check passes, a grower's reclaim scan —
+            // which runs strictly after its SeqCst publish of the new
+            // descriptor — is guaranteed to observe the announcement.
+            slot.pinned.store(d, Ordering::SeqCst);
+            if self.current.load(Ordering::SeqCst) == d {
+                *depth = 1;
+                // SAFETY: announced-then-rechecked: cannot be reclaimed
+                // while this slot references it.
+                return (unsafe { (*d).raw }, Some(idx));
+            }
+        }
+    }
+
+    /// Releases a pin taken by [`pin`](Self::pin).
+    #[inline]
+    fn unpin(&self, idx: usize) {
+        let slot = &self.slots[idx];
+        // SAFETY: owner thread only.
+        let depth = unsafe { &mut *slot.depth.get() };
+        *depth -= 1;
+        if *depth == 0 {
+            slot.pinned.store(ptr::null_mut(), Ordering::Release);
+        }
+    }
+
+    /// Publishes `desc` as the current generation and retires the old one.
+    /// Growth-lock holder only.
+    fn install(&self, desc: Box<MapDesc>, unmap_old: bool) {
+        let size = desc.raw.size;
+        let old = self.current.swap(Box::into_raw(desc), Ordering::SeqCst);
+        self.size.store(size, Ordering::Release);
+        // SAFETY: `old` came from Box::into_raw at its own install (or
+        // `new`) and just became unreachable for new pins.
+        let desc = unsafe { Box::from_raw(old) };
+        self.retired.lock().unwrap().push(Retired {
+            desc,
+            unmap: unmap_old,
+        });
+    }
+
+    /// Frees every retired generation no hazard slot still references.
+    /// Opportunistic: called after each growth; `MapTable::drop` sweeps
+    /// whatever is left.
+    fn reclaim(&self) {
+        let mut retired = self.retired.lock().unwrap();
+        retired.retain(|r| {
+            let p = &*r.desc as *const MapDesc as *mut MapDesc;
+            let pinned = self
+                .slots
+                .iter()
+                .any(|s| s.pinned.load(Ordering::SeqCst) == p);
+            if !pinned && r.unmap {
+                // SAFETY: the descriptor left `current` at retire time and
+                // the scan above saw no announcement of it, so no present
+                // or future reader can reference this mapping.
+                unsafe { mmap::raw::unmap(r.desc.raw.base, r.desc.map_len) };
+            }
+            pinned
+        });
+    }
+
+    /// Non-Unix growth only: waits until every hazard slot is clear. New
+    /// pins are held off by the `growing` gate, so this terminates.
+    #[cfg(not(unix))]
+    fn drain_readers(&self) {
+        for slot in self.slots.iter() {
+            while !slot.pinned.load(Ordering::Acquire).is_null() {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Drop for MapTable {
+    fn drop(&mut self) {
+        // Exclusive access: no pins can exist anymore. The current
+        // generation always owns its base; retired ones only when their
+        // `unmap` flag says so.
+        // SAFETY: `current` is always a live Box::into_raw pointer.
+        let cur = unsafe { Box::from_raw(*self.current.get_mut()) };
+        // SAFETY: the current generation's base/map_len name exactly one
+        // live mapping, and nothing references it after this drop.
+        unsafe { mmap::raw::unmap(cur.raw.base, cur.map_len) };
+        for r in self.retired.get_mut().unwrap().drain(..) {
+            if r.unmap {
+                // SAFETY: as above, for a moved-aside retired mapping.
+                unsafe { mmap::raw::unmap(r.desc.raw.base, r.desc.map_len) };
+            }
+        }
+    }
+}
+
+/// A pinned per-operation view of the mapping — what the old mapping
+/// `RwLock` read guard used to be, now wait-free. Derefs to [`RawMap`]
+/// for all accessors; dropping releases the hazard slot.
+struct Map<'a> {
+    raw: RawMap,
+    pool: &'a FilePool,
+    slot: Option<usize>,
+}
+
+impl Map<'_> {
+    /// Synchronously writes `[offset, offset + len)` of the mapping
+    /// (mapping-relative, header included) back to the file.
+    fn msync(&self, offset: usize, len: usize) -> io::Result<()> {
+        self.pool.msync_raw(&self.raw, offset, len)
+    }
+}
+
+impl std::ops::Deref for Map<'_> {
+    type Target = RawMap;
+    fn deref(&self) -> &RawMap {
+        &self.raw
+    }
+}
+
+impl Drop for Map<'_> {
+    fn drop(&mut self) {
+        if let Some(idx) = self.slot {
+            self.pool.maps.unpin(idx);
         }
     }
 }
 
 /// The file-backed pool. See the [module docs](self).
 pub struct FilePool {
-    /// Mapping lock: shared for every pool operation, exclusive while a
-    /// growth swaps the mapping (the stop-the-world guard).
-    state: RwLock<MapState>,
+    /// The lock-free mapping table: current generation, hazard slots,
+    /// retirement list.
+    maps: MapTable,
     file: File,
     path: PathBuf,
     policy: SyncPolicy,
@@ -565,9 +857,9 @@ impl FilePool {
             .truncate(true)
             .open(&path)?;
         file.set_len((HEADER_LEN + size) as u64)?;
-        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
+        let base = mmap::raw::map(&file, HEADER_LEN + size)?;
         let pool = FilePool {
-            state: RwLock::new(MapState { map, size }),
+            maps: MapTable::new(base, HEADER_LEN + size, size, config.grow_step == 0),
             file,
             path,
             policy: config.sync,
@@ -576,7 +868,7 @@ impl FilePool {
             pending: new_pending(),
         };
         pool.write_header(size);
-        pool.state().map.msync(0, HEADER_LEN)?;
+        pool.map().msync(0, HEADER_LEN)?;
         Ok(pool)
     }
 
@@ -613,19 +905,19 @@ impl FilePool {
                 file_len
             )));
         }
-        // Map the header page first: geometry must be validated before the
+        // Read the header page first: geometry must be validated before the
         // pool size is trusted for the full mapping.
-        let header_map = MmapRegion::map(&file, HEADER_LEN)?;
-        let header =
-            // SAFETY: the mapping is at least HEADER_LEN bytes.
-            unsafe { std::slice::from_raw_parts(header_map.as_ptr(), HEADER_LEN) };
-        let (geometry, journal_pending) = validate_header(header, file_len, &path)?;
-        drop(header_map);
+        let mut header = vec![0u8; HEADER_LEN];
+        {
+            use std::io::Read;
+            (&file).read_exact(&mut header)?;
+        }
+        let (geometry, journal_pending) = validate_header(&header, file_len, &path)?;
 
         let size = geometry.pool_size;
-        let map = MmapRegion::map(&file, HEADER_LEN + size)?;
+        let base = mmap::raw::map(&file, HEADER_LEN + size)?;
         let pool = FilePool {
-            state: RwLock::new(MapState { map, size }),
+            maps: MapTable::new(base, HEADER_LEN + size, size, grow_step == 0),
             file,
             path,
             policy: sync,
@@ -636,8 +928,10 @@ impl FilePool {
         if journal_pending {
             pool.roll_forward_grow();
         }
-        pool.state().set_flags(false); // dirty while open
-        pool.state().map.msync(0, HEADER_LEN)?;
+        let map = pool.map();
+        map.set_flags(false); // dirty while open
+        map.msync(0, HEADER_LEN)?;
+        drop(map);
         Ok(pool)
     }
 
@@ -691,9 +985,53 @@ impl FilePool {
     /// The committed growth epoch: how many growths have reached their
     /// commit point over this pool file's lifetime (`0` = never grown).
     pub fn growth_epoch(&self) -> u32 {
-        self.state()
-            .header_u32(H_GROW_EPOCH)
-            .load(Ordering::Acquire)
+        self.map().header_u32(H_GROW_EPOCH).load(Ordering::Acquire)
+    }
+
+    /// A direct-pointer view of the pool space (see [`pmem::MapRef`]).
+    ///
+    /// On an elastic pool the view holds a hazard pin: it stays valid
+    /// across concurrent growth (the replaced mapping is not unmapped
+    /// until the view drops), but offsets allocated *after* a growth may
+    /// exceed its pinned bounds — drop and re-take the view to observe the
+    /// grown mapping. On a fixed-size pool (`grow_step == 0`) the mapping
+    /// is immutable, so the view is unpinned and free to hold: the
+    /// zero-synchronization direct path.
+    ///
+    /// ```
+    /// use pmem::PoolBackend;
+    /// use store::{FileConfig, FilePool};
+    ///
+    /// let path = std::env::temp_dir().join(format!("mapref-doc-{}.pool", std::process::id()));
+    /// // Default FileConfig: grow_step == 0, the direct path.
+    /// let pool = FilePool::create(&path, FileConfig::with_size(4 << 20))?.into_pool();
+    /// let off = pool.alloc_raw(64, 64);
+    /// pool.store_u64(off, 7);
+    ///
+    /// let view = pool.map_ref().expect("file pools expose their mapping");
+    /// assert!(!view.is_pinned(), "grow_step == 0 hands out the unpinned direct path");
+    /// assert_eq!(view.atomic_u64(off).load(std::sync::atomic::Ordering::Acquire), 7);
+    ///
+    /// drop(view);
+    /// drop(pool);
+    /// std::fs::remove_file(&path)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn map_ref(&self) -> pmem::MapRef<'_> {
+        let map = self.map();
+        let (raw, slot) = (map.raw, map.slot);
+        std::mem::forget(map); // keep the pin; MapRef::drop releases it
+                               // SAFETY: the mapping stays valid until the pin is released — or,
+                               // on the unpinned direct path, for the pool's whole lifetime,
+                               // which the returned borrow of `self` covers. Pool offset 0 is the
+                               // first byte after the header.
+        unsafe {
+            pmem::MapRef::new(
+                raw.base.add(HEADER_LEN),
+                raw.size,
+                slot.map(|s| (self as &dyn MapPin, s)),
+            )
+        }
     }
 
     /// Wraps this backend in an [`Arc<PmemPool>`] — the handle every queue
@@ -725,20 +1063,25 @@ impl FilePool {
     /// at least the configured growth step. Returns `Ok(true)` when the pool
     /// now holds `min_len` bytes (including when a concurrent growth already
     /// got there), `Ok(false)` when it cannot (growth disabled, or `min_len`
-    /// exceeds the 32-bit offset ceiling). The protocol — stop the world,
-    /// `ftruncate`, remap, journaled header commit — is described in the
-    /// [module docs](self#elastic-growth); a crash at any point recovers to
-    /// either the old or the new size with no allocation lost.
+    /// exceeds the 32-bit offset ceiling). The protocol — `ftruncate`,
+    /// journaled header commit, `mremap` + epoch-retired publish — is
+    /// described in the [module docs](self#elastic-growth); readers are
+    /// never blocked, and a crash at any point recovers to either the old
+    /// or the new size with no allocation lost.
     pub fn grow_to(&self, min_len: usize) -> io::Result<bool> {
-        let mut state = self.state.write().unwrap();
-        if state.size >= min_len {
+        let _grow = self.maps.grow.lock().unwrap();
+        // SAFETY: only the growth-lock holder retires descriptors, so the
+        // current one stays alive (and current) for this whole scope.
+        let cur = unsafe { &*self.maps.current.load(Ordering::Acquire) };
+        let old_size = cur.raw.size;
+        if old_size >= min_len {
             return Ok(true); // a concurrent growth already satisfied us
         }
         if self.grow_step == 0 {
             return Ok(false);
         }
         let target = min_len
-            .max(state.size.saturating_add(self.grow_step))
+            .max(old_size.saturating_add(self.grow_step))
             .min(MAX_POOL_SIZE);
         let new_size = layout::align_up(target as u32, CACHE_LINE as u32) as usize;
         if new_size < min_len {
@@ -751,25 +1094,16 @@ impl FilePool {
         self.file.sync_all()?;
         grow_abort_point("DQ_GROW_ABORT_AFTER_TRUNCATE");
 
-        // 2. Remap: map the new length alongside the old mapping, then
-        //    retire the old one. The write lock is the stop-the-world
-        //    guard — no thread holds a pointer into the old mapping.
-        #[cfg(not(unix))]
-        state.map.msync(0, HEADER_LEN + state.size)?;
-        let new_map = MmapRegion::map(&self.file, HEADER_LEN + new_size)?;
-        state.map = new_map; // the old mapping is unmapped on drop
-        state.size = new_size;
-
-        // 3. Compose the commit: the grow record, plus the minor-version
+        // 2. Compose the commit: the grow record, plus the minor-version
         //    bump (with its re-covered geometry CRC) that makes pre-growth
         //    readers reject the file rather than ignore the grown space.
         let version = FORMAT_VERSION | (FORMAT_MINOR << 16);
         let mut geo = [0u8; GEO_LEN];
-        geo.copy_from_slice(state.header_bytes(0..GEO_LEN));
+        geo.copy_from_slice(cur.raw.header_bytes(0..GEO_LEN));
         geo[H_VERSION..H_VERSION + 4].copy_from_slice(&version.to_le_bytes());
         let mut grow = [0u8; 12];
         grow[0..8].copy_from_slice(&(new_size as u64).to_le_bytes());
-        let epoch = state.header_u32(H_GROW_EPOCH).load(Ordering::Acquire) + 1;
+        let epoch = cur.raw.header_u32(H_GROW_EPOCH).load(Ordering::Acquire) + 1;
         grow[8..12].copy_from_slice(&epoch.to_le_bytes());
         let commit = GrowCommit {
             version,
@@ -779,76 +1113,177 @@ impl FilePool {
             grow_crc: crc32(&grow),
         };
 
-        // 3a. Journal record — the durable commit point. Once this is
-        //     persistent the growth happened; before, it did not.
+        // 3. Journal record — the durable commit point — persisted through
+        //    the still-published old mapping, strictly *before* the larger
+        //    size becomes visible to allocators: the watermark is
+        //    persisted eagerly on every allocation, so space above the old
+        //    ceiling must never be handed out ahead of the record that
+        //    makes the new size survive a crash.
         let record = commit.to_bytes();
         for (i, chunk) in record.chunks(8).enumerate() {
-            state.header_u64(H_JOURNAL + i * 8).store(
+            cur.raw.header_u64(H_JOURNAL + i * 8).store(
                 u64::from_le_bytes(chunk.try_into().unwrap()),
                 Ordering::Release,
             );
         }
-        state.header_u32(H_JOURNAL + 24).store(
-            crc32(state.header_bytes(H_JOURNAL..H_JOURNAL + 24)),
+        cur.raw.header_u32(H_JOURNAL + 24).store(
+            crc32(cur.raw.header_bytes(H_JOURNAL..H_JOURNAL + 24)),
             Ordering::Release,
         );
-        state.persist_header(self.policy);
+        self.persist_header(&cur.raw);
         grow_abort_point("DQ_GROW_ABORT_AFTER_COMMIT");
 
-        // 3b. Home fields (idempotent with open's journal roll-forward),
-        //     then retire the journal.
-        Self::write_grow_home(&state, commit, self.policy);
+        // 4. Home fields (idempotent with open's journal roll-forward),
+        //    then retire the journal — still through the old mapping.
+        self.write_grow_home(&cur.raw, commit);
+
+        // 5. Remap and publish. Mapping retirement happens strictly after
+        //    the commit point, so reclamation can never delay it. Should
+        //    the remap itself fail, the growth is already durably
+        //    committed on disk but unpublished: this session keeps serving
+        //    the old size and a reopen sees the new one.
+        let new_map_len = HEADER_LEN + new_size;
+        #[cfg(unix)]
+        {
+            // Common case: extend the mapping in place — same base, no
+            // second VA range, concurrent readers never notice. Fallback:
+            // duplicate the shared mapping (mremap old_size == 0 on Linux,
+            // a second mmap of the same pages elsewhere); the old mapping
+            // stays intact for still-pinned readers and is epoch-retired.
+            let extended =
+                unsafe { mmap::raw::extend_in_place(cur.raw.base, cur.map_len, new_map_len) };
+            let (base, in_place) = if extended {
+                (cur.raw.base, true)
+            } else {
+                (
+                    // SAFETY: `cur` is the live mapping of this pool's file,
+                    // which step 1 extended past new_map_len bytes.
+                    unsafe { mmap::raw::remap_dup(&self.file, cur.raw.base, new_map_len)? },
+                    false,
+                )
+            };
+            self.maps.install(
+                Box::new(MapDesc {
+                    raw: RawMap {
+                        base,
+                        size: new_size,
+                    },
+                    map_len: new_map_len,
+                }),
+                !in_place,
+            );
+        }
+        #[cfg(not(unix))]
+        {
+            // The heap-buffer stand-in is not coherent across two buffers,
+            // so the fallback platform briefly gates new pins, drains the
+            // hazard slots, writes the old buffer back and re-reads it at
+            // the new length. Unix never takes this path.
+            self.maps.growing.store(true, Ordering::Release);
+            self.maps.drain_readers();
+            let remapped = self
+                .msync_raw(&cur.raw, 0, HEADER_LEN + old_size)
+                .and_then(|()| mmap::raw::map(&self.file, new_map_len));
+            let base = match remapped {
+                Ok(base) => base,
+                Err(e) => {
+                    self.maps.growing.store(false, Ordering::Release);
+                    return Err(e);
+                }
+            };
+            self.maps.install(
+                Box::new(MapDesc {
+                    raw: RawMap {
+                        base,
+                        size: new_size,
+                    },
+                    map_len: new_map_len,
+                }),
+                true,
+            );
+            self.maps.growing.store(false, Ordering::Release);
+        }
+        self.maps.reclaim();
         Ok(true)
     }
 
     /// Writes a grow commit's five home fields and clears the journal; the
     /// tail of [`grow_to`](Self::grow_to) and of the roll-forward in `open`.
-    fn write_grow_home(state: &MapState, commit: GrowCommit, policy: SyncPolicy) {
-        state
-            .header_u32(H_VERSION)
+    fn write_grow_home(&self, raw: &RawMap, commit: GrowCommit) {
+        raw.header_u32(H_VERSION)
             .store(commit.version, Ordering::Release);
-        state
-            .header_u32(H_GEO_CRC)
+        raw.header_u32(H_GEO_CRC)
             .store(commit.geo_crc, Ordering::Release);
-        state
-            .header_u64(H_GROWN_SIZE)
+        raw.header_u64(H_GROWN_SIZE)
             .store(commit.grown_size, Ordering::Release);
-        state
-            .header_u32(H_GROW_EPOCH)
+        raw.header_u32(H_GROW_EPOCH)
             .store(commit.grow_epoch, Ordering::Release);
-        state
-            .header_u32(H_GROW_CRC)
+        raw.header_u32(H_GROW_CRC)
             .store(commit.grow_crc, Ordering::Release);
-        state.persist_header(policy);
+        self.persist_header(raw);
         for off in (H_JOURNAL..H_JOURNAL + JOURNAL_LEN).step_by(8) {
-            state.header_u64(off).store(0, Ordering::Release);
+            raw.header_u64(off).store(0, Ordering::Release);
         }
-        state.persist_header(policy);
+        self.persist_header(raw);
     }
 
     /// Rolls a journaled-but-not-home-written growth forward (open path;
     /// the crash landed between the commit point and the home rewrite).
     fn roll_forward_grow(&self) {
-        let state = self.state();
-        let commit = read_journal(state.header_bytes(0..HEADER_LEN))
+        let map = self.map();
+        let commit = read_journal(map.header_bytes(0..HEADER_LEN))
             .expect("roll_forward_grow called without a valid journal");
-        Self::write_grow_home(&state, commit, self.policy);
+        self.write_grow_home(&map, commit);
     }
 
     // ------------------------------------------------------------------
     // Raw access helpers
     // ------------------------------------------------------------------
 
-    /// Shared access to the mapping (the per-operation fast path; a growth
-    /// in progress blocks here until the new mapping is committed).
+    /// Pins the current mapping for one operation — the wait-free fast
+    /// path (one relaxed load on fixed-size pools, a hazard announcement
+    /// on elastic ones; see [`MapTable::pin`]).
     #[inline]
-    fn state(&self) -> RwLockReadGuard<'_, MapState> {
-        self.state.read().unwrap()
+    fn map(&self) -> Map<'_> {
+        let (raw, slot) = self.maps.pin();
+        Map {
+            raw,
+            pool: self,
+            slot,
+        }
+    }
+
+    /// Synchronously writes `[offset, offset + len)` of `raw`'s mapping
+    /// (mapping-relative, header included) back to the file.
+    fn msync_raw(&self, raw: &RawMap, offset: usize, len: usize) -> io::Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        assert!(
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= HEADER_LEN + raw.size),
+            "msync range out of bounds"
+        );
+        // SAFETY: bounds-checked against the pinned view, whose mapping is
+        // live for at least HEADER_LEN + size bytes.
+        unsafe { mmap::raw::msync(&self.file, raw.base, offset, len) }
+    }
+
+    /// Durably persists the header page when the policy demands it (rare
+    /// path: watermark movement, root-slot writes, clean/dirty marking,
+    /// growth commits).
+    fn persist_header(&self, raw: &RawMap) {
+        // SAFETY: the header page is valid readable memory.
+        unsafe { pmem::hw::persist_range(raw.base, HEADER_LEN) };
+        if self.policy == SyncPolicy::PowerFail {
+            let _ = self.msync_raw(raw, 0, HEADER_LEN);
+        }
     }
 
     /// Fills in a fresh header (create path; the mapping is zeroed).
     fn write_header(&self, size: usize) {
-        let state = self.state();
+        let state = self.map();
         state.header_u64(H_MAGIC).store(MAGIC, Ordering::Relaxed);
         state
             .header_u32(H_VERSION)
@@ -890,12 +1325,20 @@ impl Drop for FilePool {
     /// Orderly close: full durability barrier, then mark the header clean.
     /// A killed process never gets here, leaving the dirty flag set.
     fn drop(&mut self) {
-        let state = self.state.get_mut().unwrap();
-        let _ = state.map.msync(0, HEADER_LEN + state.size);
+        // SAFETY: &mut self — no pins exist; the current descriptor is
+        // live until MapTable::drop unmaps it after this body.
+        let raw = unsafe { (*self.maps.current.load(Ordering::Acquire)).raw };
+        let _ = self.msync_raw(&raw, 0, HEADER_LEN + raw.size);
         let _ = self.file.sync_all();
-        state.set_flags(true);
-        let _ = state.map.msync(0, HEADER_LEN);
+        raw.set_flags(true);
+        let _ = self.msync_raw(&raw, 0, HEADER_LEN);
         let _ = self.file.sync_all();
+    }
+}
+
+impl MapPin for FilePool {
+    fn unpin_map(&self, token: usize) {
+        self.maps.unpin(token);
     }
 }
 
@@ -905,39 +1348,39 @@ impl PoolBackend for FilePool {
     }
 
     fn len(&self) -> usize {
-        self.state().size
+        self.maps.size()
     }
 
     #[inline]
     fn load_u64(&self, off: u32) -> u64 {
-        self.state().word(off).load(Ordering::Acquire)
+        self.map().word(off).load(Ordering::Acquire)
     }
 
     #[inline]
     fn store_u64(&self, off: u32, val: u64) {
-        self.state().word(off).store(val, Ordering::Release)
+        self.map().word(off).store(val, Ordering::Release)
     }
 
     #[inline]
     fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
-        self.state()
+        self.map()
             .word(off)
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
     #[inline]
     fn fetch_add_u64(&self, off: u32, val: u64) -> u64 {
-        self.state().word(off).fetch_add(val, Ordering::AcqRel)
+        self.map().word(off).fetch_add(val, Ordering::AcqRel)
     }
 
     #[inline]
     fn swap_u64(&self, off: u32, val: u64) -> u64 {
-        self.state().word(off).swap(val, Ordering::AcqRel)
+        self.map().word(off).swap(val, Ordering::AcqRel)
     }
 
     #[inline]
     fn flush(&self, tid: usize, off: u32) {
-        let state = self.state();
+        let state = self.map();
         state.check_bounds(off, 8);
         // SAFETY: the line containing `off` is inside the mapping.
         unsafe { pmem::hw::clflush(state.addr(off)) };
@@ -959,16 +1402,16 @@ impl PoolBackend for FilePool {
             pages.sort_unstable();
             pages.dedup();
             let page = page_size();
-            let state = self.state();
+            let state = self.map();
             for p in pages {
-                let _ = state.map.msync(p * page, page);
+                let _ = state.msync(p * page, page);
             }
         }
     }
 
     #[inline]
     fn nt_store_u64(&self, tid: usize, off: u32, val: u64) {
-        let state = self.state();
+        let state = self.map();
         state.check_bounds(off, 8);
         // SAFETY: in bounds, 8-byte aligned; concurrent access to pool words
         // is atomic by contract (a racing movnti would be the caller's
@@ -982,21 +1425,21 @@ impl PoolBackend for FilePool {
     }
 
     fn persist_now(&self, off: u32) {
-        let state = self.state();
+        let state = self.map();
         state.check_bounds(off, 8);
         // SAFETY: the line containing `off` is inside the mapping.
         unsafe { pmem::hw::persist_range(state.addr(off), 8) };
         if self.policy == SyncPolicy::PowerFail {
             let page = page_size();
             let start = (HEADER_LEN + off as usize) & !(page - 1);
-            let _ = state.map.msync(start, page);
+            let _ = state.msync(start, page);
         }
     }
 
     fn zero_range(&self, off: u32, len: u32) {
         assert_eq!(off % 8, 0);
         assert_eq!(len % 8, 0);
-        let state = self.state();
+        let state = self.map();
         assert!(off as usize + len as usize <= state.size);
         for i in 0..(len / 8) {
             state.word(off + i * 8).store(0, Ordering::Release);
@@ -1004,11 +1447,11 @@ impl PoolBackend for FilePool {
     }
 
     fn watermark(&self) -> u32 {
-        self.state().header_u32(H_WATERMARK).load(Ordering::Acquire)
+        self.map().header_u32(H_WATERMARK).load(Ordering::Acquire)
     }
 
     fn cas_watermark(&self, current: u32, new: u32) -> Result<u32, u32> {
-        let state = self.state();
+        let state = self.map();
         let r = state.header_u32(H_WATERMARK).compare_exchange(
             current,
             new,
@@ -1020,10 +1463,10 @@ impl PoolBackend for FilePool {
             // areas); persist the moved watermark eagerly so a reopened pool
             // never re-hands-out reserved space.
             // SAFETY: the header page is valid readable memory.
-            unsafe { pmem::hw::clflush(state.map.as_ptr().add(H_WATERMARK)) };
+            unsafe { pmem::hw::clflush(state.base.add(H_WATERMARK)) };
             pmem::hw::sfence();
             if self.policy == SyncPolicy::PowerFail {
-                let _ = state.map.msync(0, HEADER_LEN);
+                let _ = state.msync(0, HEADER_LEN);
             }
         }
         r
@@ -1052,30 +1495,34 @@ impl PoolBackend for FilePool {
 
     fn root_u64(&self, slot: usize) -> u64 {
         debug_assert!(slot < ROOT_SLOTS);
-        self.state()
+        self.map()
             .header_u64(H_ROOTS + slot * 8)
             .load(Ordering::Acquire)
     }
 
     fn set_root_u64(&self, slot: usize, val: u64) {
         debug_assert!(slot < ROOT_SLOTS);
-        let state = self.state();
+        let state = self.map();
         state
             .header_u64(H_ROOTS + slot * 8)
             .store(val, Ordering::Release);
-        state.persist_header(self.policy);
+        self.persist_header(&state);
     }
 
     fn sync(&self) {
-        let state = self.state();
-        let _ = state.map.msync(0, HEADER_LEN + state.size);
+        let state = self.map();
+        let _ = state.msync(0, HEADER_LEN + state.size);
         let _ = self.file.sync_all();
     }
 
     fn mark_clean(&self, clean: bool) {
-        let state = self.state();
+        let state = self.map();
         state.set_flags(clean);
-        let _ = state.map.msync(0, HEADER_LEN);
+        let _ = state.msync(0, HEADER_LEN);
+    }
+
+    fn map_ref(&self) -> Option<pmem::MapRef<'_>> {
+        Some(FilePool::map_ref(self))
     }
 }
 
@@ -1573,8 +2020,8 @@ mod tests {
     #[test]
     fn growth_is_safe_under_concurrent_traffic() {
         // Writers hammer already-allocated words while other threads force
-        // repeated growths: the stop-the-world remap must never lose a
-        // committed store or hand out overlapping space.
+        // repeated growths: the remap-and-retire protocol must never lose
+        // a committed store or hand out overlapping space.
         let path = temp_path("grow-race");
         let pool = FilePool::create(
             &path,

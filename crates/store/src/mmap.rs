@@ -49,6 +49,19 @@ mod sys {
         pub fn msync(addr: *mut c_void, len: usize, flags: i32) -> i32;
         pub fn getpagesize() -> i32;
     }
+
+    #[cfg(target_os = "linux")]
+    pub const MREMAP_MAYMOVE: i32 = 1;
+
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        pub fn mremap(
+            old_address: *mut c_void,
+            old_size: usize,
+            new_size: usize,
+            flags: i32,
+        ) -> *mut c_void;
+    }
 }
 
 /// The system page size (granularity of [`MmapRegion::msync`] rounding).
@@ -169,6 +182,203 @@ impl MmapRegion {
             f.write_all(buf)?;
             f.flush()
         }
+    }
+}
+
+/// Unowned mapping primitives for `file_pool`'s epoch-retired mapping
+/// table, which manages mapping lifetimes itself (a replaced mapping must
+/// outlive the last reader pinned on it, so RAII ownership à la
+/// [`MmapRegion`] is the wrong shape there).
+///
+/// On Unix these are thin wrappers over `mmap`/`munmap`/`msync`, plus the
+/// two Linux `mremap` forms growth uses: in-place extension (base pointer
+/// unchanged, no second VA range) and shared-mapping duplication (the old
+/// mapping stays intact for still-pinned readers). On non-Unix platforms
+/// the same API is backed by page-aligned heap buffers with explicit file
+/// write-back, exactly like the [`MmapRegion`] stand-in.
+pub(crate) mod raw {
+    use super::page_size;
+    use std::fs::File;
+    use std::io;
+
+    /// Maps the leading `len` bytes of `file`, shared and read-write.
+    pub fn map(file: &File, len: usize) -> io::Result<*mut u8> {
+        assert!(len > 0, "cannot map an empty region");
+        #[cfg(unix)]
+        {
+            use super::sys;
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid open file descriptor; len > 0; a shared
+            // file mapping has no other preconditions.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ | sys::PROT_WRITE,
+                    sys::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(ptr as *mut u8)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let layout = buf_layout(len)?;
+            // SAFETY: layout has non-zero size.
+            let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+            if ptr.is_null() {
+                return Err(io::Error::new(io::ErrorKind::OutOfMemory, "alloc failed"));
+            }
+            let mut f = file.try_clone()?;
+            f.seek(SeekFrom::Start(0))?;
+            // SAFETY: ptr is valid for len bytes, exclusively owned here.
+            let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            f.read_exact(buf)?;
+            Ok(ptr)
+        }
+    }
+
+    /// Releases a mapping created by [`map`] (or [`remap_dup`], or extended
+    /// in place to `len` bytes).
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must name exactly one live mapping from this module, and
+    /// nothing may reference it afterwards.
+    pub unsafe fn unmap(ptr: *mut u8, len: usize) {
+        #[cfg(unix)]
+        // SAFETY: per the caller contract.
+        unsafe {
+            super::sys::munmap(ptr as *mut std::ffi::c_void, len);
+        }
+        #[cfg(not(unix))]
+        // SAFETY: allocated with exactly this layout in `map`/`remap_dup`.
+        unsafe {
+            std::alloc::dealloc(ptr, buf_layout(len).unwrap());
+        }
+    }
+
+    /// Synchronously writes the pages of `[offset, offset + len)` (rounded
+    /// out to page boundaries) back to the file. `file` is the backing file
+    /// — unused on Unix, where the kernel knows it from the mapping.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be a live mapping covering `offset + len` bytes.
+    pub unsafe fn msync(file: &File, base: *mut u8, offset: usize, len: usize) -> io::Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        #[cfg(unix)]
+        {
+            let _ = file;
+            let page = page_size();
+            let start = offset & !(page - 1);
+            let end = offset + len;
+            // SAFETY: [start, end) is page-rounded and, per the caller
+            // contract, inside the mapping.
+            let rc = unsafe {
+                super::sys::msync(
+                    base.add(start) as *mut std::ffi::c_void,
+                    end - start,
+                    super::sys::MS_SYNC,
+                )
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let _ = page_size();
+            let mut f = file.try_clone()?;
+            f.seek(SeekFrom::Start(offset as u64))?;
+            // SAFETY: in-bounds read of the caller's buffer.
+            let buf = unsafe { std::slice::from_raw_parts(base.add(offset), len) };
+            f.write_all(buf)?;
+            f.flush()
+        }
+    }
+
+    /// Attempts to extend a live mapping from `old_len` to `new_len` bytes
+    /// **without moving its base** (Linux `mremap` with no flags). Returns
+    /// `true` on success — the common, cheapest growth path: readers keep
+    /// using the same base pointer and no second VA range ever exists.
+    /// Always `false` off Linux.
+    ///
+    /// # Safety
+    ///
+    /// `base`/`old_len` must name a live mapping from this module; the
+    /// backing file must already be at least `new_len` bytes long.
+    pub unsafe fn extend_in_place(base: *mut u8, old_len: usize, new_len: usize) -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            // SAFETY: per the caller contract; without MREMAP_MAYMOVE the
+            // kernel either extends at the same address or fails cleanly.
+            let ptr =
+                unsafe { super::sys::mremap(base as *mut std::ffi::c_void, old_len, new_len, 0) };
+            ptr as *mut u8 == base && ptr as isize != -1
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = (base, old_len, new_len);
+            false
+        }
+    }
+
+    /// Creates a **second** mapping of the file, `new_len` bytes long,
+    /// leaving the old mapping at `base` fully intact — the growth path
+    /// when in-place extension fails. On Linux this is
+    /// `mremap(base, 0, new_len, MREMAP_MAYMOVE)`: with `old_size == 0` on
+    /// a shared mapping the kernel *duplicates* instead of moving, which
+    /// needs no second walk of the file and is why still-pinned readers of
+    /// the old mapping stay valid. Elsewhere it falls back to a fresh
+    /// `mmap` of the same file (same pages via the page cache, so the two
+    /// mappings are coherent), or to alloc-and-read on non-Unix (the caller
+    /// must have written the old buffer back first).
+    ///
+    /// # Safety
+    ///
+    /// `base` must name a live shared mapping of `file` from this module;
+    /// the file must already be at least `new_len` bytes long.
+    pub unsafe fn remap_dup(file: &File, base: *mut u8, new_len: usize) -> io::Result<*mut u8> {
+        #[cfg(target_os = "linux")]
+        {
+            // SAFETY: per the caller contract; old_size 0 + MAYMOVE
+            // duplicates a shared mapping without touching the original.
+            let ptr = unsafe {
+                super::sys::mremap(
+                    base as *mut std::ffi::c_void,
+                    0,
+                    new_len,
+                    super::sys::MREMAP_MAYMOVE,
+                )
+            };
+            if ptr as isize != -1 {
+                return Ok(ptr as *mut u8);
+            }
+            // Old kernels may refuse the duplication form; a plain second
+            // mapping of the file is equivalent (same page-cache pages).
+            map(file, new_len)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = base;
+            map(file, new_len)
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn buf_layout(len: usize) -> io::Result<std::alloc::Layout> {
+        std::alloc::Layout::from_size_align(len, 4096)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))
     }
 }
 

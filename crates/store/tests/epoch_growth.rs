@@ -1,0 +1,245 @@
+//! The lock-free mapping fast path under concurrent growth.
+//!
+//! `store::FilePool` publishes its mapping through an epoch/hazard scheme:
+//! readers pin the current mapping generation in a per-thread slot, growth
+//! publishes a new generation (`mremap`) and retires the old one, and a
+//! retired mapping is unmapped only once no slot references it. These tests
+//! attack the three claims that scheme makes:
+//!
+//! * **readers race growth safely** — threads hammer loads/stores/flushes
+//!   (and raw `MapRef` reads) while allocation pressure forces growth after
+//!   growth; no torn value, no lost store, no out-of-thin-air read,
+//! * **a `MapRef` outlives the mapping it pinned** — a view taken before a
+//!   growth still reads correct data afterwards, because retirement waits
+//!   for it, while growth itself never waits for pinned readers,
+//! * **retirement never delays the commit point** — a child process pins
+//!   readers *forever* and then grows; killed at the commit record, the
+//!   reopened pool still rolls the growth forward: the journal was durable
+//!   before retirement was even attempted.
+
+use pmem::PoolBackend;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use store::{FileConfig, FilePool, SyncPolicy};
+
+const ENV_DIR: &str = "STORE_EPOCH_PIN_CHILD_DIR";
+
+fn test_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "store-epoch-{tag}-{}-{:?}.pool",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Readers (pool ops and raw `MapRef` reads) race repeated growths. Every
+/// slot's value only ever increases, so any read through a wrong, stale or
+/// recycled mapping shows up as a non-monotonic or out-of-range value.
+#[test]
+fn readers_race_growth_without_stale_or_torn_reads() {
+    let path = test_path("race");
+    let pool = FilePool::create(
+        &path,
+        FileConfig::with_size(256 << 10).with_growth(64 << 10),
+    )
+    .unwrap()
+    .into_pool();
+    let slots: Vec<u32> = (0..4).map(|_| pool.alloc_raw(64, 64)).collect();
+    const ROUNDS: u64 = 4000;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writers: monotonically increasing values, flushed and fenced,
+        // plus allocation pressure so growths keep coming.
+        for (tid, &slot) in slots.iter().enumerate() {
+            let (pool, stop) = (&pool, &stop);
+            scope.spawn(move || {
+                for i in 1..=ROUNDS {
+                    pool.store_u64(slot, i);
+                    pool.flush(tid, slot);
+                    pool.sfence(tid);
+                    if i % 100 == 0 {
+                        let off = pool.alloc_raw(4096, 64);
+                        pool.store_u64(off, i);
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        // Readers: per-op pins via load_u64, plus held pins via map_ref —
+        // both must only ever observe monotonically increasing values.
+        for r in 0..4 {
+            let (pool, stop, slots) = (&pool, &stop, &slots);
+            scope.spawn(move || {
+                let mut last = vec![0u64; slots.len()];
+                while !stop.load(Ordering::Acquire) {
+                    for (j, &slot) in slots.iter().enumerate() {
+                        let v = if r % 2 == 0 {
+                            pool.load_u64(slot)
+                        } else {
+                            let view = pool.map_ref().expect("file pool exposes its mapping");
+                            assert!(view.is_pinned(), "elastic pools must pin");
+                            view.atomic_u64(slot).load(Ordering::Acquire)
+                        };
+                        assert!(
+                            v >= last[j] && v <= ROUNDS,
+                            "slot {j} went backwards or out of range: {} -> {v}",
+                            last[j]
+                        );
+                        last[j] = v;
+                    }
+                }
+            });
+        }
+    });
+    for &slot in &slots {
+        assert_eq!(pool.load_u64(slot), ROUNDS);
+    }
+    assert!(
+        pool.growth_epoch() >= 2,
+        "the race must have grown the pool repeatedly, got epoch {}",
+        pool.growth_epoch()
+    );
+    drop(pool);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A `MapRef` taken before a growth pins its mapping generation: the view
+/// keeps its pre-growth bounds and data, growth publishes the larger
+/// mapping around it without waiting, and a fresh view sees the new size.
+/// Unix-only: the non-Unix heap-buffer fallback deliberately drains pinned
+/// readers before swapping buffers, so a held view there blocks growth.
+#[cfg(unix)]
+#[test]
+fn a_map_ref_held_across_growth_stays_valid_and_never_blocks_it() {
+    let path = test_path("pin");
+    let pool = FilePool::create(
+        &path,
+        FileConfig::with_size(256 << 10).with_growth(256 << 10),
+    )
+    .unwrap();
+    let off = {
+        // Reserve one word through the backend's own watermark protocol.
+        let w = pool.watermark();
+        pool.cas_watermark(w, w + 64).unwrap();
+        w
+    };
+    pool.store_u64(off, 0xA11A);
+    let old_len = pool.len();
+
+    // Readers pin views and hold them across the growth; the grower must
+    // not wait for them (a wait would deadlock this single test thread's
+    // barrier-free structure below — growth runs on the pinning thread).
+    let view = pool.map_ref();
+    assert!(view.is_pinned());
+    assert_eq!(view.len(), old_len);
+    // Nested pool ops under the held view reuse the same hazard slot.
+    assert_eq!(pool.load_u64(off), 0xA11A);
+
+    for _ in 0..3 {
+        let want = pool.len() + 1;
+        assert!(pool.grow_to(want).unwrap(), "growth with a pinned reader");
+    }
+    assert!(pool.len() > old_len);
+    assert_eq!(pool.growth_epoch(), 3);
+
+    // The held view still reads the pre-growth generation correctly...
+    assert_eq!(view.len(), old_len, "a pinned view keeps its bounds");
+    assert_eq!(view.atomic_u64(off).load(Ordering::Acquire), 0xA11A);
+    // ...and stays coherent with writes made through the grown pool (both
+    // generations map the same file pages).
+    pool.store_u64(off, 0xB22B);
+    assert_eq!(view.atomic_u64(off).load(Ordering::Acquire), 0xB22B);
+    drop(view);
+
+    let fresh = pool.map_ref();
+    assert_eq!(fresh.len(), pool.len(), "a fresh view sees the grown size");
+    assert_eq!(fresh.atomic_u64(off).load(Ordering::Acquire), 0xB22B);
+    drop(fresh);
+
+    drop(pool);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Hidden child entry point for the retirement-vs-commit round: pins
+/// reader views that are never released, then grows. The parent sets
+/// `DQ_GROW_ABORT_AFTER_COMMIT`, so the process dies at the journal's
+/// persist — before the new mapping is published and before retirement of
+/// the old one is even attempted.
+#[test]
+fn epoch_pin_child_entry() {
+    let Ok(dir) = std::env::var(ENV_DIR) else {
+        return;
+    };
+    let pool = Arc::new(
+        FilePool::create(
+            Path::new(&dir).join("pool.dq"),
+            FileConfig::with_size(256 << 10).with_growth(256 << 10),
+        )
+        .expect("child: create pool"),
+    );
+    // Four reader threads pin the mapping and hold the pin forever.
+    let pinned = Arc::new(Barrier::new(5));
+    for _ in 0..4 {
+        let (pool, pinned) = (Arc::clone(&pool), Arc::clone(&pinned));
+        std::thread::spawn(move || {
+            let view = pool.map_ref();
+            assert!(view.is_pinned());
+            pinned.wait();
+            loop {
+                std::thread::park(); // hold the pin until the abort
+            }
+        });
+    }
+    pinned.wait();
+    // All four pins are announced. The growth must reach (and die at) its
+    // commit point regardless — if retirement gated the commit, this call
+    // would instead spin on the pinned slots and the parent would time out
+    // waiting for the abort.
+    let want = pool.len() + 1;
+    let _ = pool.grow_to(want);
+    unreachable!("DQ_GROW_ABORT_AFTER_COMMIT must abort inside grow_to");
+}
+
+/// The SIGKILL round: with readers pinned forever, the growth's journal
+/// record still commits durably (the child dies exactly there), and a
+/// reopen rolls it forward — retirement never delays the commit point.
+#[test]
+fn pinned_readers_never_delay_the_grow_commit_point() {
+    let dir = std::env::temp_dir().join(format!(
+        "store-epoch-commit-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["epoch_pin_child_entry", "--exact", "--nocapture"])
+        .env(ENV_DIR, &dir)
+        .env("DQ_GROW_ABORT_AFTER_COMMIT", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn epoch pin child");
+    assert!(
+        !status.success(),
+        "the abort point must have fired: {status}"
+    );
+
+    // The journal record was persisted with four readers pinned: the
+    // commit happened, retirement did not — and recovery honours it.
+    let geo = FilePool::read_geometry(dir.join("pool.dq")).unwrap();
+    assert_eq!(geo.growth_epoch, 1, "commit point reached despite pins");
+    assert!(
+        geo.pool_size >= geo.base_size + (256 << 10),
+        "journaled growth recovers to the new size"
+    );
+    let pool =
+        FilePool::open_with_growth(dir.join("pool.dq"), SyncPolicy::default(), 256 << 10).unwrap();
+    assert!(!pool.was_clean());
+    assert_eq!(pool.growth_epoch(), 1);
+    assert_eq!(pool.len(), geo.pool_size);
+    drop(pool);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -119,7 +119,40 @@ def check_restart(obj, ctx):
             raise SystemExit(f"{ctx}: bad reshard_kill.resolution {resolution!r}")
 
 
-CHECKERS = {"counts": check_counts, "shards": check_shards, "restart": check_restart}
+def check_fastpath(obj, ctx):
+    require(obj, "ops", is_num, "a number", ctx)
+    require(obj, "trials", is_num, "a number", ctx)
+    require(
+        obj,
+        "lock_free_fast_path",
+        lambda v: v is True,
+        "true (the epoch-scheme marker)",
+        ctx,
+    )
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("mode", *STR),
+            ("grow_step", *NUM),
+            ("load_ns", *NUM),
+            ("persist_ns", *NUM),
+            ("map_ref_ns", *NUM),
+        ],
+    )
+    modes = [row["mode"] for row in obj["rows"]]
+    if "direct" not in modes or "epoch" not in modes:
+        raise SystemExit(
+            f"{ctx}: fastpath needs both a 'direct' and an 'epoch' row, got {modes!r}"
+        )
+
+
+CHECKERS = {
+    "counts": check_counts,
+    "shards": check_shards,
+    "restart": check_restart,
+    "fastpath": check_fastpath,
+}
 
 
 def validate(path):

@@ -59,13 +59,19 @@ pub trait MapPin: Sync {
 ///   header (if any) is not addressable through a `MapRef`.
 /// * `len()` is the pool size *at pin time*. A concurrent growth may make
 ///   `PoolBackend::len` larger while this view is live; offsets handed out
-///   by such an allocation may exceed this view's bounds. Drop and re-pin
-///   to observe the grown mapping.
+///   by such an allocation may exceed this view's bounds, and this view's
+///   accessors panic on them. Drop and re-pin to observe the grown
+///   mapping. ([`PoolBackend`]'s own per-word operations are not so
+///   limited: called under a held view, they re-resolve the current
+///   mapping for offsets past the view's bounds.)
 /// * A `MapRef` is `!Send`/`!Sync` (it carries a raw pointer and a
 ///   thread-slot pin); keep it on the thread that created it and drop it
 ///   promptly — on backends that pin (see [`is_pinned`](Self::is_pinned)),
-///   a held `MapRef` delays reclamation of replaced mappings, and on the
-///   non-Unix fallback it can block a concurrent growth.
+///   a held `MapRef` delays reclamation of replaced mappings. On the
+///   non-Unix fallback it blocks growth from *other* threads, and a growth
+///   attempted by the holding thread itself (e.g. an allocation under the
+///   view that exhausts the pool) fails with an error instead of
+///   deadlocking.
 /// * On a fixed-size pool (`grow_step == 0` for the `store` file pool) the
 ///   mapping can never move, so the view is unpinned: creating and
 ///   dropping it is free, and holding it constrains nothing.
@@ -106,14 +112,23 @@ impl<'p> MapRef<'p> {
         self.pin.is_some()
     }
 
-    /// The mapped address of pool offset `off`. Panics if `off` is out of
-    /// bounds. Dereferencing is `unsafe` and subject to the pool's usual
-    /// contract (concurrently-written words must be accessed atomically —
-    /// see [`atomic_u64`](Self::atomic_u64)).
+    /// The mapped address of pool offset `off`, validated for an access
+    /// of `len` bytes: panics unless the whole span `[off, off + len)`
+    /// lies inside the view (`len` must be non-zero). Asserting only the
+    /// first byte would let a multi-byte access starting near the tail
+    /// run past the pinned mapping. Dereferencing is `unsafe` and subject
+    /// to the pool's usual contract (concurrently-written words must be
+    /// accessed atomically — see [`atomic_u64`](Self::atomic_u64)).
     #[inline]
-    pub fn addr(&self, off: u32) -> *mut u8 {
-        assert!((off as usize) < self.len, "MapRef offset out of bounds");
-        // SAFETY: in bounds of the pinned mapping.
+    pub fn addr(&self, off: u32, len: usize) -> *mut u8 {
+        assert!(
+            len > 0
+                && (off as usize)
+                    .checked_add(len)
+                    .is_some_and(|end| end <= self.len),
+            "MapRef access span out of bounds"
+        );
+        // SAFETY: the whole span is in bounds of the pinned mapping.
         unsafe { self.base.add(off as usize) }
     }
 

@@ -48,8 +48,14 @@
 //! skips even that**: its mapping can never change, so the per-operation
 //! cost is one relaxed load of an immutable pointer — the direct path, and
 //! the reason the file backend's steady-state cost is just the flushes the
-//! algorithm itself issues. The epoch scheme, its proof obligations and the
-//! measured cost are chaptered in `docs/PERFORMANCE.md`.
+//! algorithm itself issues. Every operation's bounds are enforced against
+//! the pinned generation **in release builds**: an op whose offset
+//! postdates the pinned view (possible only nested under an outstanding
+//! [`MapRef`](pmem::MapRef)) re-resolves the current generation under the
+//! growth lock instead of dereferencing past the stale mapping, and a
+//! genuinely out-of-range offset panics. The epoch scheme, its proof
+//! obligations and the measured cost are chaptered in
+//! `docs/PERFORMANCE.md`.
 //!
 //! ## Elastic growth
 //!
@@ -288,6 +294,9 @@ struct RawMap {
 }
 
 impl RawMap {
+    /// Debug-only re-check; the release-mode bounds guarantee comes from
+    /// `FilePool::map_for`, which hands out a view only after proving it
+    /// covers the access (re-resolving the current generation if not).
     #[inline]
     fn check_bounds(&self, off: u32, bytes: u32) {
         debug_assert!(
@@ -367,41 +376,57 @@ struct PinSlot {
     pinned: AtomicPtr<MapDesc>,
     /// Owner-thread only (the slot lease is thread-local).
     depth: UnsafeCell<u32>,
+    /// Lease tenure that last pinned through this slot (owner-thread
+    /// only; hand-over between successive owners is synchronized by the
+    /// lease free-list mutex). A slot whose `depth` is non-zero under a
+    /// *different* tenure was inherited from a thread that died with a
+    /// leaked (`mem::forget`) `MapRef` still announced — `pin` detects
+    /// that and resets the slot instead of silently running every op of
+    /// the new owner against the dead view's generation.
+    tenure: UnsafeCell<u64>,
 }
 
-// SAFETY: `pinned` is atomic; `depth` is only accessed by the single
-// thread holding the slot's lease (see `reader_slot`).
+// SAFETY: `pinned` is atomic; `depth`/`tenure` are only accessed by the
+// single thread holding the slot's lease (see `reader_slot`).
 unsafe impl Sync for PinSlot {}
 
 /// Reader slots outnumber the pool's `MAX_THREADS` worker tids because any
 /// thread (not just workers with a tid) may touch a pool.
 const PIN_SLOTS: usize = 4 * MAX_THREADS;
 
-/// The process-wide thread → hazard-slot lease. Slots are recycled through
-/// a free list when threads exit, so long-lived processes that churn
-/// threads never exhaust the `PIN_SLOTS` space. The same slot index is
-/// used on every pool (each pool has its own slot array), which keeps the
-/// lease a single thread-local.
-fn reader_slot() -> usize {
+/// The process-wide thread → hazard-slot lease, returned as
+/// `(slot index, lease tenure)`. Slots are recycled through a free list
+/// when threads exit, so long-lived processes that churn threads never
+/// exhaust the `PIN_SLOTS` space; each acquisition — recycled or fresh —
+/// gets a process-unique tenure id, which is how `MapTable::pin` tells a
+/// legitimate same-thread nested pin from a slot inherited dirty from a
+/// dead thread that leaked a `MapRef`. The same slot index is used on
+/// every pool (each pool has its own slot array), which keeps the lease a
+/// single thread-local.
+fn reader_slot() -> (usize, u64) {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
+    static TENURE: AtomicU64 = AtomicU64::new(1);
     static FREE: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-    struct Lease(usize);
+    struct Lease(usize, u64);
     impl Drop for Lease {
         fn drop(&mut self) {
             FREE.lock().unwrap().push(self.0);
         }
     }
     thread_local! {
-        static LEASE: Lease = Lease(FREE.lock().unwrap().pop().unwrap_or_else(|| {
-            let idx = NEXT.fetch_add(1, Ordering::Relaxed);
-            assert!(
-                idx < PIN_SLOTS,
-                "more than {PIN_SLOTS} threads concurrently using file pools"
-            );
-            idx
-        }));
+        static LEASE: Lease = {
+            let idx = FREE.lock().unwrap().pop().unwrap_or_else(|| {
+                let idx = NEXT.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    idx < PIN_SLOTS,
+                    "more than {PIN_SLOTS} threads concurrently using file pools"
+                );
+                idx
+            });
+            Lease(idx, TENURE.fetch_add(1, Ordering::Relaxed))
+        };
     }
-    LEASE.with(|l| l.0)
+    LEASE.with(|l| (l.0, l.1))
 }
 
 /// The lock-free mapping table: the published current descriptor, the
@@ -448,6 +473,7 @@ impl MapTable {
                     CachePadded::new(PinSlot {
                         pinned: AtomicPtr::new(ptr::null_mut()),
                         depth: UnsafeCell::new(0),
+                        tenure: UnsafeCell::new(0),
                     })
                 })
                 .collect(),
@@ -475,20 +501,34 @@ impl MapTable {
             // SAFETY: never retired or freed while the pool is alive.
             return (unsafe { (*d).raw }, None);
         }
-        let idx = reader_slot();
+        let (idx, tenure) = reader_slot();
         let slot = &self.slots[idx];
-        // SAFETY: `depth` belongs to this thread's slot lease alone.
+        // SAFETY: `depth`/`tenure` belong to this thread's slot lease
+        // alone (hand-over between leases goes through the free-list
+        // mutex, which orders the accesses).
         let depth = unsafe { &mut *slot.depth.get() };
+        let owner = unsafe { &mut *slot.tenure.get() };
         if *depth > 0 {
-            // Nested pin (a pool op under an outstanding MapRef): the slot
-            // already protects a descriptor; reuse it rather than
-            // re-announcing, so the inner unpin cannot strip the outer
-            // pin's protection.
-            *depth += 1;
-            let d = slot.pinned.load(Ordering::Relaxed);
-            // SAFETY: protected by this very slot since the outer pin.
-            return (unsafe { (*d).raw }, Some(idx));
+            if *owner == tenure {
+                // Nested pin (a pool op under an outstanding MapRef): the
+                // slot already protects a descriptor; reuse it rather
+                // than re-announcing, so the inner unpin cannot strip the
+                // outer pin's protection.
+                *depth += 1;
+                let d = slot.pinned.load(Ordering::Relaxed);
+                // SAFETY: protected by this very slot since the outer pin.
+                return (unsafe { (*d).raw }, Some(idx));
+            }
+            // The slot was inherited from a thread that died with a
+            // leaked (`mem::forget`) `MapRef` still announced. That view
+            // is unreachable forever (a MapRef cannot leave its thread),
+            // so reset the slot: otherwise this thread would run every
+            // op against the dead view's generation and keep it
+            // unreclaimable for the pool's lifetime.
+            *depth = 0;
+            slot.pinned.store(ptr::null_mut(), Ordering::Release);
         }
+        *owner = tenure;
         #[cfg(not(unix))]
         while self.growing.load(Ordering::Acquire) {
             std::hint::spin_loop();
@@ -558,8 +598,19 @@ impl MapTable {
         });
     }
 
+    /// Non-Unix growth only: whether the calling thread's own hazard
+    /// slot is pinned. Growing through `drain_readers` would then spin
+    /// on that slot forever — `grow_to` refuses up front instead.
+    #[cfg(not(unix))]
+    fn self_pinned(&self) -> bool {
+        let (idx, _) = reader_slot();
+        !self.slots[idx].pinned.load(Ordering::Relaxed).is_null()
+    }
+
     /// Non-Unix growth only: waits until every hazard slot is clear. New
-    /// pins are held off by the `growing` gate, so this terminates.
+    /// pins are held off by the `growing` gate and the caller has
+    /// verified its own slot is unpinned (`self_pinned`), so this
+    /// terminates once every *other* thread's in-flight use drains.
     #[cfg(not(unix))]
     fn drain_readers(&self) {
         for slot in self.slots.iter() {
@@ -596,6 +647,9 @@ struct Map<'a> {
     raw: RawMap,
     pool: &'a FilePool,
     slot: Option<usize>,
+    /// Slow path only (`FilePool::map_slow`): holding the growth lock is
+    /// what keeps `raw` the current, un-retirable generation.
+    _grow: Option<std::sync::MutexGuard<'a, ()>>,
 }
 
 impl Map<'_> {
@@ -993,8 +1047,11 @@ impl FilePool {
     /// On an elastic pool the view holds a hazard pin: it stays valid
     /// across concurrent growth (the replaced mapping is not unmapped
     /// until the view drops), but offsets allocated *after* a growth may
-    /// exceed its pinned bounds — drop and re-take the view to observe the
-    /// grown mapping. On a fixed-size pool (`grow_step == 0`) the mapping
+    /// exceed its pinned bounds — the view's own accessors panic on them;
+    /// drop and re-take the view to observe the grown mapping. (Pool
+    /// operations issued through [`PoolBackend`] while the view is held
+    /// are not so limited: past-the-view offsets re-resolve the current
+    /// mapping.) On a fixed-size pool (`grow_step == 0`) the mapping
     /// is immutable, so the view is unpinned and free to hold: the
     /// zero-synchronization direct path.
     ///
@@ -1086,6 +1143,19 @@ impl FilePool {
         let new_size = layout::align_up(target as u32, CACHE_LINE as u32) as usize;
         if new_size < min_len {
             return Ok(false); // even the offset ceiling cannot satisfy this
+        }
+        // The non-Unix fallback must drain every pinned reader before it
+        // can swap heap buffers — including, fatally, a pin held by this
+        // very thread (a growth triggered by an allocation under an
+        // outstanding MapRef would spin on its own hazard slot forever).
+        // Refuse up front, before any durable side effect.
+        #[cfg(not(unix))]
+        if self.maps.self_pinned() {
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "cannot grow the pool: the calling thread holds a pinned mapping \
+                 view (MapRef); drop it before allocating past the current size",
+            ));
         }
 
         // 1. Extend the file. Its new length must be durable before the
@@ -1250,6 +1320,53 @@ impl FilePool {
             raw,
             pool: self,
             slot,
+            _grow: None,
+        }
+    }
+
+    /// Pins a mapping view guaranteed to cover the pool-space access
+    /// `[off, off + bytes)`, enforcing the bound in release builds. A
+    /// top-level pin always covers every allocated offset (sizes are
+    /// monotonic and the pinned generation is current at announce time),
+    /// so the check only fails on the nested-pin path — a pool op running
+    /// under an outstanding [`MapRef`](pmem::MapRef) whose generation
+    /// predates a growth — and the op then re-resolves through the
+    /// current generation ([`map_slow`](Self::map_slow)) instead of
+    /// dereferencing past the stale mapping. A genuinely out-of-bounds
+    /// offset panics rather than touching unmapped memory.
+    #[inline]
+    fn map_for(&self, off: u32, bytes: u32) -> Map<'_> {
+        let map = self.map();
+        if off as usize + bytes as usize <= map.size {
+            map
+        } else {
+            drop(map);
+            self.map_slow(off as usize + bytes as usize)
+        }
+    }
+
+    /// The re-resolution slow path of [`map_for`](Self::map_for): a view
+    /// of the *current* generation, kept current (and un-retired) by
+    /// holding the growth lock for the view's lifetime. Only reached
+    /// when an offset allocated after a growth is accessed under a
+    /// `MapRef` pinned before it — rare enough that serializing against
+    /// growth costs nothing.
+    #[cold]
+    fn map_slow(&self, end: usize) -> Map<'_> {
+        let guard = self.maps.grow.lock().unwrap();
+        // SAFETY: under the growth lock the current descriptor can be
+        // neither replaced nor retired.
+        let raw = unsafe { (*self.maps.current.load(Ordering::Acquire)).raw };
+        assert!(
+            end <= raw.size,
+            "pool access out of bounds (access end {end}, pool size {})",
+            raw.size
+        );
+        Map {
+            raw,
+            pool: self,
+            slot: None,
+            _grow: Some(guard),
         }
     }
 
@@ -1353,34 +1470,39 @@ impl PoolBackend for FilePool {
 
     #[inline]
     fn load_u64(&self, off: u32) -> u64 {
-        self.map().word(off).load(Ordering::Acquire)
+        self.map_for(off, 8).word(off).load(Ordering::Acquire)
     }
 
     #[inline]
     fn store_u64(&self, off: u32, val: u64) {
-        self.map().word(off).store(val, Ordering::Release)
+        self.map_for(off, 8).word(off).store(val, Ordering::Release)
     }
 
     #[inline]
     fn cas_u64(&self, off: u32, current: u64, new: u64) -> Result<u64, u64> {
-        self.map()
-            .word(off)
-            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+        self.map_for(off, 8).word(off).compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
     }
 
     #[inline]
     fn fetch_add_u64(&self, off: u32, val: u64) -> u64 {
-        self.map().word(off).fetch_add(val, Ordering::AcqRel)
+        self.map_for(off, 8)
+            .word(off)
+            .fetch_add(val, Ordering::AcqRel)
     }
 
     #[inline]
     fn swap_u64(&self, off: u32, val: u64) -> u64 {
-        self.map().word(off).swap(val, Ordering::AcqRel)
+        self.map_for(off, 8).word(off).swap(val, Ordering::AcqRel)
     }
 
     #[inline]
     fn flush(&self, tid: usize, off: u32) {
-        let state = self.map();
+        let state = self.map_for(off, 8);
         state.check_bounds(off, 8);
         // SAFETY: the line containing `off` is inside the mapping.
         unsafe { pmem::hw::clflush(state.addr(off)) };
@@ -1402,7 +1524,18 @@ impl PoolBackend for FilePool {
             pages.sort_unstable();
             pages.dedup();
             let page = page_size();
+            let Some(&last) = pages.last() else { return };
+            // The flushed pages may postdate the generation a held
+            // MapRef has pinned; span-check so the msync targets a
+            // mapping that actually covers them.
+            let end = (last + 1) * page;
             let state = self.map();
+            let state = if end <= HEADER_LEN + state.size {
+                state
+            } else {
+                drop(state);
+                self.map_slow(end - HEADER_LEN)
+            };
             for p in pages {
                 let _ = state.msync(p * page, page);
             }
@@ -1411,7 +1544,7 @@ impl PoolBackend for FilePool {
 
     #[inline]
     fn nt_store_u64(&self, tid: usize, off: u32, val: u64) {
-        let state = self.map();
+        let state = self.map_for(off, 8);
         state.check_bounds(off, 8);
         // SAFETY: in bounds, 8-byte aligned; concurrent access to pool words
         // is atomic by contract (a racing movnti would be the caller's
@@ -1425,7 +1558,7 @@ impl PoolBackend for FilePool {
     }
 
     fn persist_now(&self, off: u32) {
-        let state = self.map();
+        let state = self.map_for(off, 8);
         state.check_bounds(off, 8);
         // SAFETY: the line containing `off` is inside the mapping.
         unsafe { pmem::hw::persist_range(state.addr(off), 8) };
@@ -1439,8 +1572,7 @@ impl PoolBackend for FilePool {
     fn zero_range(&self, off: u32, len: u32) {
         assert_eq!(off % 8, 0);
         assert_eq!(len % 8, 0);
-        let state = self.map();
-        assert!(off as usize + len as usize <= state.size);
+        let state = self.map_for(off, len);
         for i in 0..(len / 8) {
             state.word(off + i * 8).store(0, Ordering::Release);
         }

@@ -161,6 +161,132 @@ fn a_map_ref_held_across_growth_stays_valid_and_never_blocks_it() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Pool ops issued under a held `MapRef` whose generation predates a
+/// growth must not trust the stale view's bounds: an offset allocated
+/// after the growth re-resolves the current generation (release-mode
+/// checked) instead of dereferencing past the pinned mapping — the
+/// nested-pin path would otherwise read/write unmapped memory whenever
+/// growth had moved the base.
+#[cfg(unix)]
+#[test]
+fn pool_ops_past_a_pinned_views_bounds_resolve_the_current_generation() {
+    let path = test_path("stale-bounds");
+    let pool = FilePool::create(
+        &path,
+        FileConfig::with_size(256 << 10).with_growth(256 << 10),
+    )
+    .unwrap();
+    let old_len = pool.len();
+    let view = pool.map_ref();
+    assert!(view.is_pinned());
+
+    // Grow while the view pins the old generation, then touch space that
+    // only exists in the new one.
+    assert!(pool.grow_to(old_len + 1).unwrap());
+    assert!(pool.len() > old_len);
+    let off = old_len as u32; // first byte past the pinned view's bounds
+
+    pool.store_u64(off, 7);
+    assert_eq!(pool.load_u64(off), 7);
+    assert_eq!(pool.cas_u64(off, 7, 8), Ok(7));
+    assert_eq!(pool.fetch_add_u64(off, 2), 8);
+    assert_eq!(pool.swap_u64(off, 11), 10);
+    pool.flush(0, off);
+    pool.sfence(0);
+    pool.persist_now(off);
+    pool.zero_range(off, 64);
+    assert_eq!(pool.load_u64(off), 0);
+
+    // The held view keeps its pre-growth bounds throughout.
+    assert_eq!(view.len(), old_len);
+    drop(view);
+    drop(pool);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A genuinely out-of-range offset must panic — in release builds too —
+/// rather than dereference past the mapping.
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn a_genuinely_out_of_bounds_op_panics_instead_of_dereferencing() {
+    let path = test_path("oob");
+    let pool = FilePool::create(&path, FileConfig::with_size(256 << 10)).unwrap();
+    let len = pool.len() as u32;
+    let _ = std::fs::remove_file(&path);
+    pool.load_u64(len); // one word past the end
+}
+
+/// `MapRef::addr` validates the whole access span, not just the first
+/// byte: a multi-byte access starting near the tail is refused.
+#[test]
+fn map_ref_addr_validates_the_whole_access_span() {
+    let path = test_path("addr-span");
+    let pool = FilePool::create(&path, FileConfig::with_size(256 << 10)).unwrap();
+    let view = pool.map_ref();
+    let len = view.len();
+    // In-bounds spans are fine, up to and including the very last byte...
+    assert!(!view.addr(0, len).is_null());
+    assert!(!view.addr(len as u32 - 8, 8).is_null());
+    // ...but a span that merely *starts* in bounds is refused, as are
+    // empty spans (no one-past-the-end pointers).
+    let oob = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        view.addr(len as u32 - 4, 8)
+    }));
+    assert!(oob.is_err(), "a span overrunning the view must panic");
+    let empty = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| view.addr(0, 0)));
+    assert!(empty.is_err(), "zero-length spans must panic");
+    drop(view);
+    drop(pool);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A thread that leaks (`mem::forget`) a pinned view and exits hands its
+/// recycled hazard slot to the next thread in a dirty state (depth > 0,
+/// stale generation announced). The lease-tenure check must detect that
+/// and start clean: the new tenant's ops run against the current
+/// generation, and the dead view's generation becomes reclaimable.
+#[cfg(unix)]
+#[test]
+fn a_leaked_view_from_a_dead_thread_does_not_poison_its_recycled_slot() {
+    let path = test_path("leak");
+    let pool = FilePool::create(
+        &path,
+        FileConfig::with_size(256 << 10).with_growth(256 << 10),
+    )
+    .unwrap();
+    let old_len = pool.len();
+    std::thread::scope(|scope| {
+        // Dies with the pin still announced.
+        scope
+            .spawn(|| {
+                let view = pool.map_ref();
+                assert!(view.is_pinned());
+                std::mem::forget(view);
+            })
+            .join()
+            .unwrap();
+        assert!(pool.grow_to(old_len + 1).unwrap());
+        // A fresh thread very likely inherits the leaked slot (the free
+        // list is LIFO); either way its ops must see the grown pool.
+        scope
+            .spawn(|| {
+                let off = old_len as u32;
+                pool.store_u64(off, 0xFACE);
+                assert_eq!(pool.load_u64(off), 0xFACE);
+                let view = pool.map_ref();
+                assert_eq!(
+                    view.len(),
+                    pool.len(),
+                    "a fresh pin must see the current generation, not the dead view's"
+                );
+            })
+            .join()
+            .unwrap();
+    });
+    drop(pool);
+    std::fs::remove_file(&path).unwrap();
+}
+
 /// Hidden child entry point for the retirement-vs-commit round: pins
 /// reader views that are never released, then grows. The parent sets
 /// `DQ_GROW_ABORT_AFTER_COMMIT`, so the process dies at the journal's

@@ -8,6 +8,8 @@
 //! implicit-eviction adversary). The module is `pub` so the workspace's
 //! integration tests and the harness checker reuse the same machinery.
 
+pub mod subprocess;
+
 use crate::api::{DurableQueue, QueueConfig, RecoverableQueue};
 use pmem::{PmemPool, PoolConfig, StatsSnapshot};
 use std::collections::{HashMap, HashSet, VecDeque};

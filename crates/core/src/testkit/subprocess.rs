@@ -1,0 +1,195 @@
+//! Shared scaffolding for subprocess crash tests.
+//!
+//! The workspace's restart tests all follow the same protocol: a hidden
+//! `#[test]` child entry point (a no-op unless parent-set env vars are
+//! present) is re-executed from `std::env::current_exe()`, drives traffic
+//! against a file-backed pool while acknowledging every completed operation
+//! with one `<tag> <value>\n` write syscall, and is SIGKILLed (or aborts at
+//! an env-gated crash point) mid-traffic; the parent then reopens the files
+//! and validates a linearizable suffix against the ack log. This module
+//! holds the process plumbing every such test shares — spawn, progress
+//! wait, kill/reap, and the torn-tail-tolerant ack-log reader — so each
+//! test file contributes only its workload and its invariants.
+//!
+//! An ack line that reached the kernel survives the kill exactly like the
+//! pool's page-cache writes do; a torn trailing line (the kill can land
+//! mid-write) is an unacknowledged operation and is ignored.
+
+use std::collections::BTreeSet;
+use std::ffi::OsStr;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// A fresh scratch directory under the system temp dir, unique per process
+/// and test thread; any leftover from a previous run is removed first.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Builder for re-executing the current test binary as a crash-test child.
+///
+/// The child process runs exactly one hidden `#[test]` entry point
+/// (`--exact`), inherits the given env vars (which is how the entry point
+/// knows it is the child and where its files live), and has its stdio
+/// nulled so the parent's test output stays clean.
+pub struct ChildProc {
+    cmd: Command,
+}
+
+impl ChildProc {
+    /// Targets the hidden `#[test]` entry named `entry` in this binary.
+    pub fn new(entry: &str) -> Self {
+        let mut cmd = Command::new(std::env::current_exe().expect("test binary path"));
+        cmd.args([entry, "--exact", "--nocapture"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        ChildProc { cmd }
+    }
+
+    /// Passes an env var to the child (the gate that activates the entry).
+    pub fn env(mut self, key: &str, value: impl AsRef<OsStr>) -> Self {
+        self.cmd.env(key, value);
+        self
+    }
+
+    /// Passes an env-gated abort point (`env(var, "1")`) when `Some`; the
+    /// child will crash itself there instead of waiting for a SIGKILL.
+    pub fn abort_at(self, var: Option<&str>) -> Self {
+        match var {
+            Some(var) => self.env(var, "1"),
+            None => self,
+        }
+    }
+
+    /// Spawns the child.
+    pub fn spawn(mut self) -> Child {
+        self.cmd.spawn().expect("spawn crash-test child")
+    }
+
+    /// Spawns the child and waits for it to exit on its own — the shape of
+    /// deterministic abort-point rounds. Panics if the child exits
+    /// successfully (the abort point must have fired).
+    pub fn run_to_abort(self) -> ExitStatus {
+        let mut child = self.spawn();
+        let status = child.wait().expect("reap aborting child");
+        assert!(
+            !status.success(),
+            "the abort point must have fired: {status}"
+        );
+        status
+    }
+}
+
+/// Number of complete lines in `path` (0 when absent). Cheap enough to
+/// poll; the full ack parse runs only after the kill.
+pub fn count_lines(path: &Path) -> usize {
+    std::fs::read(path)
+        .map(|raw| raw.iter().filter(|&&b| b == b'\n').count())
+        .unwrap_or(0)
+}
+
+/// Polls `ready()` until it returns true, panicking if the child exits
+/// first (it must die by *our* hand, not its own) or `timeout` elapses.
+/// `what` names the awaited condition in the panic messages.
+pub fn wait_until(
+    child: &mut Child,
+    timeout: Duration,
+    what: &str,
+    mut ready: impl FnMut() -> bool,
+) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if ready() {
+            return;
+        }
+        if let Some(status) = child.try_wait().expect("poll crash-test child") {
+            panic!("child exited prematurely ({status}) before {what}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child did not reach {what} within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Waits until the ack log at `path` holds at least `min_lines` complete
+/// lines, so a kill always lands mid-traffic, never before traffic.
+pub fn wait_for_lines(child: &mut Child, path: &Path, min_lines: usize, timeout: Duration) {
+    wait_until(child, timeout, &format!("{min_lines} ack lines"), || {
+        count_lines(path) >= min_lines
+    });
+}
+
+/// SIGKILLs the child and reaps it — the crash under test.
+pub fn kill_and_reap(child: &mut Child) {
+    child.kill().expect("SIGKILL crash-test child");
+    child.wait().expect("reap crash-test child");
+}
+
+/// Parses complete `<tag> <number>` lines from an ack log, in written
+/// order. A torn trailing line (no final newline) is ignored, exactly like
+/// the unacknowledged operation it is; a malformed *complete* line is a
+/// test bug and panics. Returns the empty vec when the file is absent (the
+/// kill can land before the child created it).
+pub fn read_acks(path: &Path, tag: &str) -> Vec<u64> {
+    let Ok(raw) = std::fs::read(path) else {
+        return Vec::new();
+    };
+    let text = String::from_utf8_lossy(&raw);
+    let mut out = Vec::new();
+    for line in text.split_inclusive('\n') {
+        let Some(body) = line.strip_suffix('\n') else {
+            break; // torn tail
+        };
+        let Some(num) = body.strip_prefix(tag).map(str::trim) else {
+            panic!("malformed ack line {body:?}");
+        };
+        out.push(num.parse::<u64>().unwrap_or_else(|_| {
+            panic!("malformed ack number in {body:?}");
+        }));
+    }
+    out
+}
+
+/// [`read_acks`] with a uniqueness guarantee: each value may be
+/// acknowledged at most once (one ack per completed operation).
+pub fn read_unique_acks(path: &Path, tag: &str) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    for num in read_acks(path, tag) {
+        assert!(out.insert(num), "duplicate ack {num}");
+    }
+    out
+}
+
+/// Child-side ack log: one `<tag> <value>\n` line per completed operation,
+/// each a single `write` syscall issued strictly *after* the operation
+/// returned, so the parent knows exactly which operations were confirmed.
+pub struct AckLog {
+    file: std::fs::File,
+}
+
+impl AckLog {
+    /// Creates (truncates) the log at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Self {
+        AckLog {
+            file: std::fs::File::create(path).expect("create ack log"),
+        }
+    }
+
+    /// Acknowledges one completed operation.
+    pub fn record(&mut self, tag: &str, value: u64) {
+        self.file
+            .write_all(format!("{tag} {value}\n").as_bytes())
+            .expect("write ack line");
+    }
+}

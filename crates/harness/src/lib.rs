@@ -16,6 +16,7 @@ pub mod algorithms;
 pub mod checker;
 pub mod counts;
 pub mod fastpath;
+pub mod lease_verb;
 pub mod reshard;
 pub mod restart;
 pub mod runner;

@@ -22,6 +22,10 @@ use harness::counts::{
     counts_json, persist_counts_table, persist_counts_table_sharded, render_counts,
 };
 use harness::fastpath::{self, fastpath_json, render_fastpath, run_fastpath};
+use harness::lease_verb::{
+    lease_json, render_lease, render_lease_kill_outcome, run_lease, run_lease_child,
+    run_lease_kill_round, LeaseVerbConfig,
+};
 use harness::reshard::{
     render_kill_outcome, run_reshard, run_reshard_child, run_reshard_kill_round, ReshardVerbConfig,
 };
@@ -364,7 +368,7 @@ fn cmd_restart(flags: &HashMap<String, String>) {
         if narrowed {
             ""
         } else {
-            ", plus a reshard kill"
+            ", plus reshard and leased-consumer kills"
         }
     );
     let mut json = JsonSink::from_flags(flags);
@@ -384,7 +388,25 @@ fn cmd_restart(flags: &HashMap<String, String>) {
         print!("{}", render_kill_outcome(base.algorithm, &outcome));
         Some(outcome)
     };
-    json.push(restart_json(&outcomes, reshard_outcome.as_ref()));
+    // The peek-lock coverage: SIGKILL a consumer holding live leases and
+    // validate redelivery, ack retirement and the dead-letter queue.
+    let lease_outcome = if narrowed {
+        None
+    } else {
+        let outcome = run_lease_kill_round(
+            base.algorithm,
+            &base.dir,
+            base.sync,
+            base.min_acks.min(1_000),
+        );
+        print!("{}", render_lease_kill_outcome(base.algorithm, &outcome));
+        Some(outcome)
+    };
+    json.push(restart_json(
+        &outcomes,
+        reshard_outcome.as_ref(),
+        lease_outcome.as_ref(),
+    ));
     json.write();
     println!("restart: all rounds passed");
 }
@@ -429,6 +451,42 @@ fn cmd_reshard(flags: &HashMap<String, String>) {
     run_reshard(&cfg);
 }
 
+fn cmd_lease(flags: &HashMap<String, String>) {
+    let mut cfg = if flags.contains_key("quick") {
+        LeaseVerbConfig::quick()
+    } else {
+        LeaseVerbConfig::default()
+    };
+    if flags.contains_key("shards") {
+        cfg.shard_counts = shards_from_flags(flags);
+    }
+    if let Some(o) = flags.get("ops") {
+        cfg.ops = o.parse().expect("bad --ops");
+    }
+    if let Some(n) = flags.get("nack-percent") {
+        cfg.nack_percent = n.parse().expect("bad --nack-percent");
+        assert!(cfg.nack_percent <= 100, "--nack-percent must be <= 100");
+    }
+    if let Some(a) = flags.get("algo").or_else(|| flags.get("algorithm")) {
+        cfg.algorithm = Algorithm::parse(a).unwrap_or_else(|| panic!("unknown algorithm {a}"));
+    }
+    if let Some(d) = flags.get("dir") {
+        cfg.dir = PathBuf::from(d);
+    }
+    if let Some(p) = flags.get("policy") {
+        cfg.policy = parse_policy(p);
+    }
+    if let Some(p) = flags.get("pool-bytes") {
+        cfg.pool_bytes = p.parse().expect("bad --pool-bytes");
+    }
+    cfg.sync = parse_sync(flags);
+    let mut json = JsonSink::from_flags(flags);
+    let rows = run_lease(&cfg);
+    print!("{}", render_lease(&cfg, &rows));
+    json.push(lease_json(&cfg, &rows));
+    json.write();
+}
+
 fn cmd_fastpath(flags: &HashMap<String, String>) {
     let cfg = fastpath::config_from_flags(flags);
     let mut json = JsonSink::from_flags(flags);
@@ -464,8 +522,14 @@ fn main() {
         "restart" => cmd_restart(&flags),
         "reshard" => cmd_reshard(&flags),
         "fastpath" => cmd_fastpath(&flags),
+        "lease" => cmd_lease(&flags),
         // Hidden: the process `restart` spawns, kills and recovers from.
         "restart-child" => run_child(&restart_config(&flags)),
+        // Hidden: the leased consumer the restart verb SIGKILLs mid-lease.
+        "lease-child" => {
+            let cfg = restart_config(&flags);
+            run_lease_child(cfg.algorithm, &cfg.dir, cfg.sync);
+        }
         // Hidden: the process the reshard-kill round spawns and kills.
         "reshard-child" => {
             let cfg = restart_config(&flags);
@@ -486,7 +550,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|fastpath|all> [flags]\n\
+                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|fastpath|lease|all> [flags]\n\
                  \n\
                  fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
                  counts     per-operation persistence counts (experiments E7/E8)\n\
@@ -496,11 +560,13 @@ fn main() {
                  restart    spawn a child on file-backed pool(s), SIGKILL it\n\
                             mid-traffic, reopen + recover() in-process and\n\
                             validate no loss / no duplication / FIFO; ends with\n\
-                            a SIGKILL-mid-reshard round\n\
+                            SIGKILL-mid-reshard and SIGKILL-mid-lease rounds\n\
                  reshard    split/merge a file-backed shard directory to --to N'\n\
                             (crash-safe two-phase manifest protocol)\n\
                  fastpath   time the file pool's direct vs epoch-pinned mapping\n\
                             modes (per-op load / persist / map_ref costs)\n\
+                 lease      peek-lock producer/consumer throughput through a\n\
+                            leased deployment (ack rate, redelivery, compaction)\n\
                  all        counts, every fig2 panel, then the shard sweep\n\
                  \n\
                  common flags: --quick --workload W --threads 1,2,4 --ops N\n\
@@ -511,8 +577,10 @@ fn main() {
                                --sync process-crash|power-fail   (file backend)\n\
                                --pool-bytes N --grow-step N   (file pools grow by\n\
                                >= N bytes on exhaustion; 0 = fixed size)\n\
-                 output:       --json PATH   (counts, shards, restart + fastpath:\n\
-                               JSON array of experiment objects; schema in README)\n\
+                 lease:        --ops N --nack-percent P --shards 1,2,4\n\
+                 output:       --json PATH   (counts, shards, restart, fastpath,\n\
+                               lease: JSON array of experiment objects; schema\n\
+                               in README)\n\
                  restart:      --algo A --shards N --min-acks N --pool-bytes N\n\
                                --grow-step N  (undersized pools grow under kill)\n\
                  reshard:      --dir D --to N' [--algo A] [--create N --items M]\n\

@@ -345,13 +345,15 @@ fn read_acks(path: &Path) -> BTreeSet<u64> {
     out
 }
 
-/// Renders the collected restart rounds — plus the reshard-kill round when
-/// one ran — as one machine-readable JSON experiment object (schema
-/// documented in the README under "Machine-readable results"), matching
-/// the experiment-object shape of `counts` and `shards`.
+/// Renders the collected restart rounds — plus the reshard-kill and
+/// lease-kill rounds when they ran — as one machine-readable JSON
+/// experiment object (schema documented in the README under
+/// "Machine-readable results"), matching the experiment-object shape of
+/// `counts` and `shards`.
 pub fn restart_json(
     rounds: &[(RestartConfig, RestartOutcome)],
     reshard: Option<&crate::reshard::ReshardKillOutcome>,
+    lease: Option<&crate::lease_verb::LeaseKillOutcome>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"restart\",\n");
@@ -392,11 +394,24 @@ pub fn restart_json(
             };
             out.push_str(&format!(
                 "  \"reshard_kill\": {{\"completed_reshards\": {}, \"resolution\": {}, \
-                 \"shards_after\": {}, \"items\": {}}}\n",
+                 \"shards_after\": {}, \"items\": {}}},\n",
                 o.completed_reshards, resolution, o.shards_after, o.items,
             ));
         }
-        None => out.push_str("  \"reshard_kill\": null\n"),
+        None => out.push_str("  \"reshard_kill\": null,\n"),
+    }
+    match lease {
+        Some(o) => out.push_str(&format!(
+            "  \"lease_kill\": {{\"confirmed_enqueues\": {}, \"confirmed_acks\": {}, \
+             \"held\": {}, \"unacked\": {}, \"redelivered\": {}, \"recovery_ms\": {}}}\n",
+            o.confirmed_enqueues,
+            o.confirmed_acks,
+            o.held,
+            o.unacked,
+            o.redelivered,
+            o.recovery.as_secs_f64() * 1e3,
+        )),
+        None => out.push_str("  \"lease_kill\": null\n"),
     }
     out.push('}');
     out
@@ -493,7 +508,7 @@ mod tests {
                 },
             ),
         ];
-        let json = restart_json(&rounds, None);
+        let json = restart_json(&rounds, None, None);
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -501,6 +516,7 @@ mod tests {
         );
         assert!(json.contains("\"experiment\": \"restart\""));
         assert!(json.contains("\"reshard_kill\": null"));
+        assert!(json.contains("\"lease_kill\": null"));
         assert_eq!(json.matches("\"algorithm\"").count(), 2);
         assert!(json.contains("\"sync\": \"process-crash\""));
         assert!(json.contains("\"growth_epochs\": 0"));
@@ -513,9 +529,19 @@ mod tests {
             shards_after: 2,
             items: 2_000,
         };
-        let json = restart_json(&rounds, Some(&reshard));
+        let lease = crate::lease_verb::LeaseKillOutcome {
+            confirmed_enqueues: 5_000,
+            confirmed_acks: 1_200,
+            held: 170,
+            unacked: 180,
+            redelivered: 181,
+            recovery: Duration::from_millis(4),
+        };
+        let json = restart_json(&rounds, Some(&reshard), Some(&lease));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"resolution\": \"rolled-forward\""));
         assert!(json.contains("\"shards_after\": 2"));
+        assert!(json.contains("\"lease_kill\": {\"confirmed_enqueues\": 5000"));
+        assert!(json.contains("\"redelivered\": 181"));
     }
 }

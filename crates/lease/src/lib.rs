@@ -1,0 +1,59 @@
+//! Durable peek-lock consumption over any durable queue.
+//!
+//! The queues in `crates/core` consume destructively: `dequeue` removes
+//! the item, and a consumer that crashes *after* the dequeue but *before*
+//! finishing its work silently loses the message. Message brokers solve
+//! this with **peek-lock** (leases): a dequeue hands the consumer a
+//! time-limited lease while the broker keeps durable ownership of the item
+//! until it is acknowledged. This crate layers that protocol on top of any
+//! [`DurableQueue`](durable_queues::DurableQueue) — the ten paper
+//! algorithms, the `shard` crate's partitioned composition, or anything
+//! else implementing the trait.
+//!
+//! # State machine
+//!
+//! ```text
+//!            enqueue                    dequeue (GRANT)
+//!   producer ───────▶ ready (base queue) ───────▶ leased ──ack (ACK)──▶ consumed
+//!                        ▲                          │
+//!                        │ regrant (GRANT w/ prev)  │ nack / deadline expiry
+//!                        │                          ▼
+//!                        └──────── pending (PEND) ◀─┘
+//!                                     │
+//!                                     │ delivery_count would exceed budget
+//!                                     ▼
+//!                          dead-letter queue (DEAD)
+//! ```
+//!
+//! Every transition is one CRC'd record appended to a sidecar ack log
+//! (`LEASES.log`, [`log`] module) — fsync'd per append under the
+//! power-fail tier — so a restart replays the log and every lease without
+//! a terminal record becomes redeliverable with an incremented delivery
+//! count: **at-least-once** delivery. Items that exhaust their delivery
+//! budget overflow to a dead-letter queue, itself a durable queue in the
+//! same directory.
+//!
+//! The [`tx`] module upgrades the ack side to **exactly-once handoff**:
+//! [`LeasedQueue::ack_exactly_once`] runs the consumer's own state
+//! transition and the ack in a single `crates/ptm` redo-log transaction,
+//! whose commit point settles both atomically; recovery repairs acks whose
+//! sidecar record was lost to the crash instead of redelivering.
+//!
+//! [`dir`] packages the whole thing as one directory — sharded base
+//! queue, dead-letter pool, ack log — created and reopened as a unit,
+//! with lease-recovery counts reported through
+//! [`shard::RecoveryReport::lease`].
+
+#![warn(missing_docs)]
+
+pub mod dir;
+pub mod log;
+pub mod queue;
+pub mod tx;
+
+pub use dir::{create_leased_dir, open_leased_dir, LeaseDirConfig, DLQ_POOL_FILE};
+pub use log::{AckLog, Record, RecordKind, Replay, LEASE_LOG_FILE};
+pub use queue::{
+    Lease, LeaseConfig, LeaseError, LeaseStats, LeasedQueue, RecoveredLeases, Redelivery,
+};
+pub use tx::{ExactlyOnce, CURSOR_ROOT_SLOT};

@@ -1,0 +1,582 @@
+//! The durable ack log behind peek-lock consumption.
+//!
+//! Every lease-state transition is one fixed-size, CRC-protected record
+//! appended to a sidecar file (`LEASES.log`) next to the queue's pool
+//! file(s) — the same enq/ack-pair discipline message stores like LavinMQ
+//! use, collapsed into a single append-only file. The log is the durable
+//! authority on which dequeued items are still owned by a consumer: on
+//! restart it is replayed sequentially and every lease without a terminal
+//! record ([`ACK`](RecordKind::Ack) or [`DEAD`](RecordKind::Dead)) becomes
+//! redeliverable.
+//!
+//! # Record linkage
+//!
+//! Item *values* are not unique (a queue may carry the same `u64` twice),
+//! so redelivery cannot retire the superseded lease by item. Instead every
+//! [`GRANT`](RecordKind::Grant) carries `prev_lease_id` — the lease it
+//! re-delivers (`0` for a fresh dequeue from the base queue) — and replay
+//! retires `prev` before registering the new lease. The chain
+//! `GRANT(id=5) → PEND(5, next) → GRANT(9, prev=5) → ACK(9)` therefore
+//! nets out to nothing, while a crash after the `PEND` leaves exactly one
+//! redeliverable entry.
+//!
+//! # Durability
+//!
+//! Appends are a single `write` syscall; under
+//! [`SyncPolicy::PowerFail`] each append is
+//! additionally `fdatasync`'d before the operation returns (the fsync'd
+//! tier of the acceptance contract), while the default process-crash tier
+//! relies on the page cache surviving the process — the same two-tier
+//! contract as the pool files. Replay tolerates a torn final record (the
+//! tail is dropped, never trusted) but refuses a corrupt header or a CRC
+//! mismatch in the *interior* of the file, which indicate real damage
+//! rather than a mid-append crash.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use store::{crc32, SyncPolicy};
+
+/// File name of the ack log inside a leased-queue directory.
+pub const LEASE_LOG_FILE: &str = "LEASES.log";
+
+/// Magic bytes opening the log file.
+pub const LOG_MAGIC: [u8; 8] = *b"DQLEASE1";
+
+/// Current format version.
+pub const LOG_VERSION: u32 = 1;
+
+/// Size of the file header in bytes (magic + version + header CRC).
+pub const HEADER_LEN: usize = 16;
+
+/// Size of every record in bytes.
+pub const RECORD_LEN: usize = 40;
+
+/// The four lease-state transitions a record can encode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum RecordKind {
+    /// An item left the base queue (or the redelivery set) and is now owned
+    /// by lease `lease_id`; `prev_lease_id` is the superseded lease this
+    /// grant re-delivers (`0` = fresh from the base queue).
+    Grant = 1,
+    /// Lease `lease_id` was acknowledged: the item is consumed and will
+    /// never be redelivered.
+    Ack = 2,
+    /// Lease `lease_id` was nacked or expired: the item awaits redelivery
+    /// with `delivery_count` as its *next* attempt number. Also written by
+    /// compaction as the snapshot form of a pending entry, so replay treats
+    /// it as an upsert (it may appear without a preceding grant).
+    Pend = 3,
+    /// Lease `lease_id` exceeded its delivery budget; the item was durably
+    /// moved to the dead-letter queue (the DLQ enqueue happens *before*
+    /// this record, so a crash between the two duplicates into the DLQ
+    /// rather than losing the item).
+    Dead = 4,
+}
+
+impl RecordKind {
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(RecordKind::Grant),
+            2 => Some(RecordKind::Ack),
+            3 => Some(RecordKind::Pend),
+            4 => Some(RecordKind::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// One fixed-size log record. See [`RecordKind`] for the semantics of each
+/// field per kind; byte layout is documented in `docs/FORMATS.md`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// The transition this record encodes.
+    pub kind: RecordKind,
+    /// Attempt number: for [`Grant`](RecordKind::Grant) the count of *this*
+    /// delivery (first delivery = 1); for [`Pend`](RecordKind::Pend) the
+    /// count the *next* delivery will carry; `0` for terminal records.
+    pub delivery_count: u32,
+    /// The lease this record is about.
+    pub lease_id: u64,
+    /// The item value (meaningful for `Grant`/`Pend`; `0` for terminals).
+    pub item: u64,
+    /// For `Grant`: the lease this grant supersedes (`0` = none).
+    pub prev_lease_id: u64,
+}
+
+impl Record {
+    fn encode(&self) -> [u8; RECORD_LEN] {
+        let mut buf = [0u8; RECORD_LEN];
+        buf[0..4].copy_from_slice(&(self.kind as u32).to_le_bytes());
+        buf[4..8].copy_from_slice(&self.delivery_count.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.lease_id.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.item.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.prev_lease_id.to_le_bytes());
+        let crc = crc32(&buf[0..32]);
+        buf[32..36].copy_from_slice(&crc.to_le_bytes());
+        // buf[36..40] stays zero (pad).
+        buf
+    }
+
+    /// Decodes one record, or `None` if the CRC or kind is invalid (a torn
+    /// or never-written tail).
+    fn decode(buf: &[u8]) -> Option<Record> {
+        debug_assert_eq!(buf.len(), RECORD_LEN);
+        let stored = u32::from_le_bytes(buf[32..36].try_into().unwrap());
+        if crc32(&buf[0..32]) != stored {
+            return None;
+        }
+        let kind = RecordKind::from_u32(u32::from_le_bytes(buf[0..4].try_into().unwrap()))?;
+        Some(Record {
+            kind,
+            delivery_count: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            lease_id: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            item: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            prev_lease_id: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+        })
+    }
+}
+
+/// A lease that was live (no terminal record) when the log ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveLease {
+    /// The item the lease owns.
+    pub item: u64,
+    /// For a granted lease: the delivery count it was granted with. For a
+    /// pending lease: the count its next delivery must carry.
+    pub delivery_count: u32,
+    /// Whether the lease was granted (in a consumer's hands at the crash)
+    /// or pending redelivery (nacked/expired, not yet regranted).
+    pub granted: bool,
+}
+
+/// What replaying the log reconstructed.
+#[derive(Clone, Debug, Default)]
+pub struct Replay {
+    /// Every lease without a terminal record, keyed (and therefore ordered)
+    /// by lease id — grant order, since ids are monotonic.
+    pub live: BTreeMap<u64, LiveLease>,
+    /// `max(lease id) + 1`: the first id the next life may grant.
+    pub next_lease_id: u64,
+    /// Valid records replayed.
+    pub records: u64,
+    /// Terminal `ACK` records seen.
+    pub acked: u64,
+    /// Terminal `DEAD` records seen.
+    pub dead: u64,
+    /// Bytes dropped at the tail as a torn final append (0 or a partial /
+    /// corrupt record's worth).
+    pub torn_bytes: u64,
+}
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..8].copy_from_slice(&LOG_MAGIC);
+    h[8..12].copy_from_slice(&LOG_VERSION.to_le_bytes());
+    let crc = crc32(&h[0..12]);
+    h[12..16].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+fn bad_data(path: &Path, msg: String) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {msg}", path.display()),
+    )
+}
+
+/// The append-only ack log. All mutation goes through the owning
+/// `LeasedQueue`'s lock, so the log itself is single-writer.
+#[derive(Debug)]
+pub struct AckLog {
+    path: PathBuf,
+    file: File,
+    sync: SyncPolicy,
+    /// Records in the file since the last create/compaction (valid tail
+    /// drops excluded).
+    records: u64,
+}
+
+impl AckLog {
+    /// Creates a fresh, empty log at `dir/`[`LEASE_LOG_FILE`], truncating
+    /// any previous one. Under [`SyncPolicy::PowerFail`] the header and the
+    /// directory entry are fsync'd before returning.
+    pub fn create(dir: &Path, sync: SyncPolicy) -> io::Result<AckLog> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LEASE_LOG_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(&header_bytes())?;
+        if sync == SyncPolicy::PowerFail {
+            file.sync_data()?;
+            File::open(dir)?.sync_data()?;
+        }
+        Ok(AckLog {
+            path,
+            file,
+            sync,
+            records: 0,
+        })
+    }
+
+    /// Opens and replays the log at `dir/`[`LEASE_LOG_FILE`], returning the
+    /// reconstructed lease state alongside the log (positioned for further
+    /// appends). A missing file is not an error — it becomes a fresh log
+    /// with an empty replay, so a directory that never leased opens
+    /// cleanly. A torn final record is dropped; a corrupt header or an
+    /// interior CRC mismatch is refused with an error naming the file.
+    pub fn replay(dir: &Path, sync: SyncPolicy) -> io::Result<(AckLog, Replay)> {
+        let path = dir.join(LEASE_LOG_FILE);
+        let mut file = match OpenOptions::new().read(true).write(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((AckLog::create(dir, sync)?, Replay::default()));
+            }
+            Err(e) => return Err(e),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN {
+            return Err(bad_data(
+                &path,
+                format!("truncated header ({} of {HEADER_LEN} bytes)", bytes.len()),
+            ));
+        }
+        if bytes[0..8] != LOG_MAGIC {
+            return Err(bad_data(&path, format!("bad magic {:?}", &bytes[0..8])));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let stored = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if crc32(&bytes[0..12]) != stored {
+            return Err(bad_data(
+                &path,
+                format!(
+                    "header CRC mismatch (expected {:08x}, found {stored:08x})",
+                    crc32(&bytes[0..12])
+                ),
+            ));
+        }
+        if version != LOG_VERSION {
+            return Err(bad_data(
+                &path,
+                format!("unsupported version {version} (this build reads {LOG_VERSION})"),
+            ));
+        }
+
+        let mut replay = Replay::default();
+        let body = &bytes[HEADER_LEN..];
+        let mut consumed = 0usize;
+        while body.len() - consumed >= RECORD_LEN {
+            let Some(rec) = Record::decode(&body[consumed..consumed + RECORD_LEN]) else {
+                // An invalid record mid-file would silently drop everything
+                // after it, so only the *final* full record may be torn.
+                if body.len() - consumed > RECORD_LEN {
+                    return Err(bad_data(
+                        &path,
+                        format!(
+                            "corrupt record at byte {} (not at the tail; refusing to \
+                             drop {} trailing bytes)",
+                            HEADER_LEN + consumed,
+                            body.len() - consumed
+                        ),
+                    ));
+                }
+                break;
+            };
+            consumed += RECORD_LEN;
+            replay.records += 1;
+            replay.next_lease_id = replay.next_lease_id.max(rec.lease_id + 1);
+            match rec.kind {
+                RecordKind::Grant => {
+                    if rec.prev_lease_id != 0 {
+                        replay.live.remove(&rec.prev_lease_id);
+                    }
+                    replay.live.insert(
+                        rec.lease_id,
+                        LiveLease {
+                            item: rec.item,
+                            delivery_count: rec.delivery_count,
+                            granted: true,
+                        },
+                    );
+                }
+                RecordKind::Ack => {
+                    replay.live.remove(&rec.lease_id);
+                    replay.acked += 1;
+                }
+                RecordKind::Pend => {
+                    replay.live.insert(
+                        rec.lease_id,
+                        LiveLease {
+                            item: rec.item,
+                            delivery_count: rec.delivery_count,
+                            granted: false,
+                        },
+                    );
+                }
+                RecordKind::Dead => {
+                    replay.live.remove(&rec.lease_id);
+                    replay.dead += 1;
+                }
+            }
+        }
+        replay.torn_bytes = (body.len() - consumed) as u64;
+        if replay.torn_bytes > 0 {
+            // Chop the torn tail so the next append starts on a record
+            // boundary instead of extending garbage. `read_to_end` left the
+            // cursor past the new EOF, so reposition it too — `set_len`
+            // never moves the cursor, and appending through a stale one
+            // would punch a zero-filled hole where a record should be.
+            file.set_len((HEADER_LEN + consumed) as u64)?;
+            file.seek(io::SeekFrom::Start((HEADER_LEN + consumed) as u64))?;
+            if sync == SyncPolicy::PowerFail {
+                file.sync_data()?;
+            }
+        }
+        let records = replay.records;
+        Ok((
+            AckLog {
+                path,
+                file,
+                sync,
+                records,
+            },
+            replay,
+        ))
+    }
+
+    /// Appends one record (a single `write` syscall; `fdatasync`'d under
+    /// [`SyncPolicy::PowerFail`]).
+    pub fn append(&mut self, rec: &Record) -> io::Result<()> {
+        self.file.write_all(&rec.encode())?;
+        if self.sync == SyncPolicy::PowerFail {
+            self.file.sync_data()?;
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Atomically rewrites the log to contain exactly `live` (the snapshot
+    /// form of the current lease state), discarding the retired prefix:
+    /// tmp file → fsync → rename → directory fsync, the same discipline as
+    /// the shard manifest, so a crash at any point leaves either the old or
+    /// the new log.
+    pub fn compact(&mut self, live: impl IntoIterator<Item = Record>) -> io::Result<()> {
+        let tmp = self.path.with_extension("log.tmp");
+        let mut out = File::create(&tmp)?;
+        let mut buf: Vec<u8> = header_bytes().to_vec();
+        let mut n = 0u64;
+        for rec in live {
+            buf.extend_from_slice(&rec.encode());
+            n += 1;
+        }
+        out.write_all(&buf)?;
+        out.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            File::open(parent)?.sync_data()?;
+        }
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        self.records = n;
+        Ok(())
+    }
+
+    /// Records in the file since the last create/compaction.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lease-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn grant(id: u64, item: u64, dc: u32, prev: u64) -> Record {
+        Record {
+            kind: RecordKind::Grant,
+            delivery_count: dc,
+            lease_id: id,
+            item,
+            prev_lease_id: prev,
+        }
+    }
+
+    fn terminal(kind: RecordKind, id: u64) -> Record {
+        Record {
+            kind,
+            delivery_count: 0,
+            lease_id: id,
+            item: 0,
+            prev_lease_id: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_live_leases() {
+        let dir = tmp("roundtrip");
+        let mut log = AckLog::create(&dir, SyncPolicy::PowerFail).unwrap();
+        log.append(&grant(1, 100, 1, 0)).unwrap();
+        log.append(&grant(2, 200, 1, 0)).unwrap();
+        log.append(&terminal(RecordKind::Ack, 1)).unwrap();
+        // Lease 2 nacked, regranted as 3, then dead-lettered.
+        log.append(&Record {
+            kind: RecordKind::Pend,
+            delivery_count: 2,
+            lease_id: 2,
+            item: 200,
+            prev_lease_id: 0,
+        })
+        .unwrap();
+        log.append(&grant(3, 200, 2, 2)).unwrap();
+        log.append(&terminal(RecordKind::Dead, 3)).unwrap();
+        log.append(&grant(4, 400, 1, 0)).unwrap();
+        drop(log);
+
+        let (log, replay) = AckLog::replay(&dir, SyncPolicy::PowerFail).unwrap();
+        assert_eq!(log.records(), 7);
+        assert_eq!(replay.records, 7);
+        assert_eq!(replay.acked, 1);
+        assert_eq!(replay.dead, 1);
+        assert_eq!(replay.next_lease_id, 5);
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(replay.live.len(), 1);
+        assert_eq!(
+            replay.live[&4],
+            LiveLease {
+                item: 400,
+                delivery_count: 1,
+                granted: true
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_chopped() {
+        let dir = tmp("torn");
+        let mut log = AckLog::create(&dir, SyncPolicy::default()).unwrap();
+        log.append(&grant(1, 10, 1, 0)).unwrap();
+        log.append(&grant(2, 20, 1, 0)).unwrap();
+        drop(log);
+        // Simulate an append torn mid-record.
+        let path = dir.join(LEASE_LOG_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; RECORD_LEN - 7]).unwrap();
+        drop(f);
+
+        let (mut log, replay) = AckLog::replay(&dir, SyncPolicy::default()).unwrap();
+        assert_eq!(replay.records, 2);
+        assert_eq!(replay.torn_bytes, (RECORD_LEN - 7) as u64);
+        assert_eq!(replay.live.len(), 2);
+        // The tail was chopped: a fresh append lands on a record boundary
+        // and replays cleanly.
+        log.append(&terminal(RecordKind::Ack, 1)).unwrap();
+        drop(log);
+        let (_, replay) = AckLog::replay(&dir, SyncPolicy::default()).unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.live.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_is_refused_with_the_file_name() {
+        let dir = tmp("interior");
+        let mut log = AckLog::create(&dir, SyncPolicy::default()).unwrap();
+        for i in 1..=3 {
+            log.append(&grant(i, i * 10, 1, 0)).unwrap();
+        }
+        drop(log);
+        let path = dir.join(LEASE_LOG_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 5] ^= 0xFF; // first record, not the tail
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = AckLog::replay(&dir, SyncPolicy::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains(LEASE_LOG_FILE), "{msg}");
+        assert!(msg.contains("corrupt record"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_damage_is_refused() {
+        let dir = tmp("header");
+        drop(AckLog::create(&dir, SyncPolicy::default()).unwrap());
+        let path = dir.join(LEASE_LOG_FILE);
+
+        let good = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &good[..HEADER_LEN - 3]).unwrap();
+        let err = AckLog::replay(&dir, SyncPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("truncated header"), "{err}");
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        let err = AckLog::replay(&dir, SyncPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+
+        let mut bad = good.clone();
+        bad[9] ^= 0xFF; // version byte → header CRC mismatch
+        std::fs::write(&path, &bad).unwrap();
+        let err = AckLog::replay(&dir, SyncPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("header CRC mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_opens_as_a_fresh_log() {
+        let dir = tmp("missing");
+        let (log, replay) = AckLog::replay(&dir, SyncPolicy::default()).unwrap();
+        assert_eq!(log.records(), 0);
+        assert!(replay.live.is_empty());
+        assert_eq!(replay.next_lease_id, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_discards_the_retired_prefix_and_survives_replay() {
+        let dir = tmp("compact");
+        let mut log = AckLog::create(&dir, SyncPolicy::PowerFail).unwrap();
+        for i in 1..=100u64 {
+            log.append(&grant(i, i, 1, 0)).unwrap();
+            if i <= 98 {
+                log.append(&terminal(RecordKind::Ack, i)).unwrap();
+            }
+        }
+        assert_eq!(log.records(), 198);
+        log.compact([grant(99, 99, 1, 0), grant(100, 100, 1, 0)])
+            .unwrap();
+        assert_eq!(log.records(), 2);
+        // The compacted log still appends and replays.
+        log.append(&terminal(RecordKind::Ack, 99)).unwrap();
+        drop(log);
+        let (_, replay) = AckLog::replay(&dir, SyncPolicy::PowerFail).unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.live.len(), 1);
+        assert_eq!(replay.live[&100].item, 100);
+        assert_eq!(replay.next_lease_id, 101);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

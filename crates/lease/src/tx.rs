@@ -1,0 +1,153 @@
+//! Exactly-once handoff: ack + consumer state in one redo-log transaction.
+//!
+//! At-least-once delivery (the default) has one unavoidable duplicate
+//! window: the consumer durably applies its work, crashes before acking,
+//! and the item is redelivered. Closing it requires the ack and the
+//! consumer's own state transition to share a single atomic commit point —
+//! Gray's "queues are databases" argument. [`ExactlyOnce`] provides that
+//! commit point on top of `crates/ptm`'s redo-log engine:
+//!
+//! 1. A per-thread **ack cursor** (one 64-bit word per thread id, allocated
+//!    on the consumer's pool and published through root slot
+//!    [`CURSOR_ROOT_SLOT`]) records the last lease id whose ack transaction
+//!    committed on that thread.
+//! 2. [`LeasedQueue::ack_exactly_once`](crate::LeasedQueue::ack_exactly_once)
+//!    runs the consumer's writes **and** `cursor[tid] = lease.id` in one
+//!    [`Ptm::run`] transaction. The persisted commit status word is the
+//!    atomic point: either the consumer's state *and* the ack are durable,
+//!    or neither is.
+//! 3. The sidecar ack-log record is appended only after commit. If a crash
+//!    swallows it, recovery reads the cursor
+//!    ([`ExactlyOnce::acked_ids`]) and repairs the missing record instead
+//!    of redelivering — see [`LeasedQueue::recover`](crate::LeasedQueue::recover).
+//!
+//! The cursor holds one word per thread, so a thread has at most one ack
+//! transaction in the repair window at a time — which is exactly the
+//! execution model (`ack_exactly_once` appends the sidecar record before
+//! returning).
+//!
+//! The engine's root lines (6–7 of the queue root block) and the ad-hoc
+//! queues' lines (0–2) do not collide, so one pool can host both the
+//! consumer's durable state and this engine.
+
+use pmem::{PmemPool, MAX_THREADS};
+use ptm::{FlushPolicy, Ptm, Tx};
+use std::sync::Arc;
+
+/// Pool root slot publishing the ack-cursor area's offset (slots 0–6 are
+/// owned by the queue/engine conventions; see `docs/FORMATS.md`).
+pub const CURSOR_ROOT_SLOT: usize = 7;
+
+/// The exactly-once ack engine: a redo-log PTM plus the per-thread ack
+/// cursor. See the [module docs](self).
+pub struct ExactlyOnce {
+    ptm: Ptm,
+    /// Pool offset of the `MAX_THREADS × u64` cursor area.
+    cursor: u32,
+}
+
+impl ExactlyOnce {
+    /// Creates a fresh engine on `pool`: allocates and zeroes the cursor
+    /// area, publishes it in root slot [`CURSOR_ROOT_SLOT`], and starts a
+    /// fresh [`Ptm`].
+    pub fn create(pool: Arc<PmemPool>, policy: FlushPolicy) -> Self {
+        let len = (MAX_THREADS * 8) as u32;
+        let cursor = pool.alloc_raw(len, 64);
+        pool.zero_range(cursor, len);
+        pool.flush_range(0, cursor, len);
+        pool.sfence(0);
+        pool.set_root_u64(CURSOR_ROOT_SLOT, cursor as u64);
+        ExactlyOnce {
+            ptm: Ptm::new(pool, policy),
+            cursor,
+        }
+    }
+
+    /// Re-creates the engine after a crash: [`Ptm::recover`] first (so a
+    /// committed-but-unapplied ack transaction lands in the cursor before
+    /// anyone reads it), then the cursor offset from the root slot.
+    ///
+    /// # Panics
+    /// If the pool was never initialised with [`create`](Self::create)
+    /// (root slot 7 is zero).
+    pub fn recover(pool: Arc<PmemPool>, policy: FlushPolicy) -> Self {
+        let ptm = Ptm::recover(pool, policy);
+        let cursor = ptm.pool().root_u64(CURSOR_ROOT_SLOT) as u32;
+        assert!(
+            cursor != 0,
+            "pool has no exactly-once cursor (root slot {CURSOR_ROOT_SLOT} is zero); \
+             was it created with ExactlyOnce::create?"
+        );
+        ExactlyOnce { ptm, cursor }
+    }
+
+    /// Lease ids whose ack transaction committed (every non-zero cursor
+    /// word). Pass to
+    /// [`LeasedQueue::recover`](crate::LeasedQueue::recover) so those
+    /// leases are repaired instead of redelivered.
+    pub fn acked_ids(&self) -> Vec<u64> {
+        let pool = self.ptm.pool();
+        (0..MAX_THREADS)
+            .map(|t| pool.load_u64(self.cursor + (t * 8) as u32))
+            .filter(|&id| id != 0)
+            .collect()
+    }
+
+    /// The underlying transaction engine (for consumer-side transactions
+    /// that do not ack anything).
+    pub fn ptm(&self) -> &Ptm {
+        &self.ptm
+    }
+
+    /// Runs `body` and the cursor update `cursor[tid] = lease_id` as one
+    /// transaction. Called by
+    /// [`LeasedQueue::ack_exactly_once`](crate::LeasedQueue::ack_exactly_once).
+    pub(crate) fn run<R>(
+        &self,
+        tid: usize,
+        lease_id: u64,
+        body: impl FnOnce(&mut Tx<'_>) -> R,
+    ) -> R {
+        assert!(tid < MAX_THREADS, "tid {tid} exceeds MAX_THREADS");
+        let word = self.cursor + (tid * 8) as u32;
+        self.ptm.run(tid, |tx| {
+            let out = body(tx);
+            tx.write(word, lease_id);
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+
+    #[test]
+    fn cursor_survives_crash_and_reports_committed_acks() {
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(4 << 20)));
+        let eo = ExactlyOnce::create(Arc::clone(&pool), FlushPolicy::BatchedCommit);
+        assert!(eo.acked_ids().is_empty());
+
+        let consumer_state = pool.alloc_raw(8, 8);
+        eo.run(3, 41, |tx| tx.write(consumer_state, 1000));
+        assert_eq!(eo.acked_ids(), vec![41]);
+
+        // Crash: the committed transaction must survive into the cursor
+        // and the consumer's own word, atomically.
+        let crashed = Arc::new(pool.simulate_crash());
+        let eo2 = ExactlyOnce::recover(Arc::clone(&crashed), FlushPolicy::BatchedCommit);
+        assert_eq!(eo2.acked_ids(), vec![41]);
+        assert_eq!(crashed.load_u64(consumer_state), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "no exactly-once cursor")]
+    fn recover_refuses_an_uninitialised_pool() {
+        let pool = Arc::new(PmemPool::new(PoolConfig::small_test()));
+        // A Ptm exists but no cursor was ever published.
+        drop(Ptm::new(Arc::clone(&pool), FlushPolicy::BatchedCommit));
+        let crashed = Arc::new(pool.simulate_crash());
+        let _ = ExactlyOnce::recover(crashed, FlushPolicy::BatchedCommit);
+    }
+}

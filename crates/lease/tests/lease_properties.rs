@@ -1,0 +1,327 @@
+//! Property tests of the lease state machine: arbitrary interleavings of
+//! enqueue / dequeue / ack / nack / expiry-reap / **crash** must preserve
+//! the delivery contract at 1, 2 and 8 shards:
+//!
+//! - **no loss**: every enqueued item ends in exactly one of {acked,
+//!   drained residue, dead-letter queue};
+//! - **no premature retire**: an acked item is never delivered again, and
+//!   no lease is ever granted on an item that is not outstanding;
+//! - **per-key FIFO among never-leased items**: redelivery may reorder
+//!   leased items, but items the lease layer never touched must drain in
+//!   enqueue order per key (the sharded base's own guarantee, which the
+//!   peek-lock layer must not break).
+//!
+//! Crashes snapshot all shard pools and the DLQ pool (simulated
+//! full-system crash), drop the in-memory queue, and recover everything —
+//! shards via the orchestrator, leases via the ack-log replay — exactly
+//! like a restart. Every lease held across the crash is invalidated and
+//! must be redelivered.
+
+use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
+use lease::{Lease, LeaseConfig, LeaseError, LeasedQueue, Redelivery};
+use pmem::PoolConfig;
+use proptest::prelude::*;
+use shard::{RecoveryOrchestrator, RoutePolicy, ShardConfig, ShardedQueue};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEYS: [u64; 4] = [1, 2, 7, 40];
+const MAX_DELIVERIES: u32 = 4;
+
+fn encode(key: u64, seq: u64) -> u64 {
+    (key << 32) | seq
+}
+
+fn decode_key(v: u64) -> u64 {
+    v >> 32
+}
+
+fn decode_seq(v: u64) -> u64 {
+    v & 0xFFFF_FFFF
+}
+
+fn shard_config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        queue: QueueConfig::small_test(),
+        pool: PoolConfig::test_with_size(8 << 20),
+        policy: RoutePolicy::KeyHash,
+    }
+}
+
+fn fresh_dlq() -> Arc<dyn DurableQueue> {
+    let pool = Arc::new(pmem::PmemPool::new(PoolConfig::test_with_size(4 << 20)));
+    Arc::new(OptUnlinkedQueue::create(pool, QueueConfig::small_test()))
+}
+
+/// Crash-recovers the whole deployment: shard pools and DLQ pool snapshot
+/// to their persistent images, then everything is rebuilt from those
+/// images plus the ack log on disk.
+fn crash_and_recover(
+    queue: LeasedQueue<ShardedQueue<OptUnlinkedQueue>>,
+    config: ShardConfig,
+    lease_cfg: &LeaseConfig,
+) -> LeasedQueue<ShardedQueue<OptUnlinkedQueue>> {
+    let orch = RecoveryOrchestrator::new(2);
+    let base_pools = orch.crash(queue.base());
+    let dlq_pool = queue
+        .dlq()
+        .expect("property deployments always have a DLQ")
+        .pool()
+        .simulate_crash();
+    drop(queue);
+    let (base, _) = orch.recover::<OptUnlinkedQueue>(base_pools, config);
+    let dlq: Arc<dyn DurableQueue> = Arc::new(OptUnlinkedQueue::recover(
+        Arc::new(dlq_pool),
+        QueueConfig::small_test(),
+    ));
+    let (queue, _) = LeasedQueue::recover(base, Some(dlq), lease_cfg.clone(), &[])
+        .expect("recover leased queue");
+    queue
+}
+
+struct Model {
+    /// Next sequence number per key.
+    next_seq: HashMap<u64, u64>,
+    /// Enqueued items not yet acked (dead-lettered items stay here until
+    /// the final partition check, because expiry-driven dead-lettering is
+    /// not directly observable).
+    outstanding: HashSet<u64>,
+    /// Items whose ack was confirmed — must never be seen again.
+    acked: HashSet<u64>,
+    /// Items that were ever under lease (redelivery may reorder these).
+    ever_leased: HashSet<u64>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            next_seq: KEYS.iter().map(|&k| (k, 1)).collect(),
+            outstanding: HashSet::new(),
+            acked: HashSet::new(),
+            ever_leased: HashSet::new(),
+        }
+    }
+
+    fn on_granted(&mut self, l: &Lease) -> Result<(), TestCaseError> {
+        prop_assert!(
+            self.outstanding.contains(&l.item),
+            "granted item {:#x} is not outstanding (premature retire or invention)",
+            l.item
+        );
+        prop_assert!(
+            !self.acked.contains(&l.item),
+            "acked item {:#x} resurrected",
+            l.item
+        );
+        self.ever_leased.insert(l.item);
+        Ok(())
+    }
+}
+
+/// One seeded interleaving: `ops` random operations (with up to
+/// `crashes` full-system crashes sprinkled in), then a full drain and the
+/// partition + FIFO checks.
+fn run_interleaving(
+    shards: usize,
+    seed: u64,
+    ops: usize,
+    timeout_ms: u64,
+    crashes: u32,
+) -> Result<(), TestCaseError> {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "lease-prop-{shards}-{seed}-{timeout_ms}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = shard_config(shards);
+    let lease_cfg = LeaseConfig::new(&dir)
+        .with_timeout(Duration::from_millis(timeout_ms))
+        .with_max_deliveries(MAX_DELIVERIES)
+        .with_compact_after(32); // tiny floor: interleavings exercise compaction too
+    let base = ShardedQueue::<OptUnlinkedQueue>::create(config);
+    let mut queue = LeasedQueue::create(base, Some(fresh_dlq()), lease_cfg.clone())
+        .expect("create leased queue");
+
+    let mut model = Model::new();
+    let mut held: Vec<Lease> = Vec::new();
+    let mut crashes_left = crashes;
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        state >> 16
+    };
+
+    for _ in 0..ops {
+        match rng() % 100 {
+            // Enqueue the next item of a random key.
+            0..=39 => {
+                let key = KEYS[(rng() % KEYS.len() as u64) as usize];
+                let seq = model.next_seq[&key];
+                let item = encode(key, seq);
+                queue.enqueue_keyed(0, key, item);
+                model.next_seq.insert(key, seq + 1);
+                model.outstanding.insert(item);
+            }
+            // Dequeue a lease and hold it.
+            40..=69 => {
+                if let Some(l) = queue.dequeue(0) {
+                    model.on_granted(&l)?;
+                    held.push(l);
+                }
+            }
+            // Ack a random held lease (possibly stale).
+            70..=84 => {
+                if !held.is_empty() {
+                    let l = held.swap_remove((rng() % held.len() as u64) as usize);
+                    match queue.ack(&l) {
+                        Ok(()) => {
+                            model.outstanding.remove(&l.item);
+                            model.acked.insert(l.item);
+                        }
+                        Err(LeaseError::NotInFlight) => {} // expired/settled
+                    }
+                }
+            }
+            // Nack a random held lease (possibly stale).
+            85..=92 => {
+                if !held.is_empty() {
+                    let l = held.swap_remove((rng() % held.len() as u64) as usize);
+                    match queue.nack(0, &l) {
+                        Ok(Redelivery::Requeued { .. }) | Err(LeaseError::NotInFlight) => {}
+                        Ok(Redelivery::DeadLettered) => {
+                            // Stays in `outstanding`; the final partition
+                            // check finds it in the DLQ bucket.
+                        }
+                    }
+                }
+            }
+            // Reap expired leases explicitly.
+            93..=96 => {
+                queue.reap_expired(0);
+            }
+            // Full-system crash + recovery.
+            _ => {
+                if crashes_left > 0 {
+                    crashes_left -= 1;
+                    held.clear(); // every in-memory lease dies with the process
+                    queue = crash_and_recover(queue, config, &lease_cfg);
+                }
+            }
+        }
+    }
+
+    // Settle every lease still held: with a long timeout they would never
+    // expire, and their items would otherwise stay invisible to the drain.
+    // Nacking (rather than acking) routes them through redelivery or the
+    // dead-letter budget, both covered by the partition check below.
+    for l in held.drain(..) {
+        let _ = queue.nack(0, &l);
+    }
+
+    // Snapshot before the final drain grants leases on everything.
+    let leased_before_drain = model.ever_leased.clone();
+
+    // Final drain: every grant is immediately acked (so even zero-timeout
+    // runs terminate), and the delivery contract is checked per item.
+    let mut drained: Vec<u64> = Vec::new();
+    let mut drained_set: HashSet<u64> = HashSet::new();
+    while let Some(l) = queue.dequeue(0) {
+        model.on_granted(&l)?;
+        prop_assert!(
+            drained_set.insert(l.item),
+            "item {:#x} delivered twice in the final drain",
+            l.item
+        );
+        if queue.ack(&l).is_err() {
+            // Zero-timeout runs can expire the lease between grant and
+            // ack bookkeeping; the item will come around again and the
+            // budget guarantees termination.
+            drained_set.remove(&l.item);
+            continue;
+        }
+        drained.push(l.item);
+    }
+    let dlq = Arc::clone(queue.dlq().unwrap());
+    let dead: HashSet<u64> = std::iter::from_fn(|| dlq.dequeue(0)).collect();
+
+    // Partition: what was owed (outstanding) is exactly the drained
+    // residue plus the dead-letter queue, disjointly — nothing lost,
+    // nothing invented, nothing retired early.
+    for item in &drained_set {
+        prop_assert!(!dead.contains(item), "item {item:#x} both drained and dead");
+    }
+    let mut recovered: HashSet<u64> = drained_set.clone();
+    recovered.extend(dead.iter().copied());
+    prop_assert_eq!(
+        &recovered,
+        &model.outstanding,
+        "drained ∪ DLQ must equal the outstanding set"
+    );
+    for item in &dead {
+        prop_assert!(
+            leased_before_drain.contains(item),
+            "never-leased item {item:#x} cannot have exhausted its budget"
+        );
+    }
+
+    // Per-key FIFO among items the lease layer never touched.
+    let mut last_seq: HashMap<u64, u64> = HashMap::new();
+    for &item in &drained {
+        if leased_before_drain.contains(&item) {
+            continue;
+        }
+        let (key, seq) = (decode_key(item), decode_seq(item));
+        if let Some(&prev) = last_seq.get(&key) {
+            prop_assert!(
+                seq > prev,
+                "per-key FIFO violated for never-leased key {key}: {seq} after {prev}"
+            );
+        }
+        last_seq.insert(key, seq);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Single shard: the degenerate case where every key shares one FIFO.
+    #[test]
+    fn interleavings_hold_the_contract_at_1_shard(
+        seed in 0u64..1_000_000,
+        timeout_idx in 0usize..2,
+        crashes in 1u32..3,
+    ) {
+        let timeout = [0u64, 3_600_000][timeout_idx];
+        run_interleaving(1, seed, 160, timeout, crashes)?;
+    }
+
+    /// Two shards: keys split across pools, leases still one log.
+    #[test]
+    fn interleavings_hold_the_contract_at_2_shards(
+        seed in 0u64..1_000_000,
+        timeout_idx in 0usize..2,
+        crashes in 1u32..3,
+    ) {
+        let timeout = [0u64, 3_600_000][timeout_idx];
+        run_interleaving(2, seed, 160, timeout, crashes)?;
+    }
+
+    /// Eight shards: more pools than keys, some shards stay empty.
+    #[test]
+    fn interleavings_hold_the_contract_at_8_shards(
+        seed in 0u64..1_000_000,
+        timeout_idx in 0usize..2,
+        crashes in 1u32..3,
+    ) {
+        let timeout = [0u64, 3_600_000][timeout_idx];
+        run_interleaving(8, seed, 160, timeout, crashes)?;
+    }
+}

@@ -84,19 +84,54 @@ fn write_checked(dir: &Path, name: &str, body: &str) -> io::Result<()> {
 
 /// Reads `path` and validates its trailing `crc` line, returning the body
 /// the CRC covers.
+///
+/// Every failure mode names the file and what was found, so an operator
+/// staring at a refused directory knows whether the file was **truncated**
+/// (a torn write: empty, ends mid-line, or the trailer line is missing
+/// entirely) or **corrupted** (a complete trailer whose expected CRC does
+/// not match the one found on disk).
 fn read_checked(path: &Path) -> io::Result<String> {
     let content = fs::read_to_string(path)?;
-    let Some(crc_start) = content.rfind("crc ") else {
-        return Err(invalid(format!("{}: missing crc line", path.display())));
-    };
-    let body = &content[..crc_start];
-    let stored = u32::from_str_radix(content[crc_start + 4..].trim(), 16)
-        .map_err(|_| invalid(format!("{}: malformed crc line", path.display())))?;
-    let computed = crc32(body.as_bytes());
-    if stored != computed {
+    if content.is_empty() {
         return Err(invalid(format!(
-            "{}: CRC mismatch (stored {stored:08x}, computed {computed:08x})",
+            "{}: empty file (truncated before any content, including the crc trailer)",
             path.display()
+        )));
+    }
+    // The writer always ends the file with a newline-terminated
+    // `crc <hex8>` trailer; a file that stops mid-line was truncated.
+    let Some(complete) = content.strip_suffix('\n') else {
+        let tail_start = content.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        return Err(invalid(format!(
+            "{}: truncated file ({} bytes, ends mid-line at {:?}; crc trailer incomplete)",
+            path.display(),
+            content.len(),
+            &content[tail_start..tail_start + (content.len() - tail_start).min(24)]
+        )));
+    };
+    let (body, trailer) = match complete.rfind('\n') {
+        Some(i) => (&content[..i + 1], &complete[i + 1..]),
+        None => ("", complete),
+    };
+    let Some(stored_hex) = trailer.strip_prefix("crc ") else {
+        return Err(invalid(format!(
+            "{}: truncated file ({} bytes; last line {trailer:?} is not the crc trailer)",
+            path.display(),
+            content.len()
+        )));
+    };
+    let stored = u32::from_str_radix(stored_hex.trim(), 16).map_err(|_| {
+        invalid(format!(
+            "{}: malformed crc value {stored_hex:?}",
+            path.display()
+        ))
+    })?;
+    let expected = crc32(body.as_bytes());
+    if stored != expected {
+        return Err(invalid(format!(
+            "{}: CRC mismatch (expected {expected:08x} over {} body bytes, found {stored:08x})",
+            path.display(),
+            body.len()
         )));
     }
     Ok(body.to_string())
@@ -406,16 +441,37 @@ mod tests {
         let path = dir.join(MANIFEST_FILE);
         let good = fs::read_to_string(&path).unwrap();
 
-        // Flip a byte inside the body: CRC mismatch.
+        // Flip a byte inside the body: CRC mismatch, reported with the
+        // file, the expected CRC and the one found on disk.
         fs::write(&path, good.replace("shards 4", "shards 5")).unwrap();
         let err = ShardManifest::read(&dir).unwrap_err().to_string();
-        assert!(err.contains("CRC"), "{err}");
+        assert!(err.contains("CRC mismatch"), "{err}");
+        assert!(err.contains(MANIFEST_FILE), "{err}");
+        assert!(err.contains("expected") && err.contains("found"), "{err}");
 
-        // Remove the crc line entirely.
-        let no_crc = good.lines().take(3).collect::<Vec<_>>().join("\n");
+        // Remove the crc line entirely (complete lines, no trailer).
+        let no_crc = format!("{}\n", good.lines().take(3).collect::<Vec<_>>().join("\n"));
         fs::write(&path, no_crc).unwrap();
         let err = ShardManifest::read(&dir).unwrap_err().to_string();
-        assert!(err.contains("crc"), "{err}");
+        assert!(err.contains("not the crc trailer"), "{err}");
+
+        // Truncate mid-line (a torn write): reported as truncation, with
+        // the file and the torn tail.
+        fs::write(&path, &good.as_bytes()[..good.len() - 5]).unwrap();
+        let err = ShardManifest::read(&dir).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains(MANIFEST_FILE), "{err}");
+
+        // Truncate to nothing.
+        fs::write(&path, "").unwrap();
+        let err = ShardManifest::read(&dir).unwrap_err().to_string();
+        assert!(err.contains("empty file"), "{err}");
+
+        // A non-hex crc value is malformed, not a mismatch.
+        let body = &good[..good.rfind("crc ").unwrap()];
+        fs::write(&path, format!("{body}crc zzzzzzzz\n")).unwrap();
+        let err = ShardManifest::read(&dir).unwrap_err().to_string();
+        assert!(err.contains("malformed crc value"), "{err}");
 
         // Future version is refused (CRC recomputed to keep that the only
         // difference).

@@ -64,6 +64,26 @@ pub struct ShardRecovery {
     pub growth_epoch: u32,
 }
 
+/// Lease-layer recovery summary. The orchestrator itself recovers only the
+/// shards; when a deployment consumes through the `lease` crate's peek-lock
+/// wrapper, its directory open path replays the ack log afterwards and
+/// fills this into the [`RecoveryReport`], so one report covers the whole
+/// restart.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeaseRecovery {
+    /// Leases that were in a consumer's hands at the crash, now queued for
+    /// redelivery with an incremented delivery count.
+    pub unacked: u64,
+    /// Total items queued for redelivery (`unacked` + previously
+    /// nacked/expired items not yet regranted at the crash).
+    pub redelivered: u64,
+    /// Items moved to the dead-letter queue during recovery because their
+    /// next delivery would exceed the budget.
+    pub dead_lettered: u64,
+    /// Ack-log records replayed.
+    pub log_records: u64,
+}
+
 /// The outcome of one parallel recovery campaign.
 #[derive(Clone, Debug)]
 pub struct RecoveryReport {
@@ -73,6 +93,9 @@ pub struct RecoveryReport {
     pub wall: Duration,
     /// Worker threads the campaign ran on.
     pub threads: usize,
+    /// Lease-state recovery, when the deployment consumes through the
+    /// peek-lock layer (`None` for plain destructive-dequeue deployments).
+    pub lease: Option<LeaseRecovery>,
 }
 
 impl RecoveryReport {
@@ -119,15 +142,23 @@ impl RecoveryReport {
             0 => String::new(),
             n => format!(", {n} pool growth(s) inherited"),
         };
+        let lease = match &self.lease {
+            None => String::new(),
+            Some(l) => format!(
+                "; leases: {} unacked redelivered ({} total), {} dead-lettered",
+                l.unacked, l.redelivered, l.dead_lettered
+            ),
+        };
         format!(
-            "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x{})",
+            "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x{}){}",
             self.per_shard.len(),
             self.threads,
             self.wall,
             self.sequential_cost(),
             self.critical_path(),
             self.speedup(),
-            growth
+            growth,
+            lease
         )
     }
 }
@@ -226,6 +257,7 @@ impl RecoveryOrchestrator {
             per_shard,
             wall,
             threads: self.threads.min(n).max(1),
+            lease: None,
         };
         (queue, report)
     }
@@ -404,6 +436,7 @@ impl RecoveryOrchestrator {
             per_shard,
             wall,
             threads: self.threads.min(n).max(1),
+            lease: None,
         };
         Ok((queue, report, manifest))
     }

@@ -10,14 +10,15 @@
 //! the global drain is not FIFO (shards are independent), but each shard's
 //! residue must replay the single producer's sequence in increasing order.
 
+use durable_queues::testkit::subprocess::{
+    kill_and_reap, read_unique_acks, scratch_dir, wait_for_lines, AckLog, ChildProc,
+};
 use durable_queues::QueueConfig;
 use durable_queues::{DurableMsQueue, DurableQueue, OptUnlinkedQueue, RecoverableQueue};
 use shard::{RecoveryOrchestrator, RoutePolicy, ShardConfig, ShardManifest};
 use std::collections::BTreeSet;
-use std::io::Write;
 use std::path::Path;
-use std::process::{Command, Stdio};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use store::FileConfig;
 
 const ENV_DIR: &str = "SHARD_CRASH_CHILD_DIR";
@@ -65,23 +66,19 @@ fn run_child<Q: RecoverableQueue>(dir: &Path) {
     let queue: shard::ShardedQueue<Q> = orch
         .create_dir(dir, shard_config(), FileConfig::with_size(32 << 20))
         .expect("child: create shard dir");
-    let mut enq_log = std::fs::File::create(dir.join("enq.log")).expect("child: enq log");
-    let mut deq_log = std::fs::File::create(dir.join("deq.log")).expect("child: deq log");
+    let mut enq_log = AckLog::create(dir.join("enq.log"));
+    let mut deq_log = AckLog::create(dir.join("deq.log"));
     std::thread::scope(|scope| {
         let q = &queue;
         scope.spawn(move || {
             for seq in 1..=2_000_000u64 {
                 q.enqueue(0, seq);
-                enq_log
-                    .write_all(format!("E {seq}\n").as_bytes())
-                    .expect("child: enq ack");
+                enq_log.record("E", seq);
             }
         });
         scope.spawn(move || loop {
             if let Some(v) = q.dequeue(1) {
-                deq_log
-                    .write_all(format!("D {v}\n").as_bytes())
-                    .expect("child: deq ack");
+                deq_log.record("D", v);
             }
         });
     });
@@ -91,51 +88,20 @@ fn run_child<Q: RecoverableQueue>(dir: &Path) {
 // Parent side
 // ---------------------------------------------------------------------
 
-fn read_acks(path: &Path) -> BTreeSet<u64> {
-    let Ok(raw) = std::fs::read(path) else {
-        return BTreeSet::new();
-    };
-    let text = String::from_utf8_lossy(&raw);
-    let mut out = BTreeSet::new();
-    for line in text.split_inclusive('\n') {
-        let Some(body) = line.strip_suffix('\n') else {
-            break; // torn tail: an unacknowledged operation
-        };
-        let num = body[1..].trim().parse::<u64>().expect("malformed ack");
-        assert!(out.insert(num), "duplicate ack {num}");
-    }
-    out
-}
-
 fn crash_round<Q: RecoverableQueue>(algo: &str) {
-    let dir = std::env::temp_dir().join(format!("shard-dir-crash-{algo}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch_dir(&format!("shard-dir-crash-{algo}"));
 
-    let mut child = Command::new(std::env::current_exe().unwrap())
-        .args(["shard_crash_child_entry", "--exact", "--nocapture"])
+    let mut child = ChildProc::new("shard_crash_child_entry")
         .env(ENV_DIR, &dir)
         .env(ENV_ALGO, algo)
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn child");
-    // Poll with a plain newline count; the full parse runs after the kill.
-    let count_lines = |path: &Path| {
-        std::fs::read(path)
-            .map(|raw| raw.iter().filter(|&&b| b == b'\n').count())
-            .unwrap_or(0)
-    };
-    let deadline = Instant::now() + Duration::from_secs(60);
-    while count_lines(&dir.join("enq.log")) < 500 {
-        if let Some(status) = child.try_wait().expect("poll child") {
-            panic!("child exited prematurely ({status}) before reaching traffic");
-        }
-        assert!(Instant::now() < deadline, "child made no progress");
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    child.kill().expect("SIGKILL child");
-    child.wait().expect("reap child");
+        .spawn();
+    wait_for_lines(
+        &mut child,
+        &dir.join("enq.log"),
+        500,
+        Duration::from_secs(60),
+    );
+    kill_and_reap(&mut child);
 
     // A fresh "process": recover the whole deployment from the directory.
     let orch = RecoveryOrchestrator::new(SHARDS);
@@ -147,8 +113,8 @@ fn crash_round<Q: RecoverableQueue>(algo: &str) {
     assert_eq!(report.per_shard.len(), SHARDS);
     assert_eq!(queue.shard_count(), SHARDS);
 
-    let acked_e = read_acks(&dir.join("enq.log"));
-    let acked_d = read_acks(&dir.join("deq.log"));
+    let acked_e = read_unique_acks(&dir.join("enq.log"), "E");
+    let acked_d = read_unique_acks(&dir.join("deq.log"), "D");
 
     // Drain shard by shard: stronger than a global drain, because each
     // shard's residue must replay the producer's sequence in order.
@@ -241,6 +207,72 @@ fn clean_dir_restart_recovers_exact_content() {
     rest.sort_unstable();
     assert_eq!(rest, (501..=2_000).collect::<Vec<_>>());
 
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A valid directory whose manifest was truncated (torn write) is refused
+/// by `open_dir` with an error naming the file and the truncation — not an
+/// opaque parse failure.
+#[test]
+fn open_dir_with_truncated_manifest_names_the_file_and_the_tear() {
+    let dir = scratch_dir("shard-dir-truncated");
+    let orch = RecoveryOrchestrator::new(2);
+    drop(
+        orch.create_dir::<DurableMsQueue>(
+            &dir,
+            ShardConfig {
+                shards: 2,
+                ..shard_config()
+            },
+            FileConfig::with_size(8 << 20),
+        )
+        .unwrap(),
+    );
+    let path = dir.join(shard::MANIFEST_FILE);
+    let good = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &good[..good.len() - 6]).unwrap();
+
+    let err = orch
+        .open_dir::<DurableMsQueue>(&dir, queue_config())
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains(shard::MANIFEST_FILE), "{msg}");
+    assert!(msg.contains("truncated"), "{msg}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A bit-flipped manifest is refused by `open_dir` with the expected and
+/// found CRC values in the error.
+#[test]
+fn open_dir_with_crc_mismatched_manifest_reports_both_crcs() {
+    let dir = scratch_dir("shard-dir-crcflip");
+    let orch = RecoveryOrchestrator::new(2);
+    drop(
+        orch.create_dir::<DurableMsQueue>(
+            &dir,
+            ShardConfig {
+                shards: 2,
+                ..shard_config()
+            },
+            FileConfig::with_size(8 << 20),
+        )
+        .unwrap(),
+    );
+    let path = dir.join(shard::MANIFEST_FILE);
+    let good = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, good.replace("policy", "Policy")).unwrap();
+
+    let err = orch
+        .open_dir::<DurableMsQueue>(&dir, queue_config())
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains(shard::MANIFEST_FILE), "{msg}");
+    assert!(msg.contains("CRC mismatch"), "{msg}");
+    assert!(msg.contains("expected") && msg.contains("found"), "{msg}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

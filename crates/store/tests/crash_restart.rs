@@ -18,15 +18,17 @@
 //!   at most once,
 //! * the drained remainder must be in FIFO (strictly increasing) order.
 
+use durable_queues::testkit::subprocess::{
+    kill_and_reap, read_acks, scratch_dir, wait_for_lines, AckLog, ChildProc,
+};
 use durable_queues::{
     DurableMsQueue, DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue,
 };
 use std::collections::BTreeSet;
-use std::io::Write;
 use std::path::Path;
-use std::process::{Child, Command, Stdio};
+use std::process::Child;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use store::{FileConfig, FilePool};
 
 const ENV_DIR: &str = "STORE_CRASH_CHILD_DIR";
@@ -68,8 +70,8 @@ fn run_child(dir: &Path, algo: &str) {
 /// One enqueuer (tid 0) and one dequeuer (tid 1), each acknowledging every
 /// completed operation with a log line before issuing the next.
 fn drive_traffic<Q: DurableQueue>(queue: Q, dir: &Path) {
-    let mut enq_log = std::fs::File::create(dir.join("enq.log")).expect("child: enq log");
-    let mut deq_log = std::fs::File::create(dir.join("deq.log")).expect("child: deq log");
+    let mut enq_log = AckLog::create(dir.join("enq.log"));
+    let mut deq_log = AckLog::create(dir.join("deq.log"));
     std::thread::scope(|scope| {
         let q = &queue;
         scope.spawn(move || {
@@ -78,16 +80,12 @@ fn drive_traffic<Q: DurableQueue>(queue: Q, dir: &Path) {
             // final line.
             for seq in 1..=2_000_000u64 {
                 q.enqueue(0, seq);
-                enq_log
-                    .write_all(format!("E {seq}\n").as_bytes())
-                    .expect("child: enq ack");
+                enq_log.record("E", seq);
             }
         });
         scope.spawn(move || loop {
             if let Some(v) = q.dequeue(1) {
-                deq_log
-                    .write_all(format!("D {v}\n").as_bytes())
-                    .expect("child: deq ack");
+                deq_log.record("D", v);
             }
         });
     });
@@ -98,63 +96,10 @@ fn drive_traffic<Q: DurableQueue>(queue: Q, dir: &Path) {
 // ---------------------------------------------------------------------
 
 fn spawn_child(dir: &Path, algo: &str) -> Child {
-    Command::new(std::env::current_exe().expect("test binary path"))
-        .args(["crash_child_entry", "--exact", "--nocapture"])
+    ChildProc::new("crash_child_entry")
         .env(ENV_DIR, dir)
         .env(ENV_ALGO, algo)
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
         .spawn()
-        .expect("spawn child")
-}
-
-/// Parses complete `<tag> <number>` lines; a torn trailing line (no final
-/// newline — the kill can land mid-write) is ignored, exactly like an
-/// unacknowledged operation.
-fn read_acks(path: &Path, tag: &str) -> Vec<u64> {
-    let Ok(raw) = std::fs::read(path) else {
-        return Vec::new();
-    };
-    let text = String::from_utf8_lossy(&raw);
-    let mut out = Vec::new();
-    for line in text.split_inclusive('\n') {
-        let Some(body) = line.strip_suffix('\n') else {
-            break; // torn tail
-        };
-        let Some(num) = body.strip_prefix(tag).map(str::trim) else {
-            panic!("malformed ack line {body:?}");
-        };
-        out.push(num.parse::<u64>().unwrap_or_else(|_| {
-            panic!("malformed ack number in {body:?}");
-        }));
-    }
-    out
-}
-
-/// Waits until the enqueue ack log reports at least `min_acks` confirmed
-/// operations, so the kill always lands mid-traffic, never before traffic.
-/// Polls with a plain newline count (the full parse runs after the kill)
-/// and fails fast if the child dies before reaching traffic.
-fn wait_for_progress(dir: &Path, child: &mut Child, min_acks: usize) {
-    let count_lines = |path: &Path| {
-        std::fs::read(path)
-            .map(|raw| raw.iter().filter(|&&b| b == b'\n').count())
-            .unwrap_or(0)
-    };
-    let deadline = Instant::now() + Duration::from_secs(60);
-    loop {
-        if count_lines(&dir.join("enq.log")) >= min_acks {
-            return;
-        }
-        if let Some(status) = child.try_wait().expect("poll child") {
-            panic!("child exited prematurely ({status}) before reaching traffic");
-        }
-        assert!(
-            Instant::now() < deadline,
-            "child made no progress within 60s"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
 }
 
 struct SuffixCheck {
@@ -241,18 +186,16 @@ fn check_linearizable_suffix(
 }
 
 fn crash_round<Q: RecoverableQueue>(algo: &str) {
-    let dir = std::env::temp_dir().join(format!(
-        "store-crash-{algo}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch_dir(&format!("store-crash-{algo}"));
 
     let mut child = spawn_child(&dir, algo);
-    wait_for_progress(&dir, &mut child, 500);
-    child.kill().expect("SIGKILL child");
-    child.wait().expect("reap child");
+    wait_for_lines(
+        &mut child,
+        &dir.join("enq.log"),
+        500,
+        Duration::from_secs(60),
+    );
+    kill_and_reap(&mut child);
 
     let pool = FilePool::open(dir.join("pool.dq")).expect("reopen pool file");
     assert!(

@@ -332,26 +332,11 @@ fn epoch_pin_child_entry() {
 /// reopen rolls it forward — retirement never delays the commit point.
 #[test]
 fn pinned_readers_never_delay_the_grow_commit_point() {
-    let dir = std::env::temp_dir().join(format!(
-        "store-epoch-commit-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-
-    let status = std::process::Command::new(std::env::current_exe().unwrap())
-        .args(["epoch_pin_child_entry", "--exact", "--nocapture"])
+    let dir = durable_queues::testkit::subprocess::scratch_dir("store-epoch-commit");
+    durable_queues::testkit::subprocess::ChildProc::new("epoch_pin_child_entry")
         .env(ENV_DIR, &dir)
-        .env("DQ_GROW_ABORT_AFTER_COMMIT", "1")
-        .stdout(std::process::Stdio::null())
-        .stderr(std::process::Stdio::null())
-        .status()
-        .expect("spawn epoch pin child");
-    assert!(
-        !status.success(),
-        "the abort point must have fired: {status}"
-    );
+        .abort_at(Some("DQ_GROW_ABORT_AFTER_COMMIT"))
+        .run_to_abort();
 
     // The journal record was persisted with four readers pinned: the
     // commit happened, retirement did not — and recovery honours it.

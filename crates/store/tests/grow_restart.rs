@@ -15,15 +15,16 @@
 //! exactly once, in FIFO order, with at most one unconfirmed in-flight
 //! extra — and the pool must keep growing after recovery.
 
+use durable_queues::testkit::subprocess::{
+    kill_and_reap, read_unique_acks, scratch_dir, wait_until, AckLog, ChildProc,
+};
 use durable_queues::{
     DurableMsQueue, DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue,
 };
 use std::collections::BTreeSet;
-use std::io::Write;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::path::Path;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use store::{FileConfig, FilePool, SyncPolicy, HEADER_LEN};
 
 const ENV_DIR: &str = "STORE_GROW_CHILD_DIR";
@@ -71,12 +72,10 @@ fn grow_child_entry() {
 /// parent kills it (SIGKILL round); enqueue-only traffic keeps allocation
 /// pressure constant, so growths keep coming.
 fn drive_enqueues<Q: DurableQueue>(queue: Q, dir: impl AsRef<Path>) {
-    let mut enq_log = std::fs::File::create(dir.as_ref().join("enq.log")).expect("child: enq log");
+    let mut enq_log = AckLog::create(dir.as_ref().join("enq.log"));
     for seq in 1..=u64::MAX {
         queue.enqueue(0, seq);
-        enq_log
-            .write_all(format!("E {seq}\n").as_bytes())
-            .expect("child: enq ack");
+        enq_log.record("E", seq);
     }
 }
 
@@ -84,51 +83,13 @@ fn drive_enqueues<Q: DurableQueue>(queue: Q, dir: impl AsRef<Path>) {
 // Parent side
 // ---------------------------------------------------------------------
 
-fn test_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "store-grow-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// Spawns the child; `abort_env` is one of the file pool's deterministic
-/// grow crash points (or `None` for a parent-timed SIGKILL).
-fn spawn_child(dir: &Path, algo: &str, abort_env: Option<&str>) -> Child {
-    let mut cmd = Command::new(std::env::current_exe().expect("test binary path"));
-    cmd.args(["grow_child_entry", "--exact", "--nocapture"])
+/// Child builder; `abort_env` is one of the file pool's deterministic grow
+/// crash points (or `None` for a parent-timed SIGKILL).
+fn grow_child(dir: &Path, algo: &str, abort_env: Option<&str>) -> ChildProc {
+    ChildProc::new("grow_child_entry")
         .env(ENV_DIR, dir)
         .env(ENV_ALGO, algo)
-        .stdout(Stdio::null())
-        .stderr(Stdio::null());
-    if let Some(var) = abort_env {
-        cmd.env(var, "1");
-    }
-    cmd.spawn().expect("spawn grow child")
-}
-
-/// Complete `E <seq>` ack lines; a torn trailing line counts as
-/// unacknowledged, exactly what it is.
-fn read_enq_acks(dir: &Path) -> BTreeSet<u64> {
-    let Ok(raw) = std::fs::read(dir.join("enq.log")) else {
-        return BTreeSet::new();
-    };
-    let text = String::from_utf8_lossy(&raw);
-    let mut out = BTreeSet::new();
-    for line in text.split_inclusive('\n') {
-        let Some(body) = line.strip_suffix('\n') else {
-            break;
-        };
-        let num = body
-            .strip_prefix("E ")
-            .and_then(|s| s.trim().parse::<u64>().ok())
-            .unwrap_or_else(|| panic!("malformed ack line {body:?}"));
-        assert!(out.insert(num), "duplicate ack {num}");
-    }
-    out
+        .abort_at(abort_env)
 }
 
 /// Reopens the pool (rolling any pending grow commit forward), recovers the
@@ -151,7 +112,7 @@ fn recover_and_validate<Q: RecoverableQueue>(dir: &Path, expect_epoch: Option<u3
     assert_eq!(pool.growth_epoch(), epoch);
     let queue = Q::recover(Arc::clone(&pool), queue_config());
 
-    let acked = read_enq_acks(dir);
+    let acked: BTreeSet<u64> = read_unique_acks(&dir.join("enq.log"), "E");
     let drained: Vec<u64> = std::iter::from_fn(|| queue.dequeue(0)).collect();
     for pair in drained.windows(2) {
         assert!(
@@ -205,26 +166,14 @@ fn recover_and_validate<Q: RecoverableQueue>(dir: &Path, expect_epoch: Option<u3
 /// SIGKILL lands at a parent-chosen (nondeterministic) point once the file
 /// has been extended at least twice.
 fn sigkill_round<Q: RecoverableQueue>(algo: &str) {
-    let dir = test_dir(&format!("kill-{algo}"));
-    let mut child = spawn_child(&dir, algo, None);
+    let dir = scratch_dir(&format!("store-grow-kill-{algo}"));
+    let mut child = grow_child(&dir, algo, None).spawn();
     let pool_path = dir.join("pool.dq");
-    let deadline = Instant::now() + Duration::from_secs(120);
-    loop {
-        let len = std::fs::metadata(&pool_path).map(|m| m.len()).unwrap_or(0);
-        if len >= (HEADER_LEN + BASE_BYTES + 2 * GROW_STEP) as u64 {
-            break;
-        }
-        if let Some(status) = child.try_wait().expect("poll grow child") {
-            panic!("grow child exited prematurely ({status}) before two growths");
-        }
-        assert!(
-            Instant::now() < deadline,
-            "grow child reached no growth within 120s"
-        );
-        std::thread::sleep(Duration::from_millis(2));
-    }
-    child.kill().expect("SIGKILL grow child");
-    child.wait().expect("reap grow child");
+    wait_until(&mut child, Duration::from_secs(120), "two growths", || {
+        std::fs::metadata(&pool_path).map(|m| m.len()).unwrap_or(0)
+            >= (HEADER_LEN + BASE_BYTES + 2 * GROW_STEP) as u64
+    });
+    kill_and_reap(&mut child);
 
     // At least one growth must have committed (the file was extended twice;
     // only the in-flight one may be uncommitted).
@@ -239,13 +188,8 @@ fn sigkill_round<Q: RecoverableQueue>(algo: &str) {
 /// Deterministic crash at one of the grow protocol's env-gated points; the
 /// child aborts itself, the parent just reaps it.
 fn abort_round(abort_env: &str, expect_epoch: u32) {
-    let dir = test_dir(&format!("abort-{expect_epoch}"));
-    let mut child = spawn_child(&dir, "opt_unlinked", Some(abort_env));
-    let status = child.wait().expect("reap aborting child");
-    assert!(
-        !status.success(),
-        "the abort point must have fired: {status}"
-    );
+    let dir = scratch_dir(&format!("store-grow-abort-{expect_epoch}"));
+    grow_child(&dir, "opt_unlinked", Some(abort_env)).run_to_abort();
 
     let geo = FilePool::read_geometry(dir.join("pool.dq")).unwrap();
     assert_eq!(geo.growth_epoch, expect_epoch, "epoch visible before open");

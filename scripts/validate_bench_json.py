@@ -117,6 +117,41 @@ def check_restart(obj, ctx):
         resolution = kill.get("resolution", "absent")
         if resolution not in (None, "rolled-back", "rolled-forward"):
             raise SystemExit(f"{ctx}: bad reshard_kill.resolution {resolution!r}")
+    if "lease_kill" not in obj:
+        raise SystemExit(f"{ctx}: missing required key 'lease_kill'")
+    kill = obj["lease_kill"]
+    if kill is not None:
+        for key in (
+            "confirmed_enqueues",
+            "confirmed_acks",
+            "held",
+            "unacked",
+            "redelivered",
+            "recovery_ms",
+        ):
+            require(kill, key, *NUM, f"{ctx} lease_kill")
+
+
+def check_lease(obj, ctx):
+    for key in ("algorithm", "policy", "sync"):
+        require(obj, key, *STR, ctx)
+    for key in ("ops", "nack_percent"):
+        require(obj, key, *NUM, ctx)
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("shards", *NUM),
+            ("wall_ms", *NUM),
+            ("acked_per_sec", *NUM),
+            ("granted", *NUM),
+            ("redelivered", *NUM),
+            ("nacked", *NUM),
+            ("dead_lettered", *NUM),
+            ("compactions", *NUM),
+            ("log_records", *NUM),
+        ],
+    )
 
 
 def check_fastpath(obj, ctx):
@@ -152,6 +187,7 @@ CHECKERS = {
     "shards": check_shards,
     "restart": check_restart,
     "fastpath": check_fastpath,
+    "lease": check_lease,
 }
 
 

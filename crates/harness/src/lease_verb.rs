@@ -414,7 +414,7 @@ pub fn run_lease_kill_round(
     let begun = Instant::now();
     let (queue, report) = with_recoverable!(algorithm, Q => {
         let (queue, report, manifest) =
-            open_leased_dir::<Q>(&orch, &dir, queue_config(), &kill_lease_config(sync))
+            open_leased_dir::<Q>(&orch, &dir, queue_config(), &kill_lease_config(sync), None)
                 .expect("recover leased dir");
         assert_eq!(manifest.shards(), KILL_SHARDS, "manifest shard count");
         let queue: Box<dyn LeaseDrain> = Box::new(queue);

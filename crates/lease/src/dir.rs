@@ -97,20 +97,30 @@ pub fn create_leased_dir<Q: RecoverableQueue + 'static>(
 /// then the ack-log replay — in-flight leases become redeliverable with
 /// bumped delivery counts, and the counts land in
 /// [`RecoveryReport::lease`].
+///
+/// `cursor` is the deployment's exactly-once ack engine
+/// ([`ExactlyOnce`](crate::tx::ExactlyOnce), recovered from the consumer's
+/// pool *before* this call), when it has one: leases whose ack transaction
+/// committed but whose sidecar ack record was lost to the crash are
+/// repaired instead of redelivered, keeping the exactly-once guarantee
+/// through the packaged directory API. Pass `None` for plain
+/// at-least-once deployments.
 pub fn open_leased_dir<Q: RecoverableQueue + 'static>(
     orch: &RecoveryOrchestrator,
     dir: &Path,
     queue: QueueConfig,
     lease: &LeaseDirConfig,
+    cursor: Option<&crate::tx::ExactlyOnce>,
 ) -> io::Result<(LeasedQueue<ShardedQueue<Q>>, RecoveryReport, ShardManifest)> {
     let (base, mut report, manifest) = orch.open_dir_with_sync::<Q>(dir, queue, lease.sync)?;
     let dlq_pool = FilePool::open_with_sync(dir.join(DLQ_POOL_FILE), lease.sync)?.into_pool();
     let dlq: Arc<dyn DurableQueue> = Arc::new(Q::recover(dlq_pool, queue));
-    let (leased, rec) = LeasedQueue::recover(base, Some(dlq), lease.lease_config(dir), &[])?;
+    let (leased, rec) = LeasedQueue::recover(base, Some(dlq), lease.lease_config(dir), cursor)?;
     report.lease = Some(LeaseRecovery {
         unacked: rec.unacked,
         redelivered: rec.redelivered,
         dead_lettered: rec.dead_lettered,
+        tx_acked: rec.tx_acked,
         log_records: rec.log_records,
     });
     Ok((leased, report, manifest))
@@ -167,8 +177,14 @@ mod tests {
         }
 
         let (q, report, manifest) =
-            open_leased_dir::<DurableMsQueue>(&orch, &dir, QueueConfig::small_test(), &lease_cfg)
-                .unwrap();
+            open_leased_dir::<DurableMsQueue>(
+                &orch,
+                &dir,
+                QueueConfig::small_test(),
+                &lease_cfg,
+                None,
+            )
+            .unwrap();
         assert_eq!(manifest.shards(), 2);
         let lease = report.lease.expect("lease counts in the report");
         assert_eq!(lease.unacked, 1);

@@ -20,6 +20,24 @@
 //! nets out to nothing, while a crash after the `PEND` leaves exactly one
 //! redeliverable entry.
 //!
+//! # Header: id high-water mark and generation
+//!
+//! The header carries two u64s besides the magic/version:
+//!
+//! * **`next_lease_id`** — the id high-water mark at the last
+//!   create/compaction. Compaction snapshots only *live* leases, so when
+//!   the highest-numbered leases are all settled their GRANT records — the
+//!   only other witnesses of the high-water mark — vanish with the retired
+//!   prefix. Persisting the mark in the header (rewritten by every
+//!   compaction) keeps lease ids monotonic across restarts; replay seeds
+//!   from the header and maxes in the surviving records.
+//! * **`generation`** — a non-zero value chosen once at
+//!   [`AckLog::create`] and carried unchanged through every compaction: the
+//!   log's identity. The exactly-once cursor stamps each acked lease id
+//!   with the generation it was acked under, and recovery ignores cursor
+//!   entries from other generations — a stale cursor paired with a
+//!   recreated log can therefore never repair-ack an unrelated lease.
+//!
 //! # Durability
 //!
 //! Appends are a single `write` syscall; under
@@ -45,10 +63,11 @@ pub const LEASE_LOG_FILE: &str = "LEASES.log";
 pub const LOG_MAGIC: [u8; 8] = *b"DQLEASE1";
 
 /// Current format version.
-pub const LOG_VERSION: u32 = 1;
+pub const LOG_VERSION: u32 = 2;
 
-/// Size of the file header in bytes (magic + version + header CRC).
-pub const HEADER_LEN: usize = 16;
+/// Size of the file header in bytes (magic + version + next lease id +
+/// generation + header CRC).
+pub const HEADER_LEN: usize = 32;
 
 /// Size of every record in bytes.
 pub const RECORD_LEN: usize = 40;
@@ -158,8 +177,15 @@ pub struct Replay {
     /// Every lease without a terminal record, keyed (and therefore ordered)
     /// by lease id — grant order, since ids are monotonic.
     pub live: BTreeMap<u64, LiveLease>,
-    /// `max(lease id) + 1`: the first id the next life may grant.
+    /// The first id the next life may grant: the header's persisted
+    /// high-water mark maxed with `lease id + 1` over the replayed records,
+    /// so ids stay monotonic even when compaction retired every record that
+    /// witnessed the previous maximum.
     pub next_lease_id: u64,
+    /// The log's generation (see the [module docs](self)); exactly-once
+    /// cursor entries stamped with a different generation belong to another
+    /// log and must be ignored.
+    pub generation: u64,
     /// Valid records replayed.
     pub records: u64,
     /// Terminal `ACK` records seen.
@@ -171,13 +197,33 @@ pub struct Replay {
     pub torn_bytes: u64,
 }
 
-fn header_bytes() -> [u8; HEADER_LEN] {
+fn header_bytes(next_lease_id: u64, generation: u64) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[0..8].copy_from_slice(&LOG_MAGIC);
     h[8..12].copy_from_slice(&LOG_VERSION.to_le_bytes());
-    let crc = crc32(&h[0..12]);
-    h[12..16].copy_from_slice(&crc.to_le_bytes());
+    h[12..20].copy_from_slice(&next_lease_id.to_le_bytes());
+    h[20..28].copy_from_slice(&generation.to_le_bytes());
+    let crc = crc32(&h[0..28]);
+    h[28..32].copy_from_slice(&crc.to_le_bytes());
     h
+}
+
+/// A fresh, non-zero log generation: wall-clock nanoseconds mixed with the
+/// process id, with a process-wide sequence in the low 16 bits so two
+/// creates inside one clock tick still differ. Zero is reserved as the
+/// cursor's "no generation" value, and collisions across recreations of
+/// one deployment's log are what matter — within a process the sequence
+/// rules them out, across processes the pid/nanosecond mix makes them
+/// vanishingly unlikely.
+fn fresh_generation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed) & 0xFFFF;
+    (((nanos ^ ((std::process::id() as u64) << 32)) & !0xFFFF) | seq).max(1)
 }
 
 fn bad_data(path: &Path, msg: String) -> io::Error {
@@ -197,6 +243,9 @@ pub struct AckLog {
     /// Records in the file since the last create/compaction (valid tail
     /// drops excluded).
     records: u64,
+    /// The log's identity, fixed at create time and preserved by
+    /// compaction (see the [module docs](self)).
+    generation: u64,
 }
 
 impl AckLog {
@@ -212,7 +261,10 @@ impl AckLog {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        file.write_all(&header_bytes())?;
+        let generation = fresh_generation();
+        // Ids start at 1 (0 is the "no previous lease" sentinel), so a
+        // fresh log's high-water mark is 1.
+        file.write_all(&header_bytes(1, generation))?;
         if sync == SyncPolicy::PowerFail {
             file.sync_data()?;
             File::open(dir)?.sync_data()?;
@@ -222,6 +274,7 @@ impl AckLog {
             file,
             sync,
             records: 0,
+            generation,
         })
     }
 
@@ -236,7 +289,13 @@ impl AckLog {
         let mut file = match OpenOptions::new().read(true).write(true).open(&path) {
             Ok(f) => f,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Ok((AckLog::create(dir, sync)?, Replay::default()));
+                let log = AckLog::create(dir, sync)?;
+                let replay = Replay {
+                    next_lease_id: 1,
+                    generation: log.generation,
+                    ..Replay::default()
+                };
+                return Ok((log, replay));
             }
             Err(e) => return Err(e),
         };
@@ -252,13 +311,15 @@ impl AckLog {
             return Err(bad_data(&path, format!("bad magic {:?}", &bytes[0..8])));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        let stored = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-        if crc32(&bytes[0..12]) != stored {
+        let header_next_id = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let generation = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        let stored = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+        if crc32(&bytes[0..28]) != stored {
             return Err(bad_data(
                 &path,
                 format!(
                     "header CRC mismatch (expected {:08x}, found {stored:08x})",
-                    crc32(&bytes[0..12])
+                    crc32(&bytes[0..28])
                 ),
             ));
         }
@@ -269,7 +330,11 @@ impl AckLog {
             ));
         }
 
-        let mut replay = Replay::default();
+        let mut replay = Replay {
+            next_lease_id: header_next_id,
+            generation,
+            ..Replay::default()
+        };
         let body = &bytes[HEADER_LEN..];
         let mut consumed = 0usize;
         while body.len() - consumed >= RECORD_LEN {
@@ -346,6 +411,7 @@ impl AckLog {
                 file,
                 sync,
                 records,
+                generation,
             },
             replay,
         ))
@@ -367,10 +433,21 @@ impl AckLog {
     /// tmp file → fsync → rename → directory fsync, the same discipline as
     /// the shard manifest, so a crash at any point leaves either the old or
     /// the new log.
-    pub fn compact(&mut self, live: impl IntoIterator<Item = Record>) -> io::Result<()> {
+    ///
+    /// `next_lease_id` is the caller's id high-water mark, persisted in the
+    /// rewritten header: the snapshot holds only *live* leases, so without
+    /// it a snapshot taken after the highest ids settled would lose the
+    /// mark and a later replay would hand out already-used ids. The
+    /// generation is carried through unchanged — compaction does not change
+    /// which log this is.
+    pub fn compact(
+        &mut self,
+        next_lease_id: u64,
+        live: impl IntoIterator<Item = Record>,
+    ) -> io::Result<()> {
         let tmp = self.path.with_extension("log.tmp");
         let mut out = File::create(&tmp)?;
-        let mut buf: Vec<u8> = header_bytes().to_vec();
+        let mut buf: Vec<u8> = header_bytes(next_lease_id, self.generation).to_vec();
         let mut n = 0u64;
         for rec in live {
             buf.extend_from_slice(&rec.encode());
@@ -393,6 +470,12 @@ impl AckLog {
     /// Records in the file since the last create/compaction.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// The log's generation: its identity, fixed at create time and
+    /// preserved by compaction (see the [module docs](self)).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The log file's path.
@@ -551,7 +634,9 @@ mod tests {
         let (log, replay) = AckLog::replay(&dir, SyncPolicy::default()).unwrap();
         assert_eq!(log.records(), 0);
         assert!(replay.live.is_empty());
-        assert_eq!(replay.next_lease_id, 0);
+        assert_eq!(replay.next_lease_id, 1);
+        assert_eq!(replay.generation, log.generation());
+        assert_ne!(replay.generation, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -566,7 +651,7 @@ mod tests {
             }
         }
         assert_eq!(log.records(), 198);
-        log.compact([grant(99, 99, 1, 0), grant(100, 100, 1, 0)])
+        log.compact(101, [grant(99, 99, 1, 0), grant(100, 100, 1, 0)])
             .unwrap();
         assert_eq!(log.records(), 2);
         // The compacted log still appends and replays.
@@ -577,6 +662,31 @@ mod tests {
         assert_eq!(replay.live.len(), 1);
         assert_eq!(replay.live[&100].item, 100);
         assert_eq!(replay.next_lease_id, 101);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_compaction_keeps_the_id_high_water_mark_and_generation() {
+        // Regression: when the highest-numbered leases are all settled, the
+        // snapshot holds no record witnessing the id maximum — only the
+        // header's persisted mark keeps replay from reusing lease ids.
+        let dir = tmp("empty-compact");
+        let mut log = AckLog::create(&dir, SyncPolicy::default()).unwrap();
+        let generation = log.generation();
+        for i in 1..=50u64 {
+            log.append(&grant(i, i, 1, 0)).unwrap();
+            log.append(&terminal(RecordKind::Ack, i)).unwrap();
+        }
+        log.compact(51, []).unwrap();
+        assert_eq!(log.records(), 0);
+        assert_eq!(log.generation(), generation);
+        drop(log);
+
+        let (log, replay) = AckLog::replay(&dir, SyncPolicy::default()).unwrap();
+        assert!(replay.live.is_empty());
+        assert_eq!(replay.next_lease_id, 51, "high-water mark lost");
+        assert_eq!(replay.generation, generation, "generation changed");
+        assert_eq!(log.generation(), generation);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

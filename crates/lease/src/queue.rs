@@ -12,7 +12,7 @@ use crate::log::{AckLog, Record, RecordKind};
 use durable_queues::{DurableQueue, KeyedQueue};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -191,6 +191,12 @@ struct LeaseState {
     /// still in flight with exactly this deadline.
     deadlines: BinaryHeap<Reverse<(Instant, u64)>>,
     pending: VecDeque<PendingItem>,
+    /// Leases whose exactly-once settlement transaction is running outside
+    /// the lock: any other settlement attempt (ack, nack, or a second
+    /// exactly-once ack) must see `NotInFlight` instead of racing it.
+    /// Expiry reaping deliberately still applies — the documented late-ack
+    /// window — so a wedged consumer transaction cannot strand the item.
+    settling: HashSet<u64>,
     next_id: u64,
     stats: LeaseStats,
 }
@@ -243,19 +249,24 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
     /// items whose next delivery would exceed the budget go straight to the
     /// dead-letter queue.
     ///
-    /// `tx_acked` are lease ids whose ack transaction is known to have
-    /// committed (the exactly-once cursor, see
-    /// [`ExactlyOnce::acked_ids`](crate::tx::ExactlyOnce::acked_ids));
-    /// they are retired here with repair ack records instead of being
-    /// redelivered.
+    /// `cursor` is the deployment's exactly-once ack engine, when it has
+    /// one: leases whose ack transaction is known to have committed
+    /// ([`ExactlyOnce::acked_ids`](crate::tx::ExactlyOnce::acked_ids),
+    /// queried with the replayed log's generation so entries stamped by an
+    /// older or recreated log are ignored) are retired here with repair ack
+    /// records instead of being redelivered. Pass `None` for plain
+    /// at-least-once deployments.
     pub fn recover(
         base: Q,
         dlq: Option<Arc<dyn DurableQueue>>,
         config: LeaseConfig,
-        tx_acked: &[u64],
+        cursor: Option<&crate::tx::ExactlyOnce>,
     ) -> io::Result<(Self, RecoveredLeases)> {
         Self::check_dlq(&config, &dlq)?;
         let (mut log, replay) = AckLog::replay(&config.dir, config.sync)?;
+        let tx_acked = cursor
+            .map(|eo| eo.acked_ids(replay.generation))
+            .unwrap_or_default();
         let mut pending = VecDeque::new();
         let mut recovered = RecoveredLeases {
             log_records: replay.records,
@@ -263,7 +274,7 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
         };
 
         let mut live = replay.live;
-        for &id in tx_acked {
+        for &id in &tx_acked {
             if live.remove(&id).is_some() {
                 // The consumer's transaction committed; only the sidecar
                 // ack record was lost to the crash. Repair it.
@@ -383,7 +394,9 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
     /// already settled or expired.
     pub fn ack(&self, lease: &Lease) -> Result<(), LeaseError> {
         let mut st = self.state.lock();
-        if st.inflight.remove(&lease.id).is_none() {
+        if st.settling.contains(&lease.id) || st.inflight.remove(&lease.id).is_none() {
+            // Settling: an exactly-once transaction owns this lease's
+            // settlement; racing it would double-settle.
             return Err(LeaseError::NotInFlight);
         }
         append_or_die(
@@ -407,6 +420,9 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
     /// queue.
     pub fn nack(&self, tid: usize, lease: &Lease) -> Result<Redelivery, LeaseError> {
         let mut st = self.state.lock();
+        if st.settling.contains(&lease.id) {
+            return Err(LeaseError::NotInFlight);
+        }
         let Some(f) = st.inflight.remove(&lease.id) else {
             return Err(LeaseError::NotInFlight);
         };
@@ -567,7 +583,11 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
                 prev_lease_id: 0,
             }))
             .collect();
-        if let Err(e) = st.log.compact(snapshot) {
+        // The snapshot only holds live leases, so the id high-water mark
+        // rides the rewritten header — without it, settling the
+        // highest-numbered leases and then crashing would reuse their ids.
+        let next_id = st.next_id;
+        if let Err(e) = st.log.compact(next_id, snapshot) {
             panic!("ack log compaction failed: {e}");
         }
         st.stats.compactions += 1;
@@ -634,11 +654,29 @@ impl LeaseState {
             inflight: HashMap::new(),
             deadlines: BinaryHeap::new(),
             pending: VecDeque::new(),
+            settling: HashSet::new(),
             // Lease id 0 is reserved: it is the "no previous lease"
             // sentinel in GRANT records and the "nothing acked" sentinel
             // in the exactly-once cursor.
             next_id: 1,
             stats: LeaseStats::default(),
+        }
+    }
+}
+
+/// Removes a lease's *settling* mark on unwind; disarmed on the normal
+/// path, where [`LeasedQueue::ack_exactly_once`] removes the mark itself
+/// under the settlement lock.
+struct SettlingMark<'a> {
+    state: &'a Mutex<LeaseState>,
+    id: u64,
+    armed: bool,
+}
+
+impl Drop for SettlingMark<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.state.lock().settling.remove(&self.id);
         }
     }
 }
@@ -670,11 +708,15 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
     /// redelivered.
     ///
     /// Fails with [`LeaseError::NotInFlight`] *before* running `body` if
-    /// the lease already settled. If the lease expires while the
-    /// transaction runs, the committed work stands; when the item has not
-    /// been regranted yet the ack still wins (the pending redelivery is
-    /// cancelled), otherwise the handoff degrades to at-least-once for
-    /// this item (counted in [`LeaseStats::late_acks`]).
+    /// the lease already settled — including when another settlement
+    /// (`ack`, `nack`, or a concurrent `ack_exactly_once`) already owns it:
+    /// the lease is marked *settling* under the lock before the transaction
+    /// starts, so at most one settlement body ever runs per lease and a
+    /// racing caller's side effects are never applied twice. If the lease
+    /// expires while the transaction runs, the committed work stands; when
+    /// the item has not been regranted yet the ack still wins (the pending
+    /// redelivery is cancelled), otherwise the handoff degrades to
+    /// at-least-once for this item (counted in [`LeaseStats::late_acks`]).
     pub fn ack_exactly_once<R>(
         &self,
         tid: usize,
@@ -682,15 +724,30 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
         eo: &crate::tx::ExactlyOnce,
         body: impl FnOnce(&mut ptm::Tx<'_>) -> R,
     ) -> Result<R, LeaseError> {
-        {
-            let st = self.state.lock();
-            let in_pending = || st.pending.iter().any(|p| p.prev == lease.id);
-            if !st.inflight.contains_key(&lease.id) && !in_pending() {
+        let generation = {
+            let mut st = self.state.lock();
+            let in_pending = st.pending.iter().any(|p| p.prev == lease.id);
+            if st.settling.contains(&lease.id)
+                || (!st.inflight.contains_key(&lease.id) && !in_pending)
+            {
                 return Err(LeaseError::NotInFlight);
             }
-        }
-        let out = eo.run(tid, lease.id, body);
+            st.settling.insert(lease.id);
+            st.log.generation()
+        };
+        // The mark must come off even if `body` unwinds, or the lease could
+        // never be settled again; on the normal path it is removed under
+        // the same lock that settles, so no second settlement can slip in
+        // between transaction commit and settlement.
+        let mut mark = SettlingMark {
+            state: &self.state,
+            id: lease.id,
+            armed: true,
+        };
+        let out = eo.run(tid, lease.id, generation, body);
         let mut st = self.state.lock();
+        st.settling.remove(&lease.id);
+        mark.armed = false;
         if st.inflight.remove(&lease.id).is_some() {
             st.stats.acked += 1;
         } else if let Some(pos) = st.pending.iter().position(|p| p.prev == lease.id) {
@@ -723,8 +780,12 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::{HEADER_LEN, LEASE_LOG_FILE, RECORD_LEN};
+    use crate::tx::ExactlyOnce;
     use durable_queues::{OptUnlinkedQueue, QueueConfig, RecoverableQueue};
     use pmem::{PmemPool, PoolConfig};
+    use ptm::FlushPolicy;
+    use std::fs::OpenOptions;
 
     fn tmp(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("lease-queue-{tag}-{}", std::process::id()));
@@ -859,7 +920,7 @@ mod tests {
                                      // base queue state is volatile here (sim pool), so recovery
                                      // rebuilds only from the log — exactly the lease layer's job.
         }
-        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg.clone(), &[]).unwrap();
+        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg.clone(), None).unwrap();
         assert_eq!(rec.unacked, 1);
         assert_eq!(rec.redelivered, 2); // l2 (granted) + l3 (pending)
         assert_eq!(rec.dead_lettered, 0);
@@ -886,7 +947,7 @@ mod tests {
         }
         let dlq = fresh_dlq();
         let (q, rec) =
-            LeasedQueue::recover(fresh_base(), Some(Arc::clone(&dlq)), cfg, &[]).unwrap();
+            LeasedQueue::recover(fresh_base(), Some(Arc::clone(&dlq)), cfg, None).unwrap();
         assert_eq!(rec.dead_lettered, 1);
         assert_eq!(rec.redelivered, 0);
         assert!(q.dequeue(0).is_none());
@@ -911,7 +972,7 @@ mod tests {
         assert!(q.log_records() < 40, "log did not shrink");
         drop(q);
 
-        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg, &[]).unwrap();
+        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg, None).unwrap();
         assert_eq!(rec.redelivered, 1, "live lease lost by compaction");
         let r = q.dequeue(0).unwrap();
         assert_eq!((r.item, r.delivery_count), (keeper_item, 2));
@@ -936,9 +997,141 @@ mod tests {
             let again = q.dequeue(0).unwrap();
             q.ack(&again).unwrap();
         }
-        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg, &[]).unwrap();
+        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg, None).unwrap();
         assert_eq!(rec.redelivered, 0, "settled item resurrected");
         assert!(q.dequeue(0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lease_ids_survive_compaction_that_retires_the_highest_ids() {
+        // Regression: compaction snapshots only *live* leases, so when the
+        // highest-numbered leases were all settled the rewritten log held
+        // no witness of the id high-water mark; recovery then reused ids,
+        // which a stale exactly-once cursor could silently repair-ack. The
+        // mark now rides the compacted header.
+        let dir = tmp("compact-ids");
+        let cfg = LeaseConfig::new(&dir).with_compact_after(8);
+        let max_id = {
+            let q = LeasedQueue::create(fresh_base(), None, cfg.clone()).unwrap();
+            let mut max_id = 0;
+            for i in 1..=200u64 {
+                q.enqueue(0, i);
+                let l = q.dequeue(0).unwrap();
+                max_id = l.id;
+                q.ack(&l).unwrap();
+                if q.stats().compactions >= 1 && q.log_records() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(q.log_records(), 0, "never reached an empty compacted log");
+            max_id
+        };
+        assert!(max_id > 1);
+        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg, None).unwrap();
+        assert_eq!(rec.redelivered, 0);
+        q.enqueue(0, 777);
+        let l = q.dequeue(0).unwrap();
+        assert!(
+            l.id > max_id,
+            "recovered grant reused lease id {} (high-water mark was {max_id})",
+            l.id
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn settlement_is_exclusive_while_an_exactly_once_tx_runs() {
+        // Regression: the liveness check and the transaction ran in
+        // separate lock scopes, so a racing settlement could slip between
+        // them and settle (or double-run side effects for) the same lease.
+        // The settling mark now makes any concurrent settlement attempt
+        // fail with NotInFlight before its body runs.
+        let dir = tmp("settling");
+        let q = LeasedQueue::create(fresh_base(), None, LeaseConfig::new(&dir)).unwrap();
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(4 << 20)));
+        let eo = ExactlyOnce::create(Arc::clone(&pool), FlushPolicy::BatchedCommit);
+        q.enqueue(0, 11);
+        let l = q.dequeue(0).unwrap();
+        let word = pool.alloc_raw(8, 8);
+        q.ack_exactly_once(0, &l, &eo, |tx| {
+            // Mid-transaction, this call owns the lease's settlement.
+            assert_eq!(q.ack(&l), Err(LeaseError::NotInFlight));
+            assert_eq!(q.nack(0, &l), Err(LeaseError::NotInFlight));
+            tx.write(word, 1);
+        })
+        .unwrap();
+        let s = q.stats();
+        assert_eq!((s.acked, s.nacked, s.late_acks), (1, 0, 0));
+        assert!(q.dequeue(0).is_none(), "acked item redelivered");
+        assert_eq!(
+            q.ack_exactly_once(0, &l, &eo, |_| ()).unwrap_err(),
+            LeaseError::NotInFlight
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn committed_tx_ack_with_lost_sidecar_record_is_repaired() {
+        let dir = tmp("tx-repair");
+        let cfg = LeaseConfig::new(&dir);
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(4 << 20)));
+        let eo = ExactlyOnce::create(Arc::clone(&pool), FlushPolicy::BatchedCommit);
+        let consumer_state = pool.alloc_raw(8, 8);
+        {
+            let q = LeasedQueue::create(fresh_base(), None, cfg.clone()).unwrap();
+            q.enqueue(0, 9);
+            let l = q.dequeue(0).unwrap();
+            q.ack_exactly_once(0, &l, &eo, |tx| tx.write(consumer_state, 99))
+                .unwrap();
+        }
+        // Simulate the documented crash window: the transaction committed
+        // (cursor + consumer state durable) but the sidecar ACK append was
+        // lost — chop it off, leaving only the GRANT.
+        let path = dir.join(LEASE_LOG_FILE);
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, (HEADER_LEN + 2 * RECORD_LEN) as u64);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - RECORD_LEN as u64).unwrap();
+        drop(f);
+
+        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg, Some(&eo)).unwrap();
+        assert_eq!(rec.tx_acked, 1, "committed ack not repaired");
+        assert_eq!(rec.redelivered, 0, "item redelivered despite committed ack");
+        assert!(q.dequeue(0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_cursor_from_a_recreated_log_repairs_nothing() {
+        // Regression: cursor entries carried no log identity, so pairing
+        // an old consumer pool with a recreated ack log let a stale lease
+        // id repair-ack an unrelated in-flight lease of the new log.
+        let dir = tmp("stale-cursor");
+        let cfg = LeaseConfig::new(&dir);
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(4 << 20)));
+        let eo = ExactlyOnce::create(Arc::clone(&pool), FlushPolicy::BatchedCommit);
+        {
+            let q = LeasedQueue::create(fresh_base(), None, cfg.clone()).unwrap();
+            q.enqueue(0, 1);
+            let l = q.dequeue(0).unwrap();
+            assert_eq!(l.id, 1);
+            q.ack_exactly_once(0, &l, &eo, |_| ()).unwrap();
+        }
+        // A recreated log: same directory, new generation, fresh id space.
+        // The cursor still holds lease id 1 from the old generation.
+        {
+            let q = LeasedQueue::create(fresh_base(), None, cfg.clone()).unwrap();
+            q.enqueue(0, 42);
+            let l = q.dequeue(0).unwrap();
+            assert_eq!(l.id, 1, "a fresh log restarts the id space");
+            // Crash while leased: drop without acking.
+        }
+        let (q, rec) = LeasedQueue::recover(fresh_base(), None, cfg, Some(&eo)).unwrap();
+        assert_eq!(rec.tx_acked, 0, "stale cursor repair-acked a foreign lease");
+        assert_eq!(rec.redelivered, 1);
+        let l = q.dequeue(0).unwrap();
+        assert_eq!((l.item, l.delivery_count), (42, 2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -955,7 +1148,7 @@ mod tests {
             assert!(b.id > a.id);
             b.id
         };
-        let (q, _) = LeasedQueue::recover(fresh_base(), None, cfg, &[]).unwrap();
+        let (q, _) = LeasedQueue::recover(fresh_base(), None, cfg, None).unwrap();
         let r = q.dequeue(0).unwrap();
         assert!(r.id > max_id, "recovered grant reused a lease id");
         std::fs::remove_dir_all(&dir).unwrap();

@@ -7,12 +7,13 @@
 //! Gray's "queues are databases" argument. [`ExactlyOnce`] provides that
 //! commit point on top of `crates/ptm`'s redo-log engine:
 //!
-//! 1. A per-thread **ack cursor** (one 64-bit word per thread id, allocated
-//!    on the consumer's pool and published through root slot
-//!    [`CURSOR_ROOT_SLOT`]) records the last lease id whose ack transaction
-//!    committed on that thread.
+//! 1. A per-thread **ack cursor** (a `(lease id, log generation)` pair of
+//!    64-bit words per thread id, allocated on the consumer's pool and
+//!    published through root slot [`CURSOR_ROOT_SLOT`]) records the last
+//!    lease whose ack transaction committed on that thread, stamped with
+//!    the [generation](crate::log) of the ack log it was acked under.
 //! 2. [`LeasedQueue::ack_exactly_once`](crate::LeasedQueue::ack_exactly_once)
-//!    runs the consumer's writes **and** `cursor[tid] = lease.id` in one
+//!    runs the consumer's writes **and** the cursor pair update in one
 //!    [`Ptm::run`] transaction. The persisted commit status word is the
 //!    atomic point: either the consumer's state *and* the ack are durable,
 //!    or neither is.
@@ -20,6 +21,10 @@
 //!    swallows it, recovery reads the cursor
 //!    ([`ExactlyOnce::acked_ids`]) and repairs the missing record instead
 //!    of redelivering — see [`LeasedQueue::recover`](crate::LeasedQueue::recover).
+//!    Only entries stamped with the *current* log's generation count: a
+//!    cursor paired with a recreated or foreign ack log (whose lease-id
+//!    space is unrelated) repairs nothing instead of retiring arbitrary
+//!    leases.
 //!
 //! The cursor holds one word per thread, so a thread has at most one ack
 //! transaction in the repair window at a time — which is exactly the
@@ -38,11 +43,15 @@ use std::sync::Arc;
 /// owned by the queue/engine conventions; see `docs/FORMATS.md`).
 pub const CURSOR_ROOT_SLOT: usize = 7;
 
+/// Bytes per cursor entry: a `(lease id, log generation)` pair.
+const CURSOR_ENTRY_LEN: usize = 16;
+
 /// The exactly-once ack engine: a redo-log PTM plus the per-thread ack
 /// cursor. See the [module docs](self).
 pub struct ExactlyOnce {
     ptm: Ptm,
-    /// Pool offset of the `MAX_THREADS × u64` cursor area.
+    /// Pool offset of the `MAX_THREADS × (lease id, generation)` cursor
+    /// area.
     cursor: u32,
 }
 
@@ -51,7 +60,7 @@ impl ExactlyOnce {
     /// area, publishes it in root slot [`CURSOR_ROOT_SLOT`], and starts a
     /// fresh [`Ptm`].
     pub fn create(pool: Arc<PmemPool>, policy: FlushPolicy) -> Self {
-        let len = (MAX_THREADS * 8) as u32;
+        let len = (MAX_THREADS * CURSOR_ENTRY_LEN) as u32;
         let cursor = pool.alloc_raw(len, 64);
         pool.zero_range(cursor, len);
         pool.flush_range(0, cursor, len);
@@ -81,15 +90,23 @@ impl ExactlyOnce {
         ExactlyOnce { ptm, cursor }
     }
 
-    /// Lease ids whose ack transaction committed (every non-zero cursor
-    /// word). Pass to
-    /// [`LeasedQueue::recover`](crate::LeasedQueue::recover) so those
-    /// leases are repaired instead of redelivered.
-    pub fn acked_ids(&self) -> Vec<u64> {
+    /// Lease ids whose ack transaction committed *under the ack log with
+    /// the given generation*: every non-zero cursor entry whose stamped
+    /// generation matches. [`LeasedQueue::recover`](crate::LeasedQueue::recover)
+    /// feeds these the replayed log's generation so those leases are
+    /// repaired instead of redelivered; entries stamped by an older or
+    /// recreated log are ignored — their lease-id space is unrelated, and
+    /// repairing by a stale id would silently consume someone else's
+    /// in-flight item.
+    pub fn acked_ids(&self, generation: u64) -> Vec<u64> {
         let pool = self.ptm.pool();
         (0..MAX_THREADS)
-            .map(|t| pool.load_u64(self.cursor + (t * 8) as u32))
-            .filter(|&id| id != 0)
+            .map(|t| {
+                let entry = self.cursor + (t * CURSOR_ENTRY_LEN) as u32;
+                (pool.load_u64(entry), pool.load_u64(entry + 8))
+            })
+            .filter(|&(id, gen)| id != 0 && gen == generation)
+            .map(|(id, _)| id)
             .collect()
     }
 
@@ -99,20 +116,23 @@ impl ExactlyOnce {
         &self.ptm
     }
 
-    /// Runs `body` and the cursor update `cursor[tid] = lease_id` as one
-    /// transaction. Called by
+    /// Runs `body` and the cursor update `cursor[tid] = (lease_id,
+    /// generation)` as one transaction — the generation is the ack log's,
+    /// so recovery can tell which log the ack belongs to. Called by
     /// [`LeasedQueue::ack_exactly_once`](crate::LeasedQueue::ack_exactly_once).
     pub(crate) fn run<R>(
         &self,
         tid: usize,
         lease_id: u64,
+        generation: u64,
         body: impl FnOnce(&mut Tx<'_>) -> R,
     ) -> R {
         assert!(tid < MAX_THREADS, "tid {tid} exceeds MAX_THREADS");
-        let word = self.cursor + (tid * 8) as u32;
+        let entry = self.cursor + (tid * CURSOR_ENTRY_LEN) as u32;
         self.ptm.run(tid, |tx| {
             let out = body(tx);
-            tx.write(word, lease_id);
+            tx.write(entry, lease_id);
+            tx.write(entry + 8, generation);
             out
         })
     }
@@ -125,19 +145,24 @@ mod tests {
 
     #[test]
     fn cursor_survives_crash_and_reports_committed_acks() {
+        let generation = 7777u64;
         let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(4 << 20)));
         let eo = ExactlyOnce::create(Arc::clone(&pool), FlushPolicy::BatchedCommit);
-        assert!(eo.acked_ids().is_empty());
+        assert!(eo.acked_ids(generation).is_empty());
 
         let consumer_state = pool.alloc_raw(8, 8);
-        eo.run(3, 41, |tx| tx.write(consumer_state, 1000));
-        assert_eq!(eo.acked_ids(), vec![41]);
+        eo.run(3, 41, generation, |tx| tx.write(consumer_state, 1000));
+        assert_eq!(eo.acked_ids(generation), vec![41]);
+        // A different log generation sees nothing: its lease-id space is
+        // unrelated, so the committed ack must not repair anything there.
+        assert!(eo.acked_ids(generation + 1).is_empty());
 
         // Crash: the committed transaction must survive into the cursor
         // and the consumer's own word, atomically.
         let crashed = Arc::new(pool.simulate_crash());
         let eo2 = ExactlyOnce::recover(Arc::clone(&crashed), FlushPolicy::BatchedCommit);
-        assert_eq!(eo2.acked_ids(), vec![41]);
+        assert_eq!(eo2.acked_ids(generation), vec![41]);
+        assert!(eo2.acked_ids(generation + 1).is_empty());
         assert_eq!(crashed.load_u64(consumer_state), 1000);
     }
 

@@ -155,6 +155,7 @@ fn kill_round(sync_key: &str, min_acks: usize) {
         &dir,
         QueueConfig::small_test(),
         &lease_config(sync),
+        None,
     )
     .expect("recover leased dir");
     assert_eq!(manifest.shards(), SHARDS);

@@ -77,7 +77,7 @@ fn crash_and_recover(
         Arc::new(dlq_pool),
         QueueConfig::small_test(),
     ));
-    let (queue, _) = LeasedQueue::recover(base, Some(dlq), lease_cfg.clone(), &[])
+    let (queue, _) = LeasedQueue::recover(base, Some(dlq), lease_cfg.clone(), None)
         .expect("recover leased queue");
     queue
 }

@@ -80,6 +80,10 @@ pub struct LeaseRecovery {
     /// Items moved to the dead-letter queue during recovery because their
     /// next delivery would exceed the budget.
     pub dead_lettered: u64,
+    /// Leases repaired at recovery because the exactly-once cursor proved
+    /// their ack transaction committed (only the sidecar ack record was
+    /// lost to the crash) — these are *not* redelivered.
+    pub tx_acked: u64,
     /// Ack-log records replayed.
     pub log_records: u64,
 }
@@ -144,10 +148,16 @@ impl RecoveryReport {
         };
         let lease = match &self.lease {
             None => String::new(),
-            Some(l) => format!(
-                "; leases: {} unacked redelivered ({} total), {} dead-lettered",
-                l.unacked, l.redelivered, l.dead_lettered
-            ),
+            Some(l) => {
+                let repaired = match l.tx_acked {
+                    0 => String::new(),
+                    n => format!(", {n} tx-repaired"),
+                };
+                format!(
+                    "; leases: {} unacked redelivered ({} total), {} dead-lettered{repaired}",
+                    l.unacked, l.redelivered, l.dead_lettered
+                )
+            }
         };
         format!(
             "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x{}){}",

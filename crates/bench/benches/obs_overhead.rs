@@ -1,0 +1,111 @@
+//! Cost of the observability layer's hot-path instruments.
+//!
+//! Three prices matter, and this target measures all of them against the
+//! same baseline loop:
+//!
+//! * **disabled**: the always-compiled no-op mirrors in [`obs::disabled`] —
+//!   the shape a build with `--no-default-features` on `obs` compiles every
+//!   real instrument down to. This must be indistinguishable from the bare
+//!   loop: the disabled path's cost is the claim "observability off is
+//!   free".
+//! * **enabled counter**: one striped relaxed `fetch_add` through a
+//!   resolved [`obs::LazyCounter`] — the per-op cost every instrumented
+//!   enqueue/dequeue pays in a default build.
+//! * **enabled histogram / timer**: two relaxed `fetch_add`s plus the
+//!   `Instant::now()` pair for the `Timer` variant — what the store's
+//!   growth/msync spans pay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs::{LazyCounter, LazyHistogram};
+use std::time::Duration;
+
+static BENCH_COUNTER: LazyCounter = LazyCounter::new("bench.obs_overhead.counter");
+static BENCH_HIST: LazyHistogram = LazyHistogram::new("bench.obs_overhead.hist");
+static DISABLED_COUNTER: obs::disabled::Counter = obs::disabled::Counter::new("bench.disabled");
+static DISABLED_HIST: obs::disabled::Histogram = obs::disabled::Histogram::new("bench.disabled");
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // The baseline everything is compared against: the loop body with no
+    // instrument at all, kept honest by black_box.
+    let mut x = 0u64;
+    group.bench_function("baseline/bare_loop", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            std::hint::black_box(x);
+        })
+    });
+
+    // The disabled mirrors must optimize to the bare loop: compare these
+    // two numbers to verify "off is free".
+    group.bench_function("disabled/counter_incr", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            DISABLED_COUNTER.incr();
+            std::hint::black_box(x);
+        })
+    });
+    group.bench_function("disabled/histogram_record", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            DISABLED_HIST.record(x);
+            std::hint::black_box(x);
+        })
+    });
+
+    // The enabled instruments, first touch outside the timing loop so the
+    // lazy registry resolution is not what gets measured.
+    BENCH_COUNTER.incr();
+    group.bench_function("enabled/counter_incr", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            BENCH_COUNTER.incr();
+            std::hint::black_box(x);
+        })
+    });
+    BENCH_HIST.record(1);
+    group.bench_function("enabled/histogram_record", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            BENCH_HIST.record(x & 0xFFFF);
+            std::hint::black_box(x);
+        })
+    });
+    group.bench_function("enabled/timer_drop", |b| {
+        b.iter(|| {
+            let _t = BENCH_HIST.start_timer();
+            x = x.wrapping_add(1);
+            std::hint::black_box(x);
+        })
+    });
+
+    group.finish();
+}
+
+fn snapshot_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead/snapshot");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    // Snapshot + export cost — the cold path `--json` emission pays once
+    // per experiment object; belongs in the trajectory so a regression
+    // into the hot path would be visible.
+    BENCH_COUNTER.incr();
+    BENCH_HIST.record(42);
+    group.bench_function("snapshot_and_json", |b| {
+        b.iter(|| {
+            let snap = obs::snapshot();
+            std::hint::black_box(obs::export::json(&snap));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead, snapshot_cost);
+criterion_main!(benches);

@@ -51,6 +51,7 @@ impl DurableMsQueue {
 
 impl DurableQueue for DurableMsQueue {
     fn enqueue(&self, tid: usize, item: u64) {
+        crate::instruments::ENQUEUES.incr();
         let p = &self.pool;
         self.nodes.pin(tid);
         let new = self.nodes.alloc(tid);
@@ -85,6 +86,7 @@ impl DurableQueue for DurableMsQueue {
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        crate::instruments::DEQUEUES.incr();
         let p = &self.pool;
         self.nodes.pin(tid);
         let result = loop {

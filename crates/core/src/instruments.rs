@@ -1,0 +1,13 @@
+//! Shared named instruments for the queue implementations.
+//!
+//! Every [`DurableQueue`](crate::api::DurableQueue) implementation counts
+//! its operations into the same two process-global instruments, so the
+//! exported `core.enqueue` / `core.dequeue` totals aggregate across
+//! algorithms (and across crates: `ptm`'s queues register the same names).
+//! Both count *attempts* — a dequeue of an empty queue still counts, which
+//! makes the dequeue rate a poll rate under consumer spin loops.
+
+use obs::LazyCounter;
+
+pub(crate) static ENQUEUES: LazyCounter = LazyCounter::new("core.enqueue");
+pub(crate) static DEQUEUES: LazyCounter = LazyCounter::new("core.dequeue");

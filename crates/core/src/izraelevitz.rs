@@ -94,6 +94,7 @@ impl<const FENCE_AFTER_READ_FLUSH: bool> DurableQueue
     for TransformedMsQueue<FENCE_AFTER_READ_FLUSH>
 {
     fn enqueue(&self, tid: usize, item: u64) {
+        crate::instruments::ENQUEUES.incr();
         self.nodes.pin(tid);
         let new = self.nodes.alloc(tid);
         self.p_store(tid, new.offset() + f::ITEM, item);
@@ -120,6 +121,7 @@ impl<const FENCE_AFTER_READ_FLUSH: bool> DurableQueue
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        crate::instruments::DEQUEUES.incr();
         self.nodes.pin(tid);
         let result = loop {
             let head = PRef::from_u64(self.p_load(tid, ROOT_HEAD));

@@ -59,6 +59,7 @@
 pub mod api;
 pub mod chain;
 pub mod durable_msq;
+mod instruments;
 pub mod izraelevitz;
 pub mod linked;
 pub mod msq;

@@ -81,6 +81,7 @@ impl LinkedQueue {
 
 impl DurableQueue for LinkedQueue {
     fn enqueue(&self, tid: usize, item: u64) {
+        crate::instruments::ENQUEUES.incr();
         let p = &self.pool;
         self.nodes.pin(tid);
         let new = self.nodes.alloc(tid);
@@ -113,6 +114,7 @@ impl DurableQueue for LinkedQueue {
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        crate::instruments::DEQUEUES.incr();
         let p = &self.pool;
         self.nodes.pin(tid);
         let result = loop {

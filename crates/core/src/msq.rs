@@ -54,6 +54,7 @@ impl MsQueue {
 
 impl DurableQueue for MsQueue {
     fn enqueue(&self, tid: usize, item: u64) {
+        crate::instruments::ENQUEUES.incr();
         self.nodes.pin(tid);
         let new = self.nodes.alloc(tid);
         let p = &self.pool;
@@ -91,6 +92,7 @@ impl DurableQueue for MsQueue {
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        crate::instruments::DEQUEUES.incr();
         self.nodes.pin(tid);
         let p = &self.pool;
         let result = loop {

@@ -176,6 +176,7 @@ impl OptLinkedQueue {
 
 impl DurableQueue for OptLinkedQueue {
     fn enqueue(&self, tid: usize, item: u64) {
+        crate::instruments::ENQUEUES.incr();
         let pl = &self.pool;
         self.pnodes.pin(tid);
         let pnew = self.pnodes.alloc(tid);
@@ -225,6 +226,7 @@ impl DurableQueue for OptLinkedQueue {
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        crate::instruments::DEQUEUES.incr();
         let pl = &self.pool;
         self.pnodes.pin(tid);
         let result = loop {

@@ -98,6 +98,7 @@ impl OptUnlinkedQueue {
 
 impl DurableQueue for OptUnlinkedQueue {
     fn enqueue(&self, tid: usize, item: u64) {
+        crate::instruments::ENQUEUES.incr();
         let pl = &self.pool;
         self.pnodes.pin(tid);
         let pnew = self.pnodes.alloc(tid);
@@ -141,6 +142,7 @@ impl DurableQueue for OptUnlinkedQueue {
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        crate::instruments::DEQUEUES.incr();
         let pl = &self.pool;
         self.pnodes.pin(tid);
         let result = loop {

@@ -88,6 +88,7 @@ impl UnlinkedQueue {
 
 impl DurableQueue for UnlinkedQueue {
     fn enqueue(&self, tid: usize, item: u64) {
+        crate::instruments::ENQUEUES.incr();
         let p = &self.pool;
         self.nodes.pin(tid);
         let new = self.nodes.alloc(tid);
@@ -121,6 +122,7 @@ impl DurableQueue for UnlinkedQueue {
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        crate::instruments::DEQUEUES.incr();
         let p = &self.pool;
         self.nodes.pin(tid);
         let result = loop {

@@ -89,28 +89,24 @@ fn sharded_counts<Q: RecoverableQueue>(
 /// Renders the counts table as one machine-readable JSON experiment object
 /// (schema documented in the README under "Machine-readable results").
 pub fn counts_json(rows: &[CountsRow], ops: u64, shards: usize, policy: RoutePolicy) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"counts\",\n");
-    out.push_str(&format!("  \"ops\": {ops},\n"));
-    out.push_str(&format!("  \"shards\": {shards},\n"));
-    out.push_str(&format!("  \"policy\": \"{}\",\n", policy.key()));
-    out.push_str("  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
+    let mut obj = crate::jsonio::ExperimentObject::new("counts", "sim", None);
+    obj.field("ops", ops);
+    obj.field("shards", shards);
+    obj.str_field("policy", policy.key());
+    for row in rows {
         let c = &row.counts;
-        out.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"enq_fences\": {}, \"deq_fences\": {}, \
-             \"enq_flushes\": {}, \"nt_stores_per_op\": {}, \"post_flush_per_op\": {}}}{}\n",
+        obj.row(format!(
+            "{{\"algorithm\": \"{}\", \"enq_fences\": {}, \"deq_fences\": {}, \
+             \"enq_flushes\": {}, \"nt_stores_per_op\": {}, \"post_flush_per_op\": {}}}",
             row.algorithm.name(),
             c.enqueue.fences,
             c.dequeue.fences,
             c.enqueue.flushes,
             c.total.nt_stores,
             c.total.post_flush_accesses,
-            if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}");
-    out
+    obj.finish()
 }
 
 /// Renders the counts table.

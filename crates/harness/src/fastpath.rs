@@ -184,26 +184,18 @@ pub fn render_fastpath(cfg: &FastpathConfig, rows: &[FastpathRow]) -> String {
 /// `lock_free_fast_path` marker distinguishes epoch-scheme numbers from
 /// the earlier mapping-lock implementation in a `BENCH_*.json` trajectory.
 pub fn fastpath_json(cfg: &FastpathConfig, rows: &[FastpathRow]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"fastpath\",\n");
-    out.push_str(&format!("  \"ops\": {},\n", cfg.ops));
-    out.push_str(&format!("  \"trials\": {},\n", cfg.trials));
-    out.push_str("  \"lock_free_fast_path\": true,\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"grow_step\": {}, \"load_ns\": {:.3}, \
-             \"persist_ns\": {:.3}, \"map_ref_ns\": {:.3}}}{}\n",
-            row.mode,
-            row.grow_step,
-            row.load_ns,
-            row.persist_ns,
-            row.map_ref_ns,
-            if i + 1 < rows.len() { "," } else { "" },
+    let mut obj = crate::jsonio::ExperimentObject::new("fastpath", "file", Some(cfg.sync.key()));
+    obj.field("ops", cfg.ops);
+    obj.field("trials", cfg.trials);
+    obj.field("lock_free_fast_path", true);
+    for row in rows {
+        obj.row(format!(
+            "{{\"mode\": \"{}\", \"grow_step\": {}, \"load_ns\": {:.3}, \
+             \"persist_ns\": {:.3}, \"map_ref_ns\": {:.3}}}",
+            row.mode, row.grow_step, row.load_ns, row.persist_ns, row.map_ref_ns,
         ));
     }
-    out.push_str("  ]\n}");
-    out
+    obj.finish()
 }
 
 /// Parses the `fastpath` verb's flags into a config (shared with tests).

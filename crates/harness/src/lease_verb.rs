@@ -214,23 +214,17 @@ pub fn render_lease(cfg: &LeaseVerbConfig, rows: &[LeaseRow]) -> String {
 /// Renders the sweep as one machine-readable JSON experiment object
 /// (schema documented in the README under "Machine-readable results").
 pub fn lease_json(cfg: &LeaseVerbConfig, rows: &[LeaseRow]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"lease\",\n");
-    out.push_str(&format!(
-        "  \"algorithm\": \"{}\",\n  \"policy\": \"{}\",\n  \"sync\": \"{}\",\n  \
-         \"ops\": {},\n  \"nack_percent\": {},\n",
-        cfg.algorithm.name(),
-        cfg.policy.key(),
-        cfg.sync.key(),
-        cfg.ops,
-        cfg.nack_percent,
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"shards\": {}, \"wall_ms\": {}, \"acked_per_sec\": {}, \
+    let mut obj = crate::jsonio::ExperimentObject::new("lease", "file", Some(cfg.sync.key()));
+    obj.str_field("algorithm", cfg.algorithm.name());
+    obj.str_field("policy", cfg.policy.key());
+    obj.str_field("sync", cfg.sync.key());
+    obj.field("ops", cfg.ops);
+    obj.field("nack_percent", cfg.nack_percent);
+    for r in rows {
+        obj.row(format!(
+            "{{\"shards\": {}, \"wall_ms\": {}, \"acked_per_sec\": {}, \
              \"granted\": {}, \"redelivered\": {}, \"nacked\": {}, \
-             \"dead_lettered\": {}, \"compactions\": {}, \"log_records\": {}}}{}\n",
+             \"dead_lettered\": {}, \"compactions\": {}, \"log_records\": {}}}",
             r.shards,
             r.wall.as_secs_f64() * 1e3,
             r.acked_per_sec,
@@ -240,11 +234,9 @@ pub fn lease_json(cfg: &LeaseVerbConfig, rows: &[LeaseRow]) -> String {
             r.stats.dead_lettered,
             r.stats.compactions,
             r.log_records,
-            if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}");
-    out
+    obj.finish()
 }
 
 // ---------------------------------------------------------------------
@@ -273,6 +265,12 @@ fn kill_lease_config(sync: SyncPolicy) -> LeaseDirConfig {
 /// lease un-acked so the parent's SIGKILL strands live leases.
 pub fn run_lease_child(algorithm: Algorithm, dir: &Path, sync: SyncPolicy) {
     std::fs::create_dir_all(dir).expect("lease-child: create dir");
+    // Flight recorder next to the pool files: lease grants/acks/settlements
+    // land in BLACKBOX.ring so the parent can replay the child's last
+    // moments after the SIGKILL (`harness blackbox <dir>` does the same).
+    let recorder = obs::flight::FlightRecorder::create_or_open(dir, obs::flight::DEFAULT_CAPACITY)
+        .expect("lease-child: create flight recorder");
+    obs::flight::install(recorder);
     let orch = RecoveryOrchestrator::new(KILL_SHARDS);
     with_recoverable!(algorithm, Q => {
         let queue = create_leased_dir::<Q>(
@@ -404,6 +402,18 @@ pub fn run_lease_kill_round(
     }
     child.kill().expect("SIGKILL lease child");
     child.wait().expect("reap lease child");
+
+    // The child's flight recorder must have survived the kill with its
+    // pre-crash lease traffic intact: grants are the densest event in the
+    // ring, so a valid replay with zero grants means the ring lost data.
+    let ring = obs::flight::replay(&obs::flight::FlightRecorder::ring_path(&dir))
+        .expect("replay BLACKBOX.ring after lease SIGKILL");
+    assert!(
+        ring.of_kind(obs::flight::EventKind::LeaseGrant).count() > 0,
+        "blackbox replay has no pre-crash lease grants ({} events, {} torn)",
+        ring.events.len(),
+        ring.torn,
+    );
 
     let enq = read_tagged(&dir.join("enq.log"));
     let acked = read_tagged(&dir.join("acks.log"));

@@ -16,7 +16,9 @@ pub mod algorithms;
 pub mod checker;
 pub mod counts;
 pub mod fastpath;
+pub mod jsonio;
 pub mod lease_verb;
+pub mod obs_verbs;
 pub mod reshard;
 pub mod restart;
 pub mod runner;

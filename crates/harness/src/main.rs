@@ -22,9 +22,13 @@ use harness::counts::{
     counts_json, persist_counts_table, persist_counts_table_sharded, render_counts,
 };
 use harness::fastpath::{self, fastpath_json, render_fastpath, run_fastpath};
+use harness::jsonio::JsonSink;
 use harness::lease_verb::{
     lease_json, render_lease, render_lease_kill_outcome, run_lease, run_lease_child,
     run_lease_kill_round, LeaseVerbConfig,
+};
+use harness::obs_verbs::{
+    blackbox_json, metrics_json, render_blackbox, resolve_ring_path, warmed_snapshot,
 };
 use harness::reshard::{
     render_kill_outcome, run_reshard, run_reshard_child, run_reshard_kill_round, ReshardVerbConfig,
@@ -131,43 +135,6 @@ fn backend_from_flags(flags: &HashMap<String, String>) -> BackendChoice {
             eprintln!("unknown backend '{other}' (expected sim|file)");
             exit(2);
         }
-    }
-}
-
-/// Appends one JSON experiment object per table to the `--json` collection
-/// (written as a JSON array at exit).
-#[derive(Default)]
-struct JsonSink {
-    path: Option<PathBuf>,
-    objects: Vec<String>,
-}
-
-impl JsonSink {
-    fn from_flags(flags: &HashMap<String, String>) -> JsonSink {
-        JsonSink {
-            path: flags.get("json").map(PathBuf::from),
-            objects: Vec::new(),
-        }
-    }
-
-    fn push(&mut self, object: String) {
-        if self.path.is_some() {
-            self.objects.push(object);
-        }
-    }
-
-    fn write(self) {
-        let Some(path) = self.path else { return };
-        let mut out = String::from("[\n");
-        out.push_str(&self.objects.join(",\n"));
-        out.push_str("\n]\n");
-        std::fs::write(&path, out)
-            .unwrap_or_else(|e| panic!("cannot write --json {}: {e}", path.display()));
-        eprintln!(
-            "wrote {} experiment object(s) to {}",
-            self.objects.len(),
-            path.display()
-        );
     }
 }
 
@@ -496,6 +463,48 @@ fn cmd_fastpath(flags: &HashMap<String, String>) {
     json.write();
 }
 
+fn cmd_metrics(flags: &HashMap<String, String>) {
+    let ops = flags
+        .get("ops")
+        .map(|s| s.parse().expect("bad --ops"))
+        .unwrap_or(10_000);
+    let dir = flags.get("dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("harness-metrics-{}", std::process::id()))
+    });
+    let sync = parse_sync(flags);
+    let snap = warmed_snapshot(ops, dir, sync);
+    let mut json = JsonSink::from_flags(flags);
+    if flags.contains_key("json") {
+        json.push(metrics_json(&snap, sync));
+        json.write();
+    } else {
+        print!("{}", obs::export::prometheus(&snap));
+    }
+}
+
+fn cmd_blackbox(positional: Option<&str>, flags: &HashMap<String, String>) {
+    let target = flags
+        .get("dir")
+        .map(String::as_str)
+        .or(positional)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "blackbox: pass the deployment directory (or ring file): harness blackbox DIR"
+            );
+            exit(2);
+        });
+    let path = resolve_ring_path(&target);
+    let replay = obs::flight::replay(&path).unwrap_or_else(|e| {
+        eprintln!("blackbox: {e}");
+        exit(1);
+    });
+    print!("{}", render_blackbox(&path, &replay));
+    let mut json = JsonSink::from_flags(flags);
+    json.push(blackbox_json(&path, &replay));
+    json.write();
+}
+
 fn cmd_crashtest(flags: &HashMap<String, String>) {
     let mut cfg = CrashCheckConfig::default();
     if let Some(t) = flags.get("threads") {
@@ -523,6 +532,13 @@ fn main() {
         "reshard" => cmd_reshard(&flags),
         "fastpath" => cmd_fastpath(&flags),
         "lease" => cmd_lease(&flags),
+        "metrics" => cmd_metrics(&flags),
+        "blackbox" => cmd_blackbox(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            &flags,
+        ),
         // Hidden: the process `restart` spawns, kills and recovers from.
         "restart-child" => run_child(&restart_config(&flags)),
         // Hidden: the leased consumer the restart verb SIGKILLs mid-lease.
@@ -550,7 +566,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|fastpath|lease|all> [flags]\n\
+                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|fastpath|lease|metrics|blackbox|all> [flags]\n\
                  \n\
                  fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
                  counts     per-operation persistence counts (experiments E7/E8)\n\
@@ -567,6 +583,11 @@ fn main() {
                             modes (per-op load / persist / map_ref costs)\n\
                  lease      peek-lock producer/consumer throughput through a\n\
                             leased deployment (ack rate, redelivery, compaction)\n\
+                 metrics    drive a short leased workload, then dump the\n\
+                            process-global instruments (Prometheus text, or a\n\
+                            metrics experiment object with --json)\n\
+                 blackbox   replay a crash-surviving BLACKBOX.ring and\n\
+                            pretty-print the lifecycle events that survived\n\
                  all        counts, every fig2 panel, then the shard sweep\n\
                  \n\
                  common flags: --quick --workload W --threads 1,2,4 --ops N\n\
@@ -579,8 +600,8 @@ fn main() {
                                >= N bytes on exhaustion; 0 = fixed size)\n\
                  lease:        --ops N --nack-percent P --shards 1,2,4\n\
                  output:       --json PATH   (counts, shards, restart, fastpath,\n\
-                               lease: JSON array of experiment objects; schema\n\
-                               in README)\n\
+                               lease, metrics, blackbox: JSON array of\n\
+                               experiment objects; schema in README)\n\
                  restart:      --algo A --shards N --min-acks N --pool-bytes N\n\
                                --grow-step N  (undersized pools grow under kill)\n\
                  reshard:      --dir D --to N' [--algo A] [--create N --items M]\n\

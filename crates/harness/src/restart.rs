@@ -83,6 +83,14 @@ const POOL_FILE: &str = "pool.dq";
 /// drives traffic until killed. Never returns under normal operation.
 pub fn run_child(cfg: &RestartConfig) {
     std::fs::create_dir_all(&cfg.dir).expect("restart-child: create dir");
+    // The crash-surviving flight recorder rides next to the pool file(s):
+    // every lifecycle event the child hits (growth commits, reshard phases,
+    // lease settlements) lands in BLACKBOX.ring, where the parent — and
+    // `harness blackbox` after any real crash — can replay it post-SIGKILL.
+    let recorder =
+        obs::flight::FlightRecorder::create_or_open(&cfg.dir, obs::flight::DEFAULT_CAPACITY)
+            .expect("restart-child: create flight recorder");
+    obs::flight::install(recorder);
     with_recoverable!(cfg.algorithm, Q => {
         let file_cfg = FileConfig::with_size(cfg.pool_bytes)
             .with_sync(cfg.sync)
@@ -166,6 +174,9 @@ pub struct RestartOutcome {
     /// Committed pool growths inherited across the restart, summed over all
     /// shards (`0` for rounds whose pools never outgrew `--pool-bytes`).
     pub growth_epochs: u64,
+    /// Valid lifecycle events replayed from the child's `BLACKBOX.ring`
+    /// after the kill (torn tail records excluded).
+    pub blackbox_events: u64,
 }
 
 /// Runs one full round: spawn, wait for progress, SIGKILL, reopen,
@@ -277,6 +288,20 @@ pub fn run_round(cfg: &RestartConfig) -> RestartOutcome {
         "kill landed before the requested traffic"
     );
 
+    // The flight recorder must survive the SIGKILL exactly like the pool
+    // files: the ring replays with a valid header, and every pool growth
+    // the reopened pools inherited shows up as a PoolGrowthCommit event
+    // written *before* the growth's commit fence could be interrupted.
+    let ring = obs::flight::replay(&obs::flight::FlightRecorder::ring_path(&cfg.dir))
+        .expect("replay BLACKBOX.ring after SIGKILL");
+    let growth_events = ring
+        .of_kind(obs::flight::EventKind::PoolGrowthCommit)
+        .count() as u64;
+    assert!(
+        growth_events >= growth_epochs,
+        "blackbox lost growth commits: ring has {growth_events}, pools report {growth_epochs}"
+    );
+
     let _ = std::fs::remove_dir_all(&cfg.dir);
     RestartOutcome {
         confirmed_enqueues: acked_e.len(),
@@ -284,6 +309,7 @@ pub fn run_round(cfg: &RestartConfig) -> RestartOutcome {
         recovered: drained.len(),
         recovery,
         growth_epochs,
+        blackbox_events: ring.events.len() as u64,
     }
 }
 
@@ -355,16 +381,17 @@ pub fn restart_json(
     reshard: Option<&crate::reshard::ReshardKillOutcome>,
     lease: Option<&crate::lease_verb::LeaseKillOutcome>,
 ) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"restart\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, (cfg, outcome)) in rounds.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"shards\": {}, \"policy\": \"{}\", \"sync\": \"{}\", \
+    // All rounds of one invocation share the sync policy (they derive from
+    // one base config), so the first round's key is the meta-level one.
+    let sync = rounds.first().map(|(cfg, _)| cfg.sync.key());
+    let mut obj = crate::jsonio::ExperimentObject::new("restart", "file", sync);
+    for (cfg, outcome) in rounds {
+        obj.row(format!(
+            "{{\"algorithm\": \"{}\", \"shards\": {}, \"policy\": \"{}\", \"sync\": \"{}\", \
              \"pool_bytes\": {}, \"grow_step\": {}, \"mapping\": \"{}\", \
-             \"growth_epochs\": {}, \
+             \"growth_epochs\": {}, \"blackbox_events\": {}, \
              \"confirmed_enqueues\": {}, \"confirmed_dequeues\": {}, \"recovered\": {}, \
-             \"recovery_ms\": {}}}{}\n",
+             \"recovery_ms\": {}}}",
             cfg.algorithm.name(),
             cfg.shards,
             cfg.policy.key(),
@@ -377,14 +404,13 @@ pub fn restart_json(
                 "epoch-pinned"
             },
             outcome.growth_epochs,
+            outcome.blackbox_events,
             outcome.confirmed_enqueues,
             outcome.confirmed_dequeues,
             outcome.recovered,
             outcome.recovery.as_secs_f64() * 1e3,
-            if i + 1 < rounds.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ],\n");
     match reshard {
         Some(o) => {
             let resolution = match o.resolved {
@@ -392,29 +418,34 @@ pub fn restart_json(
                 Some(shard::ReshardResolution::RolledForward { .. }) => "\"rolled-forward\"",
                 None => "null",
             };
-            out.push_str(&format!(
-                "  \"reshard_kill\": {{\"completed_reshards\": {}, \"resolution\": {}, \
-                 \"shards_after\": {}, \"items\": {}}},\n",
-                o.completed_reshards, resolution, o.shards_after, o.items,
-            ));
+            obj.section(
+                "reshard_kill",
+                format!(
+                    "{{\"completed_reshards\": {}, \"resolution\": {}, \
+                     \"shards_after\": {}, \"items\": {}}}",
+                    o.completed_reshards, resolution, o.shards_after, o.items,
+                ),
+            );
         }
-        None => out.push_str("  \"reshard_kill\": null,\n"),
+        None => obj.section("reshard_kill", String::from("null")),
     }
     match lease {
-        Some(o) => out.push_str(&format!(
-            "  \"lease_kill\": {{\"confirmed_enqueues\": {}, \"confirmed_acks\": {}, \
-             \"held\": {}, \"unacked\": {}, \"redelivered\": {}, \"recovery_ms\": {}}}\n",
-            o.confirmed_enqueues,
-            o.confirmed_acks,
-            o.held,
-            o.unacked,
-            o.redelivered,
-            o.recovery.as_secs_f64() * 1e3,
-        )),
-        None => out.push_str("  \"lease_kill\": null\n"),
+        Some(o) => obj.section(
+            "lease_kill",
+            format!(
+                "{{\"confirmed_enqueues\": {}, \"confirmed_acks\": {}, \
+                 \"held\": {}, \"unacked\": {}, \"redelivered\": {}, \"recovery_ms\": {}}}",
+                o.confirmed_enqueues,
+                o.confirmed_acks,
+                o.held,
+                o.unacked,
+                o.redelivered,
+                o.recovery.as_secs_f64() * 1e3,
+            ),
+        ),
+        None => obj.section("lease_kill", String::from("null")),
     }
-    out.push('}');
-    out
+    obj.finish()
 }
 
 /// Renders one round's outcome as the verb's report line.
@@ -430,7 +461,8 @@ pub fn render_outcome(cfg: &RestartConfig, outcome: &RestartOutcome) -> String {
     };
     format!(
         "restart {} x{} [{}{}]: {} confirmed enqueues, {} confirmed dequeues, \
-         {} recovered in {:.3} ms — no loss, no duplication, FIFO intact{}\n",
+         {} recovered in {:.3} ms — no loss, no duplication, FIFO intact{} \
+         [{} blackbox event(s) survived the kill]\n",
         cfg.algorithm.name(),
         cfg.shards,
         cfg.sync.key(),
@@ -440,6 +472,7 @@ pub fn render_outcome(cfg: &RestartConfig, outcome: &RestartOutcome) -> String {
         outcome.recovered,
         outcome.recovery.as_secs_f64() * 1e3,
         growth,
+        outcome.blackbox_events,
     )
 }
 
@@ -491,6 +524,7 @@ mod tests {
                     recovered: 1_011,
                     recovery: Duration::from_millis(3),
                     growth_epochs: 0,
+                    blackbox_events: 0,
                 },
             ),
             (
@@ -505,6 +539,7 @@ mod tests {
                     recovered: 1_101,
                     recovery: Duration::from_millis(2),
                     growth_epochs: 3,
+                    blackbox_events: 7,
                 },
             ),
         ];

@@ -161,19 +161,14 @@ fn measure_shard_point<Q: RecoverableQueue + 'static>(
 /// documented in the README under "Machine-readable results").
 pub fn shard_sweep_json(cfg: &ShardSweepConfig, rows: &[ShardScalingRow]) -> String {
     let base = rows.first().map(|r| r.mops).unwrap_or(0.0);
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"shards\",\n");
-    out.push_str(&format!("  \"algorithm\": \"{}\",\n", cfg.algorithm.name()));
-    out.push_str(&format!("  \"workload\": \"{}\",\n", cfg.workload.key()));
-    out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
-    out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
-    out.push_str(&format!("  \"policy\": \"{}\",\n", cfg.policy.key()));
-    out.push_str(&format!(
-        "  \"recovery_threads\": {},\n",
-        cfg.recovery_threads
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
+    let mut obj = crate::jsonio::ExperimentObject::new("shards", "sim", None);
+    obj.str_field("algorithm", cfg.algorithm.name());
+    obj.str_field("workload", cfg.workload.key());
+    obj.field("threads", cfg.threads);
+    obj.field("ops_per_thread", cfg.ops_per_thread);
+    obj.str_field("policy", cfg.policy.key());
+    obj.field("recovery_threads", cfg.recovery_threads);
+    for row in rows {
         let per_shard: Vec<String> = row
             .per_shard
             .iter()
@@ -188,11 +183,11 @@ pub fn shard_sweep_json(cfg: &ShardSweepConfig, rows: &[ShardScalingRow]) -> Str
                 )
             })
             .collect();
-        out.push_str(&format!(
-            "    {{\"shards\": {}, \"mops\": {}, \"scaling\": {}, \"fences_per_op\": {}, \
+        obj.row(format!(
+            "{{\"shards\": {}, \"mops\": {}, \"scaling\": {}, \"fences_per_op\": {}, \
              \"recovered_items\": {}, \"recovery_wall_ms\": {}, \
              \"recovery_critical_path_ms\": {}, \"recovery_sequential_ms\": {}, \
-             \"recovery_speedup\": {}, \"per_shard\": [{}]}}{}\n",
+             \"recovery_speedup\": {}, \"per_shard\": [{}]}}",
             row.shards,
             row.mops,
             if base > 0.0 { row.mops / base } else { 0.0 },
@@ -203,11 +198,9 @@ pub fn shard_sweep_json(cfg: &ShardSweepConfig, rows: &[ShardScalingRow]) -> Str
             row.recovery.sequential_cost().as_secs_f64() * 1e3,
             row.recovery.speedup(),
             per_shard.join(", "),
-            if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}");
-    out
+    obj.finish()
 }
 
 /// Renders the sweep as a scaling table plus per-shard persist counts.

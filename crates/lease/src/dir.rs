@@ -113,9 +113,16 @@ pub fn open_leased_dir<Q: RecoverableQueue + 'static>(
     cursor: Option<&crate::tx::ExactlyOnce>,
 ) -> io::Result<(LeasedQueue<ShardedQueue<Q>>, RecoveryReport, ShardManifest)> {
     let (base, mut report, manifest) = orch.open_dir_with_sync::<Q>(dir, queue, lease.sync)?;
-    let dlq_pool = FilePool::open_with_sync(dir.join(DLQ_POOL_FILE), lease.sync)?.into_pool();
-    let dlq: Arc<dyn DurableQueue> = Arc::new(Q::recover(dlq_pool, queue));
-    let (leased, rec) = LeasedQueue::recover(base, Some(dlq), lease.lease_config(dir), cursor)?;
+    // The DLQ pool + ack-log replay are the lease layer's own recovery
+    // work; time them as a third phase on the same clock as the report's
+    // manifest-resolution and shard-replay spans.
+    let (repaired, repair_phase) = shard::PhaseSpan::time("lease-repair", 3, || {
+        let dlq_pool = FilePool::open_with_sync(dir.join(DLQ_POOL_FILE), lease.sync)?.into_pool();
+        let dlq: Arc<dyn DurableQueue> = Arc::new(Q::recover(dlq_pool, queue));
+        LeasedQueue::recover(base, Some(dlq), lease.lease_config(dir), cursor)
+    });
+    let (leased, rec) = repaired?;
+    report.phases.push(repair_phase);
     report.lease = Some(LeaseRecovery {
         unacked: rec.unacked,
         redelivered: rec.redelivered,
@@ -176,15 +183,14 @@ mod tests {
                                             // tests/consumer_kill.rs for the real thing).
         }
 
-        let (q, report, manifest) =
-            open_leased_dir::<DurableMsQueue>(
-                &orch,
-                &dir,
-                QueueConfig::small_test(),
-                &lease_cfg,
-                None,
-            )
-            .unwrap();
+        let (q, report, manifest) = open_leased_dir::<DurableMsQueue>(
+            &orch,
+            &dir,
+            QueueConfig::small_test(),
+            &lease_cfg,
+            None,
+        )
+        .unwrap();
         assert_eq!(manifest.shards(), 2);
         let lease = report.lease.expect("lease counts in the report");
         assert_eq!(lease.unacked, 1);

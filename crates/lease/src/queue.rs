@@ -10,6 +10,8 @@
 
 use crate::log::{AckLog, Record, RecordKind};
 use durable_queues::{DurableQueue, KeyedQueue};
+use obs::flight::EventKind;
+use obs::LazyCounter;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
@@ -18,6 +20,15 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use store::SyncPolicy;
+
+// Settlement instruments, mirroring the volatile `LeaseStats` (which reset
+// on recovery) with process-global monotonic counters the exporters read.
+static GRANTS: LazyCounter = LazyCounter::new("lease.grant");
+static ACKS: LazyCounter = LazyCounter::new("lease.ack");
+static NACKS: LazyCounter = LazyCounter::new("lease.nack");
+static EXPIRIES: LazyCounter = LazyCounter::new("lease.expire");
+static DEAD: LazyCounter = LazyCounter::new("lease.dead");
+static COMPACTIONS: LazyCounter = LazyCounter::new("lease.compaction");
 
 /// Configuration of a [`LeasedQueue`].
 #[derive(Clone, Debug)]
@@ -410,6 +421,8 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
             },
         );
         st.stats.acked += 1;
+        ACKS.incr();
+        obs::flight::record(EventKind::LeaseAck, lease.id, 0);
         self.maybe_compact(&mut st);
         Ok(())
     }
@@ -427,7 +440,15 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
             return Err(LeaseError::NotInFlight);
         };
         st.stats.nacked += 1;
-        Ok(self.settle_returned(&mut st, tid, lease.id, f.item, f.delivery_count))
+        NACKS.incr();
+        let outcome = self.settle_returned(&mut st, tid, lease.id, f.item, f.delivery_count);
+        if let Redelivery::Requeued {
+            next_delivery_count,
+        } = outcome
+        {
+            obs::flight::record(EventKind::LeaseNack, lease.id, next_delivery_count as u64);
+        }
+        Ok(outcome)
     }
 
     /// Reaps every lease whose deadline has passed, requeueing (or
@@ -455,7 +476,14 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
             }
             let f = st.inflight.remove(&id).unwrap();
             st.stats.expired += 1;
-            self.settle_returned(st, tid, id, f.item, f.delivery_count);
+            EXPIRIES.incr();
+            let outcome = self.settle_returned(st, tid, id, f.item, f.delivery_count);
+            if let Redelivery::Requeued {
+                next_delivery_count,
+            } = outcome
+            {
+                obs::flight::record(EventKind::LeaseExpire, id, next_delivery_count as u64);
+            }
             reaped += 1;
         }
         reaped
@@ -488,6 +516,8 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
                 },
             );
             st.stats.dead_lettered += 1;
+            DEAD.incr();
+            obs::flight::record(EventKind::LeaseDead, id, item);
             self.maybe_compact(st);
             Redelivery::DeadLettered
         } else {
@@ -544,6 +574,8 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
         );
         st.deadlines.push(Reverse((deadline, id)));
         st.stats.granted += 1;
+        GRANTS.incr();
+        obs::flight::record(EventKind::LeaseGrant, id, item);
         if delivery_count > 1 {
             st.stats.redelivered += 1;
         }
@@ -587,10 +619,13 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
         // rides the rewritten header — without it, settling the
         // highest-numbered leases and then crashing would reuse their ids.
         let next_id = st.next_id;
+        let live_records = snapshot.len() as u64;
         if let Err(e) = st.log.compact(next_id, snapshot) {
             panic!("ack log compaction failed: {e}");
         }
         st.stats.compactions += 1;
+        COMPACTIONS.incr();
+        obs::flight::record(EventKind::LeaseCompaction, live_records, 0);
     }
 
     // ------------------------------------------------------------------
@@ -762,6 +797,8 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
             st.stats.late_acks += 1;
             return Ok(out);
         }
+        ACKS.incr();
+        obs::flight::record(EventKind::LeaseAck, lease.id, 0);
         append_or_die(
             &mut st.log,
             &Record {

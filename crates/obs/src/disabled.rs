@@ -1,0 +1,92 @@
+//! No-op mirrors of the named instruments, unconditionally compiled.
+//!
+//! These exist for exactly one purpose: letting a single bench binary
+//! (`bench/benches/obs_overhead.rs`) measure the enabled and the disabled
+//! instrumentation cost side by side without two feature-flagged builds.
+//! The bodies here are what every [`crate::metrics`] method compiles to
+//! when the `instrument` feature is off.
+
+/// No-op mirror of [`crate::metrics::LazyCounter`].
+pub struct Counter {
+    name: &'static str,
+}
+
+impl Counter {
+    /// A counter that will never count.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name }
+    }
+
+    /// The name the enabled twin would register under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        let _ = n;
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn incr(&self) {}
+
+    /// Always 0.
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op mirror of [`crate::metrics::LazyHistogram`].
+pub struct Histogram {
+    name: &'static str,
+}
+
+impl Histogram {
+    /// A histogram that will never record.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram { name }
+    }
+
+    /// The name the enabled twin would register under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, v: u64) {
+        let _ = v;
+    }
+
+    /// Returns a zero-sized timer; `Instant::now` is never called.
+    #[inline(always)]
+    pub fn start_timer(&self) -> Timer {
+        Timer { _private: () }
+    }
+}
+
+/// Zero-sized stand-in for [`crate::metrics::Timer`]; dropping it does
+/// nothing.
+pub struct Timer {
+    _private: (),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paths_are_inert() {
+        static C: Counter = Counter::new("test.disabled.c");
+        static H: Histogram = Histogram::new("test.disabled.h");
+        C.incr();
+        C.add(100);
+        H.record(42);
+        let _t = H.start_timer();
+        assert_eq!(C.value(), 0);
+        assert_eq!(C.name(), "test.disabled.c");
+        assert_eq!(H.name(), "test.disabled.h");
+    }
+}

@@ -1,0 +1,169 @@
+//! Rendering a [`MetricsSnapshot`] for the outside world: Prometheus text
+//! exposition (`harness metrics`) and a compact JSON object (embedded in
+//! every harness verb's `--json` output).
+
+use crate::metrics::{Histogram, HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Mangles a dotted instrument name into a Prometheus metric name:
+/// `store.msync_ns` → `dq_store_msync_ns`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("dq_");
+    for ch in name.chars() {
+        out.push(match ch {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => ch,
+            _ => '_',
+        });
+    }
+    out
+}
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot: counters as
+/// `<name>_total`, histograms as cumulative `_bucket{le=...}` series (up to
+/// the highest non-empty bucket, closed by `+Inf`) plus `_sum`/`_count`.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p}_total counter");
+        let _ = writeln!(out, "{p}_total {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} histogram");
+        let last = hist
+            .buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &c) in hist.buckets.iter().take(last).enumerate() {
+            cumulative += c;
+            // The unbounded last bucket has no bound; +Inf below covers it.
+            if let Some(bound) = Histogram::bucket_bound(i) {
+                let _ = writeln!(out, "{p}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+        }
+        let count = hist.count();
+        let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{p}_sum {}", hist.sum);
+        let _ = writeln!(out, "{p}_count {count}");
+    }
+    out
+}
+
+fn json_histogram(out: &mut String, hist: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+        hist.count(),
+        hist.sum,
+        hist.mean(),
+        hist.quantile(0.5),
+        hist.quantile(0.99),
+    );
+    let mut first = true;
+    for (i, &c) in hist.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "[{i}, {c}]");
+    }
+    out.push_str("]}");
+}
+
+/// A compact (single-line) JSON object for a snapshot:
+/// `{"counters": {...}, "histograms": {name: {count, sum, mean, p50, p99,
+/// buckets: [[index, count], ...]}}}`. Quantiles are bucket upper bounds
+/// (`p99` is `u64::MAX` when the estimate lands in the unbounded bucket);
+/// `buckets` lists only non-empty log₂ buckets. Instrument names contain
+/// only `[a-z0-9._-]`, so no string escaping is needed.
+pub fn json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\": {");
+    let mut first = true;
+    for (name, value) in &snap.counters {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{name}\": {value}");
+    }
+    out.push_str("}, \"histograms\": {");
+    first = true;
+    for (name, hist) in &snap.histograms {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{name}\": ");
+        json_histogram(&mut out, hist);
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::BUCKETS;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("core.enqueue".into(), 42);
+        s.counters.insert("lease.grant".into(), 7);
+        let mut h = HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            sum: 1000,
+        };
+        h.buckets[3] = 2; // two samples in [4, 7]
+        h.buckets[10] = 1; // one in [512, 1023]
+        s.histograms.insert("store.msync_ns".into(), h);
+        s
+    }
+
+    #[test]
+    fn prometheus_counters_and_histograms() {
+        let text = prometheus(&sample());
+        assert!(text.contains("# TYPE dq_core_enqueue_total counter"));
+        assert!(text.contains("dq_core_enqueue_total 42"));
+        assert!(text.contains("dq_lease_grant_total 7"));
+        assert!(text.contains("# TYPE dq_store_msync_ns histogram"));
+        // Cumulative: bucket 3 bound is 7 (2 samples), bucket 10 bound is
+        // 1023 (all 3).
+        assert!(text.contains("dq_store_msync_ns_bucket{le=\"7\"} 2"));
+        assert!(text.contains("dq_store_msync_ns_bucket{le=\"1023\"} 3"));
+        assert!(text.contains("dq_store_msync_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("dq_store_msync_ns_sum 1000"));
+        assert!(text.contains("dq_store_msync_ns_count 3"));
+        // Nothing past the highest non-empty bucket (bound 2047 = bucket 11).
+        assert!(!text.contains("le=\"2047\""));
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = json(&sample());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"core.enqueue\": 42"));
+        assert!(j.contains("\"store.msync_ns\": {\"count\": 3, \"sum\": 1000"));
+        assert!(j.contains("\"buckets\": [[3, 2], [10, 1]]"));
+        assert!(!j.contains('\n'));
+        // Balanced braces/brackets — the harness splices this into larger
+        // documents.
+        let opens = j.matches(['{', '[']).count();
+        let closes = j.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let j = json(&MetricsSnapshot::default());
+        assert_eq!(j, "{\"counters\": {}, \"histograms\": {}}");
+        assert_eq!(prometheus(&MetricsSnapshot::default()), "");
+    }
+}

@@ -1,0 +1,52 @@
+//! Observability for the durable-queue stack: lock-free metrics, exporters,
+//! and a crash-surviving flight recorder.
+//!
+//! Three parts, all dependency-free (this crate sits at the bottom of the
+//! workspace DAG — everything else links against it):
+//!
+//! * [`metrics`] — a process-global registry of cache-padded, per-thread
+//!   striped counters and log₂-bucketed latency histograms. Instruments are
+//!   declared as `static` [`LazyCounter`]/[`LazyHistogram`]s named like
+//!   `"lease.grant"`; two statics with the same name share one instrument.
+//!   Snapshots merge with `Add`/`Sub`, like `pmem::StatsSnapshot`. The whole
+//!   layer is gated behind the default-on `instrument` feature: with it off,
+//!   every method body is empty and the hot paths compile to nothing (the
+//!   [`disabled`] module exposes always-no-op mirrors so a single bench
+//!   binary can measure both).
+//! * [`flight`] — an mmap'd ring of fixed-size CRC'd event records
+//!   (`BLACKBOX.ring`) that survives SIGKILL via the page cache; after a
+//!   crash, [`flight::replay`] reconstructs the last *capacity* lifecycle
+//!   events (growth commits, reshard intent/commit, lease settlements,
+//!   recovery phases).
+//! * [`export`] — Prometheus text exposition and JSON rendering of a
+//!   [`MetricsSnapshot`].
+
+pub mod crc;
+pub mod export;
+pub mod flight;
+pub mod metrics;
+
+pub use metrics::{
+    snapshot, Counter, Histogram, HistogramSnapshot, LazyCounter, LazyHistogram, MetricsSnapshot,
+    Timer,
+};
+
+/// Always-compiled no-op mirrors of the metric types, for benchmarking the
+/// disabled-instrumentation cost without a separate feature-flagged build.
+pub mod disabled;
+
+/// The shared wall clock: flight-recorder timestamps and recovery phase
+/// spans both read it, so a `blackbox` dump lines up with a
+/// `RecoveryReport`.
+pub mod clock {
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    /// Nanoseconds since the Unix epoch (0 if the system clock is before
+    /// it, which only a badly misconfigured host produces).
+    pub fn wall_ns() -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}

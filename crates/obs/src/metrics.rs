@@ -1,0 +1,662 @@
+//! Lock-free metrics: striped counters, log₂ histograms, a process-global
+//! name-keyed registry, and mergeable snapshots.
+//!
+//! Instruments are declared where they are used, as statics:
+//!
+//! ```
+//! use obs::metrics::LazyCounter;
+//! static GRANTS: LazyCounter = LazyCounter::new("lease.grant");
+//! GRANTS.incr();
+//! ```
+//!
+//! The first touch registers the instrument in the process-global registry;
+//! two statics with the same name resolve to the *same* underlying counter,
+//! so layers that share a concept (e.g. `core.enqueue` incremented by every
+//! queue implementation) aggregate without coordination. [`snapshot`] folds
+//! the registry into a [`MetricsSnapshot`], which merges with `Add` and
+//! diffs with `Sub` exactly like `pmem::StatsSnapshot` — take one before
+//! and one after a phase, subtract, and you have the phase's metrics.
+//!
+//! Everything here is gated on the default-on `instrument` feature: with it
+//! off, `incr`/`record`/`start_timer` are empty inline functions (no atomic
+//! touched, no `Instant::now`), and [`snapshot`] returns an empty snapshot.
+
+use std::collections::BTreeMap;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "instrument")]
+use std::sync::OnceLock;
+
+/// Stripes per counter. Power of two; threads hash onto stripes by a
+/// round-robin-assigned thread index, so up to this many threads increment
+/// without sharing a cache line.
+pub const STRIPES: usize = 16;
+
+/// Buckets per histogram: bucket 0 holds zeros, bucket *i* ≥ 1 holds values
+/// in `[2^(i-1), 2^i)`, and the last bucket is unbounded above.
+pub const BUCKETS: usize = 64;
+
+/// Pads and aligns to 128 bytes so neighbouring stripes never share a cache
+/// line (nor a prefetched pair of lines). Same idea as crossbeam's
+/// `CachePadded`, local so obs stays dependency-free.
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// Round-robin stripe assignment: the first `STRIPES` threads each get their
+/// own stripe, later ones wrap. Assignment happens once per thread.
+#[cfg(feature = "instrument")]
+#[inline]
+fn stripe_index() -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let cached = s.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let idx = NEXT.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+        s.set(idx);
+        idx
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Raw instruments
+// ---------------------------------------------------------------------------
+
+/// A monotonic counter, striped across [`STRIPES`] cache-padded atomics.
+///
+/// `add` is one relaxed `fetch_add` on the caller's own stripe; [`value`]
+/// sums the stripes (racy in the usual benign sense: a concurrent reader
+/// may see a sum no thread ever observed, but never loses an increment).
+///
+/// [`value`]: Counter::value
+pub struct Counter {
+    stripes: [CachePadded<AtomicU64>; STRIPES],
+}
+
+impl Counter {
+    /// A zeroed counter, usable in statics.
+    pub const fn new() -> Counter {
+        Counter {
+            stripes: [const { CachePadded(AtomicU64::new(0)) }; STRIPES],
+        }
+    }
+
+    /// Adds `n` on the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "instrument")]
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "instrument"))]
+        let _ = n;
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all stripes.
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter::new()
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// `record` is two relaxed `fetch_add`s (bucket + sum); unlike [`Counter`]
+/// the buckets are not striped — the instrumented paths (msync, growth,
+/// recovery phases) record orders of magnitude less often than the counter
+/// hot paths, and 64 padded stripes × 64 buckets would be a page per
+/// instrument.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: CachePadded<AtomicU64>,
+}
+
+impl Histogram {
+    /// A zeroed histogram, usable in statics.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: CachePadded(AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index for `v`: 0 for 0, else `64 − leading_zeros(v)`,
+    /// clamped so `v ≥ 2^62` lands in the last (unbounded) bucket.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i`, or `None` for the last
+    /// (unbounded) bucket.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        match i {
+            0 => Some(0),
+            _ if i < BUCKETS - 1 => Some((1u64 << i) - 1),
+            _ => None,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "instrument")]
+        {
+            self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.0.fetch_add(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "instrument"))]
+        let _ = v;
+    }
+
+    /// A point-in-time copy of the buckets and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.0.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Named (registered) instruments
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "instrument")]
+struct Registry {
+    counters: std::sync::Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: std::sync::Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+#[cfg(feature = "instrument")]
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: std::sync::Mutex::new(BTreeMap::new()),
+        histograms: std::sync::Mutex::new(BTreeMap::new()),
+    })
+}
+
+#[cfg(feature = "instrument")]
+impl Registry {
+    fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+}
+
+/// A named counter that registers itself in the process-global registry on
+/// first use. Declare as a `static` next to the code it instruments; two
+/// statics with the same name share one [`Counter`].
+pub struct LazyCounter {
+    name: &'static str,
+    #[cfg(feature = "instrument")]
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// A not-yet-registered counter named `name` (dotted lowercase by
+    /// convention, e.g. `"store.growth"`).
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            #[cfg(feature = "instrument")]
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The instrument's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[cfg(feature = "instrument")]
+    #[inline]
+    fn resolve(&self) -> &'static Counter {
+        self.cell.get_or_init(|| registry().counter(self.name))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "instrument")]
+        self.resolve().add(n);
+        #[cfg(not(feature = "instrument"))]
+        let _ = n;
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total (0 when instrumentation is disabled).
+    pub fn value(&self) -> u64 {
+        #[cfg(feature = "instrument")]
+        {
+            self.resolve().value()
+        }
+        #[cfg(not(feature = "instrument"))]
+        0
+    }
+}
+
+/// A named histogram that registers itself on first use; see
+/// [`LazyCounter`] for the registration contract.
+pub struct LazyHistogram {
+    name: &'static str,
+    #[cfg(feature = "instrument")]
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// A not-yet-registered histogram named `name`. Latency instruments end
+    /// in `_ns` by convention (`"store.msync_ns"`).
+    pub const fn new(name: &'static str) -> LazyHistogram {
+        LazyHistogram {
+            name,
+            #[cfg(feature = "instrument")]
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The instrument's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[cfg(feature = "instrument")]
+    #[inline]
+    fn resolve(&self) -> &'static Histogram {
+        self.cell.get_or_init(|| registry().histogram(self.name))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "instrument")]
+        self.resolve().record(v);
+        #[cfg(not(feature = "instrument"))]
+        let _ = v;
+    }
+
+    /// Starts a timer whose drop records the elapsed nanoseconds here.
+    /// When instrumentation is disabled the timer is a zero-sized no-op —
+    /// `Instant::now` is never called.
+    #[inline]
+    pub fn start_timer(&self) -> Timer<'_> {
+        Timer {
+            #[cfg(feature = "instrument")]
+            hist: self.resolve(),
+            #[cfg(feature = "instrument")]
+            start: std::time::Instant::now(),
+            #[cfg(not(feature = "instrument"))]
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Records elapsed wall time into a histogram on drop; see
+/// [`LazyHistogram::start_timer`].
+pub struct Timer<'a> {
+    #[cfg(feature = "instrument")]
+    hist: &'a Histogram,
+    #[cfg(feature = "instrument")]
+    start: std::time::Instant,
+    #[cfg(not(feature = "instrument"))]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+#[cfg(feature = "instrument")]
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of every registered instrument. Empty when the
+/// `instrument` feature is off.
+pub fn snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "instrument")]
+    {
+        let reg = registry();
+        let counters = reg
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&name, c)| (name.to_string(), c.value()))
+            .collect();
+        let histograms = reg
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&name, h)| (name.to_string(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+    #[cfg(not(feature = "instrument"))]
+    MetricsSnapshot::default()
+}
+
+/// A point-in-time copy of one histogram's buckets and sum. Merges with
+/// `Add`, diffs with `Sub` (bucketwise, saturating).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket counts, [`BUCKETS`] long (empty only in `Default`).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// An upper bound on the `q`-quantile (0 < q ≤ 1): the inclusive upper
+    /// bound of the first bucket at which the cumulative count reaches
+    /// `q × count`. Within-bucket position is unknown, so the estimate is
+    /// exact only up to the log₂ bucket width. Returns 0 with no samples;
+    /// `u64::MAX` if the quantile lands in the unbounded last bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_bound(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    fn widen(&mut self) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+    }
+}
+
+impl Add for HistogramSnapshot {
+    type Output = HistogramSnapshot;
+    fn add(mut self, rhs: HistogramSnapshot) -> HistogramSnapshot {
+        self.widen();
+        for (i, &c) in rhs.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.sum += rhs.sum;
+        self
+    }
+}
+
+impl Sub for HistogramSnapshot {
+    type Output = HistogramSnapshot;
+    fn sub(mut self, rhs: HistogramSnapshot) -> HistogramSnapshot {
+        self.widen();
+        for (i, &c) in rhs.buckets.iter().enumerate() {
+            self.buckets[i] = self.buckets[i].saturating_sub(c);
+        }
+        self.sum = self.sum.saturating_sub(rhs.sum);
+        self
+    }
+}
+
+/// Every registered instrument at one point in time. `Sub` an earlier
+/// snapshot from a later one for a phase delta; `Add`/`Sum` merge
+/// snapshots from different processes (e.g. parent + crashed child).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by instrument name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by instrument name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when no instrument has been registered (always true with the
+    /// `instrument` feature off).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl Add for MetricsSnapshot {
+    type Output = MetricsSnapshot;
+    fn add(mut self, rhs: MetricsSnapshot) -> MetricsSnapshot {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for MetricsSnapshot {
+    fn add_assign(&mut self, rhs: MetricsSnapshot) {
+        for (name, v) in rhs.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in rhs.histograms {
+            let slot = self.histograms.entry(name).or_default();
+            *slot = std::mem::take(slot) + h;
+        }
+    }
+}
+
+impl Sub for MetricsSnapshot {
+    type Output = MetricsSnapshot;
+    fn sub(mut self, rhs: MetricsSnapshot) -> MetricsSnapshot {
+        for (name, v) in rhs.counters {
+            let slot = self.counters.entry(name).or_insert(0);
+            *slot = slot.saturating_sub(v);
+        }
+        for (name, h) in rhs.histograms {
+            let slot = self.histograms.entry(name).or_default();
+            *slot = std::mem::take(slot) - h;
+        }
+        self
+    }
+}
+
+impl Sum for MetricsSnapshot {
+    fn sum<I: Iterator<Item = MetricsSnapshot>>(iter: I) -> MetricsSnapshot {
+        iter.fold(MetricsSnapshot::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_axis() {
+        assert_eq!(Histogram::bucket_bound(0), Some(0));
+        assert_eq!(Histogram::bucket_bound(1), Some(1));
+        assert_eq!(Histogram::bucket_bound(10), Some(1023));
+        assert_eq!(Histogram::bucket_bound(BUCKETS - 1), None);
+        // Every value's bucket bound is >= the value (when bounded).
+        for v in [0u64, 1, 2, 7, 100, 65_535, 1 << 40] {
+            let b = Histogram::bucket_bound(Histogram::bucket_index(v)).unwrap();
+            assert!(b >= v, "bound {b} < value {v}");
+        }
+    }
+
+    #[cfg(feature = "instrument")]
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[cfg(feature = "instrument")]
+    #[test]
+    fn same_name_statics_share_one_counter() {
+        static A: LazyCounter = LazyCounter::new("test.metrics.shared");
+        static B: LazyCounter = LazyCounter::new("test.metrics.shared");
+        let before = A.value();
+        A.add(3);
+        B.add(4);
+        assert_eq!(A.value(), before + 7);
+        assert_eq!(B.value(), before + 7);
+        assert_eq!(snapshot().counter("test.metrics.shared"), before + 7);
+    }
+
+    #[cfg(feature = "instrument")]
+    #[test]
+    fn timer_records_into_histogram() {
+        static H: LazyHistogram = LazyHistogram::new("test.metrics.timer_ns");
+        let before = snapshot()
+            .histograms
+            .get("test.metrics.timer_ns")
+            .map(|h| h.count())
+            .unwrap_or(0);
+        {
+            let _t = H.start_timer();
+            std::hint::black_box(());
+        }
+        let after = snapshot().histograms["test.metrics.timer_ns"].count();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 1, 100, 100, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        if cfg!(feature = "instrument") {
+            assert_eq!(s.count(), 6);
+            assert_eq!(s.sum, 1_000_203);
+            // p50 falls in the bucket of 1; p99 in the bucket of 1_000_000.
+            assert_eq!(s.quantile(0.5), 1);
+            assert!(s.quantile(0.99) >= 1_000_000);
+            assert_eq!(s.mean(), 1_000_203 / 6);
+        } else {
+            assert_eq!(s.count(), 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_add_sub_roundtrip() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("x".into(), 10);
+        let mut hb = HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            sum: 30,
+        };
+        hb.buckets[3] = 2;
+        a.histograms.insert("h".into(), hb);
+
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("x".into(), 4);
+        b.counters.insert("y".into(), 1);
+
+        let merged = a.clone() + b.clone();
+        assert_eq!(merged.counter("x"), 14);
+        assert_eq!(merged.counter("y"), 1);
+        assert_eq!(merged.histograms["h"].count(), 2);
+
+        let diff = merged - b;
+        assert_eq!(diff.counter("x"), a.counter("x"));
+        assert_eq!(diff.counter("y"), 0);
+        assert_eq!(diff.histograms["h"], a.histograms["h"]);
+    }
+
+    #[test]
+    fn snapshot_sum_folds() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("x".into(), 1);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("x".into(), 2);
+        let total: MetricsSnapshot = [a, b].into_iter().sum();
+        assert_eq!(total.counter("x"), 3);
+    }
+}

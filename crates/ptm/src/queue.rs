@@ -15,6 +15,12 @@ use pmem::layout::QUEUE_ROOT;
 use pmem::PmemPool;
 use std::sync::Arc;
 
+// Same instrument names as the `durable_queues` implementations: the obs
+// registry merges same-named statics, so `core.enqueue`/`core.dequeue`
+// aggregate over every algorithm regardless of crate.
+static ENQUEUES: obs::LazyCounter = obs::LazyCounter::new("core.enqueue");
+static DEQUEUES: obs::LazyCounter = obs::LazyCounter::new("core.dequeue");
+
 /// Node field offsets.
 const ITEM: u32 = 0;
 const NEXT: u32 = 8;
@@ -86,6 +92,7 @@ impl<const EAGER: bool> PtmQueue<EAGER> {
 
 impl<const EAGER: bool> DurableQueue for PtmQueue<EAGER> {
     fn enqueue(&self, tid: usize, item: u64) {
+        ENQUEUES.incr();
         self.ptm.run(tid, |tx| {
             let node = Self::tx_alloc(tx);
             tx.write(node + ITEM, item);
@@ -97,6 +104,7 @@ impl<const EAGER: bool> DurableQueue for PtmQueue<EAGER> {
     }
 
     fn dequeue(&self, tid: usize) -> Option<u64> {
+        DEQUEUES.incr();
         self.ptm.run(tid, |tx| {
             let head = tx.read(ROOT_HEAD) as u32;
             let next = tx.read(head + NEXT);

@@ -11,6 +11,8 @@
 use crate::manifest::ShardManifest;
 use crate::sharded::{Shard, ShardConfig, ShardedQueue};
 use durable_queues::{QueueConfig, RecoverableQueue};
+use obs::flight::EventKind;
+use obs::LazyHistogram;
 use pmem::{PmemPool, PoolConfig};
 use std::io;
 use std::path::Path;
@@ -88,6 +90,45 @@ pub struct LeaseRecovery {
     pub log_records: u64,
 }
 
+/// Per-shard recovery latencies, recorded into the process-global
+/// histogram so straggler shards show up in exported percentiles too.
+static RECOVER_SHARD_NS: LazyHistogram = LazyHistogram::new("shard.recover_ns");
+
+/// One timed phase of a recovery campaign. Phase starts are stamped with
+/// [`obs::clock::wall_ns`] — the same clock the flight recorder uses — so a
+/// report's spans line up with a post-mortem `harness blackbox` dump.
+#[derive(Clone, Debug)]
+pub struct PhaseSpan {
+    /// Phase name: `"manifest-resolution"`, `"shard-replay"`, or
+    /// `"lease-repair"`.
+    pub name: &'static str,
+    /// Wall-clock start of the phase, ns since the Unix epoch.
+    pub started_ns: u64,
+    /// How long the phase took.
+    pub wall: Duration,
+}
+
+impl PhaseSpan {
+    /// Times `f`, returning its result plus the finished span, and logs the
+    /// span to the flight recorder (`ordinal` is the [`EventKind`] phase
+    /// number: 1 = manifest resolution, 2 = shard replay, 3 = lease repair).
+    pub fn time<T>(name: &'static str, ordinal: u64, f: impl FnOnce() -> T) -> (T, PhaseSpan) {
+        let started_ns = obs::clock::wall_ns();
+        let begun = Instant::now();
+        let value = f();
+        let wall = begun.elapsed();
+        obs::flight::record(EventKind::RecoveryPhase, ordinal, wall.as_nanos() as u64);
+        (
+            value,
+            PhaseSpan {
+                name,
+                started_ns,
+                wall,
+            },
+        )
+    }
+}
+
 /// The outcome of one parallel recovery campaign.
 #[derive(Clone, Debug)]
 pub struct RecoveryReport {
@@ -100,6 +141,10 @@ pub struct RecoveryReport {
     /// Lease-state recovery, when the deployment consumes through the
     /// peek-lock layer (`None` for plain destructive-dequeue deployments).
     pub lease: Option<LeaseRecovery>,
+    /// Timed phases in execution order (manifest resolution, shard replay,
+    /// and — filled in by the lease layer — lease repair). Simulated-crash
+    /// recoveries have only the replay phase.
+    pub phases: Vec<PhaseSpan>,
 }
 
 impl RecoveryReport {
@@ -244,16 +289,19 @@ impl RecoveryOrchestrator {
         assert_eq!(pools.len(), config.shards, "one crashed image per shard");
         let n = pools.len();
         let started = Instant::now();
-        let recovered = par_map_shards(n, self.threads, |i| {
-            let pool = Arc::clone(&pools[i]);
-            let begun = Instant::now();
-            let queue = Q::recover(Arc::clone(&pool), config.queue);
-            (Shard { queue, pool }, begun.elapsed())
+        let (recovered, replay_phase) = PhaseSpan::time("shard-replay", 2, || {
+            par_map_shards(n, self.threads, |i| {
+                let pool = Arc::clone(&pools[i]);
+                let begun = Instant::now();
+                let queue = Q::recover(Arc::clone(&pool), config.queue);
+                (Shard { queue, pool }, begun.elapsed())
+            })
         });
         let wall = started.elapsed();
         let mut shards = Vec::with_capacity(n);
         let mut per_shard = Vec::with_capacity(n);
         for (i, (shard, latency)) in recovered.into_iter().enumerate() {
+            RECOVER_SHARD_NS.record(latency.as_nanos() as u64);
             per_shard.push(ShardRecovery {
                 shard: i,
                 latency,
@@ -268,6 +316,7 @@ impl RecoveryOrchestrator {
             wall,
             threads: self.threads.min(n).max(1),
             lease: None,
+            phases: vec![replay_phase],
         };
         (queue, report)
     }
@@ -398,14 +447,17 @@ impl RecoveryOrchestrator {
         sync: store::SyncPolicy,
         grow_step: usize,
     ) -> io::Result<(ShardedQueue<Q>, RecoveryReport, ShardManifest)> {
+        let started = Instant::now();
         // A crash may have interrupted a reshard: roll it back or forward
         // before trusting the manifest's pool-file list.
-        crate::reshard::resolve_reshard(dir)?;
-        let manifest = ShardManifest::read(dir)?;
+        let (resolved, resolution_phase) = PhaseSpan::time("manifest-resolution", 1, || {
+            crate::reshard::resolve_reshard(dir).and_then(|_| ShardManifest::read(dir))
+        });
+        let manifest = resolved?;
         let paths = manifest.pool_paths(dir);
         let n = manifest.shards();
-        let started = Instant::now();
-        let recovered: Vec<(Shard<Q>, Duration)> =
+        obs::flight::record(EventKind::RecoveryStart, n as u64, 0);
+        let (recovered, replay_phase) = PhaseSpan::time("shard-replay", 2, || {
             par_map_shards(n, self.threads, |i| -> io::Result<(Shard<Q>, Duration)> {
                 // Each shard's header is the authority on its own effective
                 // size — shards grow independently, so neither the manifest
@@ -418,8 +470,11 @@ impl RecoveryOrchestrator {
                 Ok((Shard { queue: q, pool }, begun.elapsed()))
             })
             .into_iter()
-            .collect::<io::Result<_>>()?;
+            .collect::<io::Result<Vec<(Shard<Q>, Duration)>>>()
+        });
+        let recovered = recovered?;
         let wall = started.elapsed();
+        obs::flight::record(EventKind::RecoveryDone, n as u64, wall.as_nanos() as u64);
         let config = ShardConfig {
             shards: n,
             queue,
@@ -433,6 +488,7 @@ impl RecoveryOrchestrator {
         let mut shards = Vec::with_capacity(n);
         let mut per_shard = Vec::with_capacity(n);
         for (i, (shard, latency)) in recovered.into_iter().enumerate() {
+            RECOVER_SHARD_NS.record(latency.as_nanos() as u64);
             per_shard.push(ShardRecovery {
                 shard: i,
                 latency,
@@ -447,6 +503,7 @@ impl RecoveryOrchestrator {
             wall,
             threads: self.threads.min(n).max(1),
             lease: None,
+            phases: vec![resolution_phase, replay_phase],
         };
         Ok((queue, report, manifest))
     }

@@ -47,6 +47,7 @@ use crate::manifest::{ReshardIntent, ShardManifest};
 use crate::recovery::{par_map_shards, RecoveryOrchestrator};
 use crate::route::{mix, RoutePolicy};
 use durable_queues::{QueueConfig, RecoverableQueue};
+use obs::flight::EventKind;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -233,6 +234,8 @@ pub fn resolve_reshard(dir: &Path) -> io::Result<Option<ReshardResolution>> {
     };
     sync_dir(dir)?;
     ReshardIntent::remove(dir)?;
+    let forward = matches!(resolution, ReshardResolution::RolledForward { .. });
+    obs::flight::record(EventKind::ReshardResolved, forward as u64, 0);
     Ok(Some(resolution))
 }
 
@@ -324,6 +327,13 @@ impl RecoveryOrchestrator {
             new_files: new_files.clone(),
         };
         intent.write(dir)?;
+        // Durable intent on disk: log it before the crash-injection hook so
+        // a kill here shows the reshard as started-but-uncommitted.
+        obs::flight::record(
+            EventKind::ReshardIntent,
+            from_shards as u64,
+            to_shards as u64,
+        );
         crash_point("DQ_RESHARD_ABORT_AFTER_INTENT");
 
         // ---- Phase 1: the data plane. Sources are never mutated; every
@@ -394,6 +404,7 @@ impl RecoveryOrchestrator {
             pool_files: new_files,
         }
         .write(dir)?;
+        obs::flight::record(EventKind::ReshardCommit, to_shards as u64, items_moved);
         crash_point("DQ_RESHARD_ABORT_AFTER_COMMIT");
         for (path, f) in old_paths.iter().zip(&manifest.pool_files) {
             fs::remove_file(path)?;

@@ -3,8 +3,16 @@
 
 use crate::route::{RoutePolicy, Router};
 use durable_queues::{DurableQueue, KeyedQueue, QueueConfig, RecoverableQueue};
+use obs::LazyCounter;
 use pmem::{PmemPool, PoolConfig, StatsSnapshot};
 use std::sync::Arc;
+
+// Routing-decision instruments: how traffic spreads over the shards, and
+// how often a dequeue scan comes up empty (a `miss` walked every shard).
+static ROUTE_ENQ: LazyCounter = LazyCounter::new("shard.route.enqueue");
+static ROUTE_KEYED: LazyCounter = LazyCounter::new("shard.route.keyed");
+static DEQ_HIT: LazyCounter = LazyCounter::new("shard.dequeue.hit");
+static DEQ_MISS: LazyCounter = LazyCounter::new("shard.dequeue.miss");
 
 /// Configuration of a [`ShardedQueue`].
 #[derive(Clone, Copy, Debug)]
@@ -200,6 +208,7 @@ impl<Q: RecoverableQueue> ShardedQueue<Q> {
 
 impl<Q: RecoverableQueue> DurableQueue for ShardedQueue<Q> {
     fn enqueue(&self, tid: usize, item: u64) {
+        ROUTE_ENQ.incr();
         let shard = self.router.enqueue_shard(tid);
         self.enqueue_at(shard, tid, item);
     }
@@ -211,9 +220,11 @@ impl<Q: RecoverableQueue> DurableQueue for ShardedQueue<Q> {
             let shard = (start + i) % n;
             if let Some(v) = self.shards[shard].queue.dequeue(tid) {
                 self.router.note_dequeue(shard);
+                DEQ_HIT.incr();
                 return Some(v);
             }
         }
+        DEQ_MISS.incr();
         None
     }
 
@@ -253,6 +264,7 @@ impl<Q: RecoverableQueue> KeyedQueue for ShardedQueue<Q> {
     /// Routes by key hash under *every* policy, so `enqueue_keyed` always
     /// gives per-key FIFO order across the sharded queue.
     fn enqueue_keyed(&self, tid: usize, key: u64, item: u64) {
+        ROUTE_KEYED.incr();
         let shard = self.router.shard_for_key(key);
         self.enqueue_at(shard, tid, item);
     }

@@ -103,6 +103,8 @@
 use crate::crc::crc32;
 use crate::mmap::{self, page_size};
 use crossbeam_utils::CachePadded;
+use obs::flight::EventKind;
+use obs::{LazyCounter, LazyHistogram};
 use pmem::layout::{self, CACHE_LINE};
 use pmem::{MapPin, PmemPool, PoolBackend, MAX_THREADS, ROOT_SLOTS};
 use std::cell::UnsafeCell;
@@ -114,6 +116,16 @@ use std::ptr;
 use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+// Named instruments (see docs/OBSERVABILITY.md for the catalogue). Path
+// counters split mapping accesses by which fast path served them; the
+// histograms time the two syscall-heavy cold paths.
+static MAP_DIRECT: LazyCounter = LazyCounter::new("store.map.direct");
+static MAP_EPOCH: LazyCounter = LazyCounter::new("store.map.epoch");
+static FENCES: LazyCounter = LazyCounter::new("store.fence");
+static GROWTHS: LazyCounter = LazyCounter::new("store.growth");
+static GROWTH_NS: LazyHistogram = LazyHistogram::new("store.growth_ns");
+static MSYNC_NS: LazyHistogram = LazyHistogram::new("store.msync_ns");
 
 /// `"DQSTORE1"` in little-endian byte order.
 pub const MAGIC: u64 = u64::from_le_bytes(*b"DQSTORE1");
@@ -495,12 +507,14 @@ impl MapTable {
     #[inline]
     fn pin(&self) -> (RawMap, Option<usize>) {
         if self.direct {
+            MAP_DIRECT.incr();
             // Fixed-size pool: the descriptor is immutable for the pool's
             // lifetime, so one relaxed load is the whole fast path.
             let d = self.current.load(Ordering::Relaxed);
             // SAFETY: never retired or freed while the pool is alive.
             return (unsafe { (*d).raw }, None);
         }
+        MAP_EPOCH.incr();
         let (idx, tenure) = reader_slot();
         let slot = &self.slots[idx];
         // SAFETY: `depth`/`tenure` belong to this thread's slot lease
@@ -1158,6 +1172,8 @@ impl FilePool {
             ));
         }
 
+        let _growth_timer = GROWTH_NS.start_timer();
+
         // 1. Extend the file. Its new length must be durable before the
         //    commit record can claim space inside it.
         self.file.set_len((HEADER_LEN + new_size) as u64)?;
@@ -1201,6 +1217,11 @@ impl FilePool {
             Ordering::Release,
         );
         self.persist_header(&cur.raw);
+        // The journal record above is the durable commit point — log it to
+        // the flight ring before the crash-injection hook so a kill "right
+        // after commit" is visible in a post-mortem `harness blackbox`.
+        GROWTHS.incr();
+        obs::flight::record(EventKind::PoolGrowthCommit, epoch as u64, new_size as u64);
         grow_abort_point("DQ_GROW_ABORT_AFTER_COMMIT");
 
         // 4. Home fields (idempotent with open's journal roll-forward),
@@ -1518,6 +1539,7 @@ impl PoolBackend for FilePool {
     }
 
     fn sfence(&self, tid: usize) {
+        FENCES.incr();
         pmem::hw::sfence();
         if self.policy == SyncPolicy::PowerFail {
             let mut pages = self.with_pending(tid, std::mem::take);
@@ -1525,6 +1547,7 @@ impl PoolBackend for FilePool {
             pages.dedup();
             let page = page_size();
             let Some(&last) = pages.last() else { return };
+            let _msync_timer = MSYNC_NS.start_timer();
             // The flushed pages may postdate the generation a held
             // MapRef has pinned; span-check so the msync targets a
             // mapping that actually covers them.

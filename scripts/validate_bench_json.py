@@ -43,6 +43,37 @@ def check_rows(obj, ctx, row_keys):
 STR = (lambda v: isinstance(v, str), "a string")
 NUM = (is_num, "a number")
 
+META_SCHEMA = 2
+
+
+def check_meta(obj, ctx):
+    """Every v2 experiment object carries the shared meta block: schema
+    version, backend, sync policy, and the embedded metrics snapshot."""
+    require(obj, "meta", lambda v: isinstance(v, dict), "an object", ctx)
+    meta = obj["meta"]
+    mctx = f"{ctx} meta"
+    require(meta, "schema", lambda v: v == META_SCHEMA, f"schema {META_SCHEMA}", mctx)
+    require(meta, "backend", lambda v: v in ("sim", "file"), "'sim' or 'file'", mctx)
+    require(
+        meta,
+        "sync",
+        lambda v: v is None or isinstance(v, str),
+        "a sync-policy key or null",
+        mctx,
+    )
+    require(meta, "metrics", lambda v: isinstance(v, dict), "an object", mctx)
+    metrics = meta["metrics"]
+    for key in ("counters", "histograms"):
+        require(metrics, key, lambda v: isinstance(v, dict), "an object", f"{mctx}.metrics")
+    for name, value in metrics["counters"].items():
+        if not is_num(value):
+            raise SystemExit(f"{mctx}.metrics: counter {name!r} must be a number")
+    for name, hist in metrics["histograms"].items():
+        hctx = f"{mctx}.metrics.histograms[{name!r}]"
+        for key in ("count", "sum", "mean", "p50", "p99"):
+            require(hist, key, *NUM, hctx)
+        require(hist, "buckets", lambda v: isinstance(v, list), "an array", hctx)
+
 
 def check_counts(obj, ctx):
     require(obj, "ops", is_num, "a number", ctx)
@@ -182,12 +213,55 @@ def check_fastpath(obj, ctx):
         )
 
 
+def check_metrics(obj, ctx):
+    require(obj, "counters", is_num, "a number", ctx)
+    require(obj, "histograms", is_num, "a number", ctx)
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("instrument", *STR),
+            ("type", lambda v: v in ("counter", "histogram"), "'counter' or 'histogram'"),
+        ],
+    )
+    for i, row in enumerate(obj["rows"]):
+        rctx = f"{ctx} rows[{i}]"
+        if row["type"] == "counter":
+            require(row, "value", *NUM, rctx)
+        else:
+            for key in ("count", "sum", "p50", "p99"):
+                require(row, key, *NUM, rctx)
+
+
+def check_blackbox(obj, ctx):
+    require(obj, "ring", *STR, ctx)
+    for key in ("capacity", "torn", "max_seq"):
+        require(obj, key, *NUM, ctx)
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("seq", *NUM),
+            ("kind", *STR),
+            ("raw_kind", *NUM),
+            ("a", *NUM),
+            ("b", *NUM),
+            ("wall_ns", *NUM),
+        ],
+    )
+    seqs = [row["seq"] for row in obj["rows"]]
+    if seqs != sorted(seqs):
+        raise SystemExit(f"{ctx}: blackbox rows must be in ascending seq order")
+
+
 CHECKERS = {
     "counts": check_counts,
     "shards": check_shards,
     "restart": check_restart,
     "fastpath": check_fastpath,
     "lease": check_lease,
+    "metrics": check_metrics,
+    "blackbox": check_blackbox,
 }
 
 
@@ -207,6 +281,7 @@ def validate(path):
                 f"{ctx}: unknown experiment {experiment!r} "
                 f"(expected one of {sorted(CHECKERS)})"
             )
+        check_meta(obj, ctx)
         checker(obj, ctx)
     print(f"{path}: {len(data)} experiment object(s) valid")
 

@@ -12,7 +12,12 @@
 //!   (survives power loss; the fsync dominates),
 //! * `exactly-once` — `ack_exactly_once`: the ack rides a `ptm` redo-log
 //!   transaction together with one consumer-side word write, so the
-//!   commit point settles both atomically.
+//!   commit point settles both atomically,
+//! * `grouped-1` / `grouped-2` — `lease::GroupedQueue` with one and two
+//!   consumer groups over rotating segmented ack logs: each pair pays a
+//!   PEND fan-out append per group plus the GRANT/ACK appends of the
+//!   consuming group, and rotation/retirement replace whole-file
+//!   compaction (the two-group row is the fan-out cost, not competition).
 //!
 //! ```bash
 //! cargo bench --bench lease_overhead           # full run
@@ -22,7 +27,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use durable_queues::{DurableQueue, OptUnlinkedQueue, QueueConfig, RecoverableQueue};
 use harness::ptm::FlushPolicy;
-use lease::{ExactlyOnce, LeaseConfig, LeasedQueue};
+use lease::{ExactlyOnce, GroupConfig, GroupedQueue, LeaseConfig, LeasedQueue};
 use pmem::{PmemPool, PoolConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -92,6 +97,41 @@ fn consume_pair(c: &mut Criterion) {
                 queue.ack(&lease).expect("ack");
             })
         });
+        drop(queue);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The segmented-log rows: every consume-pair fans the item out to all
+    // groups (one PEND append each) and the consuming group adds its
+    // GRANT + ACK; the second group's copies just accumulate in its
+    // pending set. Rotation is left at its default cadence so the
+    // measured cost includes the amortised rotate/retire path.
+    for groups in [1usize, 2] {
+        let tag = format!("grouped-{groups}");
+        let dir = log_dir(&tag);
+        let names: Vec<String> = (0..groups).map(|g| format!("g{g}")).collect();
+        let queue = Arc::new(
+            GroupedQueue::create(
+                base_queue(),
+                vec![None; groups],
+                GroupConfig::new(&dir, names),
+            )
+            .expect("create grouped queue"),
+        );
+        let consumer = queue.group("g0").expect("g0 handle");
+        // Drain the prefill through g0 so the pending set starts empty and
+        // the timed pair is enqueue → dispatch → grant → ack.
+        while let Some(l) = consumer.dequeue(0) {
+            consumer.ack(&l).expect("prefill ack");
+        }
+        group.bench_function(BenchmarkId::new("mode", &tag), |b| {
+            b.iter(|| {
+                queue.enqueue(0, 7);
+                let lease = consumer.dequeue(0).expect("dispatched item grants");
+                consumer.ack(&lease).expect("grouped ack");
+            })
+        });
+        drop(consumer);
         drop(queue);
         let _ = std::fs::remove_dir_all(&dir);
     }

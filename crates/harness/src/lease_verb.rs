@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! harness lease [--shards 1,2,4] [--ops N] [--nack-percent P]
+//!               [--consumers N] [--groups G] [--work-ns X]
 //!               [--algo A] [--policy rr|keyhash|load]
 //!               [--sync process-crash|power-fail] [--dir PATH]
 //!               [--json PATH] [--quick]
@@ -17,6 +18,16 @@
 //! end-to-end consumed throughput, the ack rate, and the lease-layer
 //! counters (granted / redelivered / nacked / compactions).
 //!
+//! With `--groups G` (or `--consumers N` > 1) the sweep switches to the
+//! consumer-group deployment ([`lease::GroupedQueue`]): `G` groups each
+//! see every item, `N` consumers per group compete for them, and each
+//! delivery waits `--work-ns` nanoseconds of simulated per-item work
+//! (a yielding wait modelling downstream I/O, outside any lock) so
+//! within-group scaling is visible rather than hidden behind an empty
+//! critical section. The table reports the aggregate acked rate
+//! (`G * ops / wall`) plus the per-group segment rotation/retirement
+//! counters summed across groups.
+//!
 //! The SIGKILL round ([`run_lease_kill_round`]) spawns this same binary
 //! as a `lease-child`, kills it while it holds live leases, reopens the
 //! directory in-process and validates the delivery contract: unacked
@@ -27,7 +38,10 @@
 use crate::algorithms::Algorithm;
 use crate::with_recoverable;
 use durable_queues::QueueConfig;
-use lease::{create_leased_dir, open_leased_dir, LeaseDirConfig, LeaseStats, Redelivery};
+use lease::{
+    create_grouped_dir, create_leased_dir, open_leased_dir, GroupDirConfig, GroupStats,
+    LeaseDirConfig, LeaseStats, Redelivery,
+};
 use shard::{RecoveryOrchestrator, RoutePolicy, ShardConfig};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -55,6 +69,14 @@ pub struct LeaseVerbConfig {
     pub policy: RoutePolicy,
     /// Per-pool file size in bytes.
     pub pool_bytes: usize,
+    /// Competing consumers per group (`> 1`, or `groups > 1`, selects the
+    /// grouped sweep).
+    pub consumers: usize,
+    /// Consumer groups, each seeing every item.
+    pub groups: usize,
+    /// Simulated per-delivery work in nanoseconds (grouped sweep only),
+    /// burned outside every lock.
+    pub work_ns: u64,
 }
 
 impl Default for LeaseVerbConfig {
@@ -68,6 +90,9 @@ impl Default for LeaseVerbConfig {
             sync: SyncPolicy::ProcessCrash,
             policy: RoutePolicy::RoundRobin,
             pool_bytes: 64 << 20,
+            consumers: 1,
+            groups: 1,
+            work_ns: 20_000,
         }
     }
 }
@@ -81,6 +106,11 @@ impl LeaseVerbConfig {
             pool_bytes: 32 << 20,
             ..LeaseVerbConfig::default()
         }
+    }
+
+    /// Whether this configuration selects the consumer-group sweep.
+    pub fn is_grouped(&self) -> bool {
+        self.groups > 1 || self.consumers > 1
     }
 }
 
@@ -234,6 +264,232 @@ pub fn lease_json(cfg: &LeaseVerbConfig, rows: &[LeaseRow]) -> String {
             r.stats.dead_lettered,
             r.stats.compactions,
             r.log_records,
+        ));
+    }
+    obj.finish()
+}
+
+// ---------------------------------------------------------------------
+// Consumer-group sweep (`--consumers N --groups G`)
+// ---------------------------------------------------------------------
+
+/// One row of the consumer-group throughput table.
+#[derive(Clone, Debug)]
+pub struct LeaseGroupRow {
+    /// Shard count of this row's deployment.
+    pub shards: usize,
+    /// Wall-clock time from first enqueue to last ack in any group.
+    pub wall: Duration,
+    /// Aggregate acked items per second across all groups
+    /// (`groups * ops / wall`).
+    pub acked_per_sec: f64,
+    /// Lease-layer counters summed across groups.
+    pub stats: GroupStats,
+}
+
+fn grouped_queue_config(cfg: &LeaseVerbConfig) -> QueueConfig {
+    QueueConfig {
+        // One producer slot plus one per consumer thread, floor 8 so tiny
+        // runs match the ungrouped sweep's sizing.
+        max_threads: (1 + cfg.groups * cfg.consumers).max(8),
+        area_size: 1 << 20,
+    }
+}
+
+fn group_names(groups: usize) -> Vec<String> {
+    (0..groups).map(|g| format!("g{g}")).collect()
+}
+
+/// Waits roughly `work_ns` nanoseconds without touching any lock,
+/// yielding the CPU the whole time — the per-item work of a real consumer
+/// is dominated by downstream I/O (an RPC, a database write), and a
+/// yielding wait is what lets those waits overlap across competing
+/// consumers, so within-group scaling stays visible even on a single
+/// core (a spin would just timeshare).
+fn simulate_work(work_ns: u64) {
+    if work_ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < work_ns {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs the consumer-group sweep: one row per shard count; every group
+/// must ack all `ops` items through `consumers` competing consumers.
+pub fn run_lease_groups(cfg: &LeaseVerbConfig) -> Vec<LeaseGroupRow> {
+    cfg.shard_counts
+        .iter()
+        .map(|&s| run_one_grouped(cfg, s))
+        .collect()
+}
+
+fn run_one_grouped(cfg: &LeaseVerbConfig, shards: usize) -> LeaseGroupRow {
+    let dir = cfg.dir.join(format!(
+        "groups-{shards}shards-{}x{}",
+        cfg.groups, cfg.consumers
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("lease-groups: create sweep dir");
+    let orch = RecoveryOrchestrator::new(shards);
+    let group_cfg = GroupDirConfig {
+        // Long enough that nothing expires mid-run: redelivery traffic
+        // comes from the nacks, not from timeouts.
+        lease_timeout: Duration::from_secs(600),
+        sync: cfg.sync,
+        // Low enough that every run rotates and retires segments, so the
+        // reported rotation counters always carry signal.
+        rotate_records: 8_192,
+        ..GroupDirConfig::new(group_names(cfg.groups))
+    };
+    let (wall, stats) = with_recoverable!(cfg.algorithm, Q => {
+        let queue = create_grouped_dir::<Q>(
+            &orch,
+            &dir,
+            ShardConfig {
+                shards,
+                queue: grouped_queue_config(cfg),
+                pool: pmem::PoolConfig::test_with_size(cfg.pool_bytes),
+                policy: cfg.policy,
+            },
+            FileConfig::with_size(cfg.pool_bytes).with_sync(cfg.sync),
+            &group_cfg,
+        )
+        .expect("lease-groups: create grouped dir");
+        let handles = queue.handles();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            let q = &queue;
+            scope.spawn(move || {
+                for seq in 1..=cfg.ops {
+                    q.enqueue(0, seq);
+                }
+            });
+            for (g, handle) in handles.iter().enumerate() {
+                let acked = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+                for c in 0..cfg.consumers {
+                    let handle = handle.clone();
+                    let acked = std::sync::Arc::clone(&acked);
+                    let tid = 1 + g * cfg.consumers + c;
+                    scope.spawn(move || {
+                        use std::sync::atomic::Ordering;
+                        while acked.load(Ordering::Relaxed) < cfg.ops {
+                            let Some(l) = handle.dequeue(tid) else {
+                                // Yield, don't spin: a miss means another
+                                // thread owns the next step, and burning
+                                // the core starves it.
+                                std::thread::yield_now();
+                                continue;
+                            };
+                            if l.delivery_count == 1 && l.item % 100 < cfg.nack_percent as u64 {
+                                handle.nack(tid, &l).expect("lease-groups: nack");
+                            } else {
+                                simulate_work(cfg.work_ns);
+                                handle.ack(&l).expect("lease-groups: ack");
+                                acked.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            }
+        });
+        let wall = started.elapsed();
+        let mut stats = GroupStats::default();
+        for handle in &handles {
+            let s = handle.stats();
+            assert_eq!(s.acked, cfg.ops, "group {} under-acked", handle.name());
+            stats.dispatched += s.dispatched;
+            stats.granted += s.granted;
+            stats.redelivered += s.redelivered;
+            stats.acked += s.acked;
+            stats.nacked += s.nacked;
+            stats.rotations += s.rotations;
+            stats.segments_retired += s.segments_retired;
+            stats.log_records += s.log_records;
+            stats.segments += s.segments;
+        }
+        (wall, stats)
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    LeaseGroupRow {
+        shards,
+        wall,
+        acked_per_sec: (cfg.groups as u64 * cfg.ops) as f64 / wall.as_secs_f64(),
+        stats,
+    }
+}
+
+/// Renders the consumer-group sweep as the verb's table.
+pub fn render_lease_groups(cfg: &LeaseVerbConfig, rows: &[LeaseGroupRow]) -> String {
+    let mut out = format!(
+        "=== lease-groups: {} group(s) x {} consumer(s), {} x {} ops, \
+         {}% nacked once, {} ns/item [{}] ===\n\
+         {:>7} {:>10} {:>14} {:>9} {:>12} {:>10} {:>8} {:>12} {:>9}\n",
+        cfg.groups,
+        cfg.consumers,
+        cfg.algorithm.name(),
+        cfg.ops,
+        cfg.nack_percent,
+        cfg.work_ns,
+        cfg.sync.key(),
+        "shards",
+        "wall ms",
+        "acked/s (agg)",
+        "granted",
+        "redelivered",
+        "rotations",
+        "retired",
+        "log records",
+        "segments",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7} {:>10.1} {:>14.0} {:>9} {:>12} {:>10} {:>8} {:>12} {:>9}\n",
+            r.shards,
+            r.wall.as_secs_f64() * 1e3,
+            r.acked_per_sec,
+            r.stats.granted,
+            r.stats.redelivered,
+            r.stats.rotations,
+            r.stats.segments_retired,
+            r.stats.log_records,
+            r.stats.segments,
+        ));
+    }
+    out
+}
+
+/// Renders the consumer-group sweep as one machine-readable JSON
+/// experiment object (`"experiment": "lease_groups"`).
+pub fn lease_groups_json(cfg: &LeaseVerbConfig, rows: &[LeaseGroupRow]) -> String {
+    let mut obj =
+        crate::jsonio::ExperimentObject::new("lease_groups", "file", Some(cfg.sync.key()));
+    obj.str_field("algorithm", cfg.algorithm.name());
+    obj.str_field("policy", cfg.policy.key());
+    obj.str_field("sync", cfg.sync.key());
+    obj.field("ops", cfg.ops);
+    obj.field("nack_percent", cfg.nack_percent);
+    obj.field("consumers", cfg.consumers);
+    obj.field("groups", cfg.groups);
+    obj.field("work_ns", cfg.work_ns);
+    for r in rows {
+        obj.row(format!(
+            "{{\"shards\": {}, \"wall_ms\": {}, \"acked_per_sec\": {}, \
+             \"granted\": {}, \"redelivered\": {}, \"nacked\": {}, \
+             \"dead_lettered\": {}, \"rotations\": {}, \"segments_retired\": {}, \
+             \"log_records\": {}, \"segments\": {}}}",
+            r.shards,
+            r.wall.as_secs_f64() * 1e3,
+            r.acked_per_sec,
+            r.stats.granted,
+            r.stats.redelivered,
+            r.stats.nacked,
+            r.stats.dead_lettered,
+            r.stats.rotations,
+            r.stats.segments_retired,
+            r.stats.log_records,
+            r.stats.segments,
         ));
     }
     obj.finish()
@@ -577,6 +833,42 @@ mod tests {
         let json = lease_json(&cfg, &rows);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"experiment\": \"lease\""));
+        assert_eq!(json.matches("\"shards\"").count(), 2);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn grouped_sweep_runs_and_reports() {
+        let cfg = LeaseVerbConfig {
+            shard_counts: vec![1, 2],
+            ops: 2_000,
+            nack_percent: 10,
+            consumers: 2,
+            groups: 2,
+            work_ns: 0,
+            dir: std::env::temp_dir().join(format!("lease-verb-group-{}", std::process::id())),
+            pool_bytes: 8 << 20,
+            ..LeaseVerbConfig::default()
+        };
+        assert!(cfg.is_grouped());
+        let rows = run_lease_groups(&cfg);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // Every group acked every item (asserted per group inside the
+            // run); the summed counters must reflect the full fan-out.
+            assert_eq!(r.stats.acked, cfg.groups as u64 * cfg.ops);
+            assert_eq!(r.stats.dispatched, cfg.groups as u64 * cfg.ops);
+            assert!(r.stats.redelivered > 0, "nack traffic must redeliver");
+            assert_eq!(r.stats.dead_lettered, 0);
+            assert!(r.acked_per_sec > 0.0);
+        }
+        let table = render_lease_groups(&cfg, &rows);
+        assert!(table.contains("acked/s (agg)"));
+        let json = lease_groups_json(&cfg, &rows);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"experiment\": \"lease_groups\""));
+        assert!(json.contains("\"consumers\": 2"));
+        assert!(json.contains("\"groups\": 2"));
         assert_eq!(json.matches("\"shards\"").count(), 2);
         let _ = std::fs::remove_dir_all(&cfg.dir);
     }

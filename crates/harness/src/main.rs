@@ -24,8 +24,8 @@ use harness::counts::{
 use harness::fastpath::{self, fastpath_json, render_fastpath, run_fastpath};
 use harness::jsonio::JsonSink;
 use harness::lease_verb::{
-    lease_json, render_lease, render_lease_kill_outcome, run_lease, run_lease_child,
-    run_lease_kill_round, LeaseVerbConfig,
+    lease_groups_json, lease_json, render_lease, render_lease_groups, render_lease_kill_outcome,
+    run_lease, run_lease_child, run_lease_groups, run_lease_kill_round, LeaseVerbConfig,
 };
 use harness::obs_verbs::{
     blackbox_json, metrics_json, render_blackbox, resolve_ring_path, warmed_snapshot,
@@ -446,11 +446,28 @@ fn cmd_lease(flags: &HashMap<String, String>) {
     if let Some(p) = flags.get("pool-bytes") {
         cfg.pool_bytes = p.parse().expect("bad --pool-bytes");
     }
+    if let Some(c) = flags.get("consumers") {
+        cfg.consumers = c.parse().expect("bad --consumers");
+        assert!(cfg.consumers >= 1, "--consumers must be >= 1");
+    }
+    if let Some(g) = flags.get("groups") {
+        cfg.groups = g.parse().expect("bad --groups");
+        assert!(cfg.groups >= 1, "--groups must be >= 1");
+    }
+    if let Some(w) = flags.get("work-ns") {
+        cfg.work_ns = w.parse().expect("bad --work-ns");
+    }
     cfg.sync = parse_sync(flags);
     let mut json = JsonSink::from_flags(flags);
-    let rows = run_lease(&cfg);
-    print!("{}", render_lease(&cfg, &rows));
-    json.push(lease_json(&cfg, &rows));
+    if cfg.is_grouped() {
+        let rows = run_lease_groups(&cfg);
+        print!("{}", render_lease_groups(&cfg, &rows));
+        json.push(lease_groups_json(&cfg, &rows));
+    } else {
+        let rows = run_lease(&cfg);
+        print!("{}", render_lease(&cfg, &rows));
+        json.push(lease_json(&cfg, &rows));
+    }
     json.write();
 }
 
@@ -582,7 +599,10 @@ fn main() {
                  fastpath   time the file pool's direct vs epoch-pinned mapping\n\
                             modes (per-op load / persist / map_ref costs)\n\
                  lease      peek-lock producer/consumer throughput through a\n\
-                            leased deployment (ack rate, redelivery, compaction)\n\
+                            leased deployment (ack rate, redelivery, compaction);\n\
+                            --groups G / --consumers N switch to the consumer-\n\
+                            group deployment (every group sees every item,\n\
+                            consumers within a group compete)\n\
                  metrics    drive a short leased workload, then dump the\n\
                             process-global instruments (Prometheus text, or a\n\
                             metrics experiment object with --json)\n\
@@ -599,6 +619,7 @@ fn main() {
                                --pool-bytes N --grow-step N   (file pools grow by\n\
                                >= N bytes on exhaustion; 0 = fixed size)\n\
                  lease:        --ops N --nack-percent P --shards 1,2,4\n\
+                               --consumers N --groups G --work-ns X\n\
                  output:       --json PATH   (counts, shards, restart, fastpath,\n\
                                lease, metrics, blackbox: JSON array of\n\
                                experiment objects; schema in README)\n\

@@ -10,17 +10,28 @@
 //!   shard-00.pool …     # one pool file per shard
 //!   dead-letter.pool    # the DLQ's own pool file
 //!   LEASES.log          # the ack log (lease crate)
+//!   groups/             # consumer-group deployments only
+//!     <name>/
+//!       GROUP.meta      # retirement watermark + generation
+//!       segment-NNNN.log# rotating per-group ack-log segments
+//!       dead-letter.pool# that group's own DLQ pool
 //! ```
 //!
 //! [`open_leased_dir`] recovers in dependency order — shards in parallel
 //! via [`RecoveryOrchestrator`], then the DLQ pool, then the ack-log
 //! replay — and reports the lease counts through
 //! [`RecoveryReport::lease`], so one report covers the whole restart.
+//! [`open_grouped_dir`] does the same for consumer-group deployments,
+//! replaying every group's segment chain and reporting each one through
+//! [`RecoveryReport::groups`].
 
+use crate::group::{GroupConfig, GroupedQueue, GROUPS_DIR};
 use crate::queue::{LeaseConfig, LeasedQueue};
+use crate::segments::DEFAULT_ROTATE_RECORDS;
 use durable_queues::{DurableQueue, QueueConfig, RecoverableQueue};
 use shard::{
-    LeaseRecovery, RecoveryOrchestrator, RecoveryReport, ShardConfig, ShardManifest, ShardedQueue,
+    GroupRecovery, LeaseRecovery, RecoveryOrchestrator, RecoveryReport, ShardConfig, ShardManifest,
+    ShardedQueue,
 };
 use std::io;
 use std::path::Path;
@@ -133,6 +144,146 @@ pub fn open_leased_dir<Q: RecoverableQueue + 'static>(
     Ok((leased, report, manifest))
 }
 
+/// Lease-layer options of a *grouped* deployment: consumer groups fanning
+/// out over one sharded base queue, each with its own segment directory
+/// and dead-letter pool under `groups/<name>/`.
+#[derive(Clone, Debug)]
+pub struct GroupDirConfig {
+    /// Group names, in stripe order. Must be non-empty, unique, and
+    /// path-safe (`[A-Za-z0-9._-]+`).
+    pub groups: Vec<String>,
+    /// How long a consumer may hold a lease.
+    pub lease_timeout: Duration,
+    /// Delivery budget before dead-lettering, per group (`0` = unlimited;
+    /// each group's DLQ file is created either way).
+    pub max_deliveries: u32,
+    /// Durability tier applied uniformly to the shard pools (on reopen),
+    /// the per-group DLQ pools, and the segment logs.
+    pub sync: SyncPolicy,
+    /// Records per segment before rotation (`0` = never rotate).
+    pub rotate_records: u64,
+    /// Size of each group's dead-letter pool file in bytes.
+    pub dlq_bytes: usize,
+}
+
+impl GroupDirConfig {
+    /// A configuration with the given group names and the defaults: 30 s
+    /// lease timeout, budget of 8 deliveries, process-crash durability,
+    /// rotation every [`DEFAULT_ROTATE_RECORDS`] records, 8 MiB DLQ pools.
+    pub fn new(groups: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        GroupDirConfig {
+            groups: groups.into_iter().map(Into::into).collect(),
+            lease_timeout: Duration::from_secs(30),
+            max_deliveries: 8,
+            sync: SyncPolicy::default(),
+            rotate_records: DEFAULT_ROTATE_RECORDS,
+            dlq_bytes: 8 << 20,
+        }
+    }
+
+    fn group_config(&self, dir: &Path) -> GroupConfig {
+        GroupConfig::new(dir, self.groups.iter().cloned())
+            .with_timeout(self.lease_timeout)
+            .with_max_deliveries(self.max_deliveries)
+            .with_sync(self.sync)
+            .with_rotate_records(self.rotate_records)
+    }
+
+    /// Creates (or opens, for recovery) the per-group DLQ pools, in group
+    /// order.
+    fn dlqs<Q: RecoverableQueue + 'static>(
+        &self,
+        dir: &Path,
+        queue: QueueConfig,
+        fresh: bool,
+    ) -> io::Result<Vec<Option<Arc<dyn DurableQueue>>>> {
+        let mut dlqs = Vec::with_capacity(self.groups.len());
+        for name in &self.groups {
+            let group_dir = dir.join(GROUPS_DIR).join(name);
+            std::fs::create_dir_all(&group_dir)?;
+            let path = group_dir.join(DLQ_POOL_FILE);
+            let dlq: Arc<dyn DurableQueue> = if fresh {
+                let pool = FilePool::create(
+                    path,
+                    FileConfig::with_size(self.dlq_bytes).with_sync(self.sync),
+                )?
+                .into_pool();
+                Arc::new(Q::create(pool, queue))
+            } else {
+                let pool = FilePool::open_with_sync(path, self.sync)?.into_pool();
+                Arc::new(Q::recover(pool, queue))
+            };
+            dlqs.push(Some(dlq));
+        }
+        Ok(dlqs)
+    }
+}
+
+/// Creates a fresh grouped deployment in `dir`: the sharded base queue,
+/// plus — per consumer group — a segment directory and a dead-letter
+/// queue of the same algorithm under `groups/<name>/`.
+pub fn create_grouped_dir<Q: RecoverableQueue + 'static>(
+    orch: &RecoveryOrchestrator,
+    dir: &Path,
+    shard: ShardConfig,
+    file: FileConfig,
+    group: &GroupDirConfig,
+) -> io::Result<Arc<GroupedQueue<ShardedQueue<Q>>>> {
+    let queue_config = shard.queue;
+    let base = orch.create_dir::<Q>(dir, shard, file)?;
+    let dlqs = group.dlqs::<Q>(dir, queue_config, true)?;
+    Ok(Arc::new(GroupedQueue::create(
+        base,
+        dlqs,
+        group.group_config(dir),
+    )?))
+}
+
+/// Everything [`open_grouped_dir`] hands back: the recovered grouped
+/// queue, the combined recovery report, and the shard manifest.
+pub type OpenedGroupedDir<Q> = (Arc<GroupedQueue<Q>>, RecoveryReport, ShardManifest);
+
+/// Reopens a grouped deployment after a restart: shards in parallel, then
+/// every group's DLQ pool and segment-directory replay — each group's
+/// in-flight leases become redeliverable with bumped delivery counts,
+/// independently of the other groups — with per-group counts landing in
+/// [`RecoveryReport::groups`].
+///
+/// `cursor` is the deployment's exactly-once ack engine, recovered from
+/// the consumer's pool *before* this call and created with at least as
+/// many stripes as there are groups ([`ExactlyOnce::create_for_groups`](
+/// crate::tx::ExactlyOnce::create_for_groups)); pass `None` for plain
+/// at-least-once deployments.
+pub fn open_grouped_dir<Q: RecoverableQueue + 'static>(
+    orch: &RecoveryOrchestrator,
+    dir: &Path,
+    queue: QueueConfig,
+    group: &GroupDirConfig,
+    cursor: Option<&crate::tx::ExactlyOnce>,
+) -> io::Result<OpenedGroupedDir<ShardedQueue<Q>>> {
+    let (base, mut report, manifest) = orch.open_dir_with_sync::<Q>(dir, queue, group.sync)?;
+    let (repaired, repair_phase) = shard::PhaseSpan::time("lease-repair", 3, || {
+        let dlqs = group.dlqs::<Q>(dir, queue, false)?;
+        GroupedQueue::recover(base, dlqs, group.group_config(dir), cursor)
+    });
+    let (grouped, recs) = repaired?;
+    report.phases.push(repair_phase);
+    report.groups = recs
+        .into_iter()
+        .map(|r| GroupRecovery {
+            name: r.name,
+            unacked: r.unacked,
+            redelivered: r.redelivered,
+            dead_lettered: r.dead_lettered,
+            tx_acked: r.tx_acked,
+            log_records: r.log_records,
+            segments: r.segments,
+            retired_leftovers: r.retired_leftovers,
+        })
+        .collect();
+    Ok((Arc::new(grouped), report, manifest))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +366,69 @@ mod tests {
         }
         assert_eq!(redelivered_first, Some(2));
         assert_eq!(seen.len(), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grouped_dir_roundtrips_with_per_group_reports() {
+        let dir = tmp("grouped-roundtrip");
+        let orch = RecoveryOrchestrator::new(2);
+        let cfg = GroupDirConfig::new(["alpha", "beta"]);
+        {
+            let q = create_grouped_dir::<DurableMsQueue>(
+                &orch,
+                &dir,
+                shard_config(2),
+                FileConfig::with_size(8 << 20),
+                &cfg,
+            )
+            .unwrap();
+            for i in 1..=6u64 {
+                q.enqueue(0, i);
+            }
+            let alpha = q.group("alpha").unwrap();
+            let beta = q.group("beta").unwrap();
+            // alpha acks two and holds one; beta drains everything.
+            for _ in 0..2 {
+                let l = alpha.dequeue(0).unwrap();
+                alpha.ack(&l).unwrap();
+            }
+            let _held = alpha.dequeue(0).unwrap();
+            while let Some(l) = beta.dequeue(1) {
+                beta.ack(&l).unwrap();
+            }
+        }
+
+        let (q, report, manifest) =
+            open_grouped_dir::<DurableMsQueue>(&orch, &dir, QueueConfig::small_test(), &cfg, None)
+                .unwrap();
+        assert_eq!(manifest.shards(), 2);
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.groups[0].name, "alpha");
+        assert_eq!(report.groups[0].unacked, 1);
+        assert_eq!(report.groups[1].name, "beta");
+        assert_eq!(report.groups[1].redelivered, 0);
+        assert!(
+            report.summary().contains("2 group(s)"),
+            "{}",
+            report.summary()
+        );
+
+        // alpha's held item comes back bumped, then the items beta's
+        // pre-crash dispatches fanned into alpha's pending set; beta
+        // settled everything, so it sees nothing.
+        let alpha = q.group("alpha").unwrap();
+        let r = alpha.dequeue(0).unwrap();
+        assert_eq!((r.item, r.delivery_count), (3, 2));
+        alpha.ack(&r).unwrap();
+        let mut rest = Vec::new();
+        while let Some(l) = alpha.dequeue(0) {
+            rest.push(l.item);
+            alpha.ack(&l).unwrap();
+        }
+        assert_eq!(rest, vec![4, 5, 6]);
+        let beta = q.group("beta").unwrap();
+        assert!(beta.dequeue(1).is_none(), "beta resurrected settled items");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -39,21 +39,43 @@
 //! whose commit point settles both atomically; recovery repairs acks whose
 //! sidecar record was lost to the crash instead of redelivering.
 //!
+//! The [`group`] module generalises the consume side to **consumer
+//! groups**: a [`GroupedQueue`] fans every item out to N groups — each
+//! with an independent delivery cursor, so each group sees every item —
+//! while consumers *within* a group compete for disjoint subsets. Each
+//! group's transitions land in its own directory of rotating ack-log
+//! segments ([`segments`] module): same 40-byte records, but segment
+//! rotation plus retirement of fully-settled segments replaces the
+//! single-file log's stop-the-world compaction, and the per-group locks
+//! keep competing consumers of different groups off each other's mutex.
+//! The exactly-once cursor stripes by `(group, tid)` so the same
+//! consumer thread can settle in several groups.
+//!
 //! [`dir`] packages the whole thing as one directory — sharded base
-//! queue, dead-letter pool, ack log — created and reopened as a unit,
-//! with lease-recovery counts reported through
-//! [`shard::RecoveryReport::lease`].
+//! queue, dead-letter pool(s), ack log or per-group segment directories —
+//! created and reopened as a unit, with lease-recovery counts reported
+//! through [`shard::RecoveryReport::lease`] and
+//! [`shard::RecoveryReport::groups`].
 
 #![warn(missing_docs)]
 
 pub mod dir;
+pub mod group;
 pub mod log;
 pub mod queue;
+pub mod segments;
 pub mod tx;
 
-pub use dir::{create_leased_dir, open_leased_dir, LeaseDirConfig, DLQ_POOL_FILE};
+pub use dir::{
+    create_grouped_dir, create_leased_dir, open_grouped_dir, open_leased_dir, GroupDirConfig,
+    LeaseDirConfig, OpenedGroupedDir, DLQ_POOL_FILE,
+};
+pub use group::{ConsumerGroup, GroupConfig, GroupRecovered, GroupStats, GroupedQueue, GROUPS_DIR};
 pub use log::{AckLog, Record, RecordKind, Replay, LEASE_LOG_FILE};
 pub use queue::{
     Lease, LeaseConfig, LeaseError, LeaseStats, LeasedQueue, RecoveredLeases, Redelivery,
+};
+pub use segments::{
+    GroupReplay, SegmentedLog, DEFAULT_ROTATE_RECORDS, GROUP_META_FILE, SEGMENT_HEADER_LEN,
 };
 pub use tx::{ExactlyOnce, CURSOR_ROOT_SLOT};

@@ -96,7 +96,7 @@ pub enum RecordKind {
 }
 
 impl RecordKind {
-    fn from_u32(v: u32) -> Option<Self> {
+    pub(crate) fn from_u32(v: u32) -> Option<Self> {
         match v {
             1 => Some(RecordKind::Grant),
             2 => Some(RecordKind::Ack),
@@ -126,7 +126,7 @@ pub struct Record {
 }
 
 impl Record {
-    fn encode(&self) -> [u8; RECORD_LEN] {
+    pub(crate) fn encode(&self) -> [u8; RECORD_LEN] {
         let mut buf = [0u8; RECORD_LEN];
         buf[0..4].copy_from_slice(&(self.kind as u32).to_le_bytes());
         buf[4..8].copy_from_slice(&self.delivery_count.to_le_bytes());
@@ -141,7 +141,7 @@ impl Record {
 
     /// Decodes one record, or `None` if the CRC or kind is invalid (a torn
     /// or never-written tail).
-    fn decode(buf: &[u8]) -> Option<Record> {
+    pub(crate) fn decode(buf: &[u8]) -> Option<Record> {
         debug_assert_eq!(buf.len(), RECORD_LEN);
         let stored = u32::from_le_bytes(buf[32..36].try_into().unwrap());
         if crc32(&buf[0..32]) != stored {
@@ -215,7 +215,7 @@ fn header_bytes(next_lease_id: u64, generation: u64) -> [u8; HEADER_LEN] {
 /// one deployment's log are what matter — within a process the sequence
 /// rules them out, across processes the pid/nanosecond mix makes them
 /// vanishingly unlikely.
-fn fresh_generation() -> u64 {
+pub(crate) fn fresh_generation() -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let nanos = std::time::SystemTime::now()
@@ -226,7 +226,7 @@ fn fresh_generation() -> u64 {
     (((nanos ^ ((std::process::id() as u64) << 32)) & !0xFFFF) | seq).max(1)
 }
 
-fn bad_data(path: &Path, msg: String) -> io::Error {
+pub(crate) fn bad_data(path: &Path, msg: String) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("{}: {msg}", path.display()),

@@ -110,6 +110,26 @@ pub enum LeaseError {
     /// The lease is not in flight: it was already acked or nacked, or it
     /// expired and the item has been (or is queued to be) redelivered.
     NotInFlight,
+    /// The caller's thread id does not fit the exactly-once cursor
+    /// (`tid >= MAX_THREADS`). Validated before the settlement transaction
+    /// starts, so no consumer-side work runs and nothing is marked
+    /// settling.
+    ThreadOutOfRange {
+        /// The offending thread id.
+        tid: usize,
+        /// The exclusive bound ([`pmem::MAX_THREADS`]).
+        max: usize,
+    },
+    /// The consumer-group index does not fit the exactly-once cursor: the
+    /// engine was created with fewer stripes than this deployment has
+    /// groups (see
+    /// [`ExactlyOnce::create_for_groups`](crate::tx::ExactlyOnce::create_for_groups)).
+    GroupOutOfRange {
+        /// The offending group index.
+        group: usize,
+        /// Stripes the engine actually has.
+        groups: usize,
+    },
 }
 
 impl std::fmt::Display for LeaseError {
@@ -117,6 +137,20 @@ impl std::fmt::Display for LeaseError {
         match self {
             LeaseError::NotInFlight => {
                 write!(f, "lease is not in flight (already settled or expired)")
+            }
+            LeaseError::ThreadOutOfRange { tid, max } => {
+                write!(
+                    f,
+                    "thread id {tid} does not fit the exactly-once cursor \
+                     (MAX_THREADS = {max})"
+                )
+            }
+            LeaseError::GroupOutOfRange { group, groups } => {
+                write!(
+                    f,
+                    "consumer group {group} does not fit the exactly-once cursor \
+                     (engine was created for {groups} group(s))"
+                )
             }
         }
     }
@@ -742,6 +776,10 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
     /// repairs it (see [`recover`](Self::recover)) — the item is **not**
     /// redelivered.
     ///
+    /// Fails with [`LeaseError::ThreadOutOfRange`] — before anything runs,
+    /// marks, or commits — if `tid` does not fit the cursor's
+    /// `MAX_THREADS` stripe, instead of panicking mid-transaction.
+    ///
     /// Fails with [`LeaseError::NotInFlight`] *before* running `body` if
     /// the lease already settled — including when another settlement
     /// (`ack`, `nack`, or a concurrent `ack_exactly_once`) already owns it:
@@ -759,6 +797,15 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
         eo: &crate::tx::ExactlyOnce,
         body: impl FnOnce(&mut ptm::Tx<'_>) -> R,
     ) -> Result<R, LeaseError> {
+        // Validate the cursor address before taking any lock or marking
+        // anything settling: an invalid tid used to surface as an assert
+        // *inside* the transaction, after the caller's body had run.
+        if tid >= pmem::MAX_THREADS {
+            return Err(LeaseError::ThreadOutOfRange {
+                tid,
+                max: pmem::MAX_THREADS,
+            });
+        }
         let generation = {
             let mut st = self.state.lock();
             let in_pending = st.pending.iter().any(|p| p.prev == lease.id);
@@ -779,7 +826,7 @@ impl<Q: DurableQueue> LeasedQueue<Q> {
             id: lease.id,
             armed: true,
         };
-        let out = eo.run(tid, lease.id, generation, body);
+        let out = eo.run(0, tid, lease.id, generation, body);
         let mut st = self.state.lock();
         st.settling.remove(&lease.id);
         mark.armed = false;
@@ -1105,6 +1152,36 @@ mod tests {
             q.ack_exactly_once(0, &l, &eo, |_| ()).unwrap_err(),
             LeaseError::NotInFlight
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_tid_is_a_descriptive_error_not_a_mid_tx_panic() {
+        // Regression: the tid bound used to be an assert inside the
+        // transaction (tx.rs), firing only after the caller's body had
+        // already run — here the error comes back before anything does,
+        // and the lease stays settleable.
+        let dir = tmp("bad-tid");
+        let q = LeasedQueue::create(fresh_base(), None, LeaseConfig::new(&dir)).unwrap();
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_with_size(4 << 20)));
+        let eo = ExactlyOnce::create(Arc::clone(&pool), FlushPolicy::BatchedCommit);
+        q.enqueue(0, 3);
+        let l = q.dequeue(0).unwrap();
+        let mut body_ran = false;
+        let err = q
+            .ack_exactly_once(pmem::MAX_THREADS, &l, &eo, |_| body_ran = true)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LeaseError::ThreadOutOfRange {
+                tid: pmem::MAX_THREADS,
+                max: pmem::MAX_THREADS
+            }
+        );
+        assert!(!body_ran, "consumer body ran despite the invalid tid");
+        assert!(err.to_string().contains("MAX_THREADS"), "{err}");
+        // The lease was never marked settling: a valid ack still works.
+        q.ack(&l).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -184,6 +184,7 @@ fn run_interleaving(
                             model.acked.insert(l.item);
                         }
                         Err(LeaseError::NotInFlight) => {} // expired/settled
+                        Err(e) => panic!("unexpected ack error: {e}"),
                     }
                 }
             }
@@ -193,6 +194,7 @@ fn run_interleaving(
                     let l = held.swap_remove((rng() % held.len() as u64) as usize);
                     match queue.nack(0, &l) {
                         Ok(Redelivery::Requeued { .. }) | Err(LeaseError::NotInFlight) => {}
+                        Err(e) => panic!("unexpected nack error: {e}"),
                         Ok(Redelivery::DeadLettered) => {
                             // Stays in `outstanding`; the final partition
                             // check finds it in the DLQ bucket.

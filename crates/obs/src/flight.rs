@@ -106,6 +106,15 @@ pub enum EventKind {
     RecoveryPhase = 12,
     /// Recovery finished: `a` = shards recovered, `b` = wall ns.
     RecoveryDone = 13,
+    /// An item was fanned out from the base queue to every consumer
+    /// group's pending set: `a` = item, `b` = group count.
+    LeaseDispatch = 14,
+    /// A consumer group's ack log rotated to a fresh segment: `a` = new
+    /// segment seq, `b` = live leases resident in the sealed segments.
+    LeaseSegmentRotate = 15,
+    /// A fully-settled ack-log segment was retired (unlinked): `a` =
+    /// segment seq.
+    LeaseSegmentRetire = 16,
 }
 
 impl EventKind {
@@ -126,6 +135,9 @@ impl EventKind {
             11 => EventKind::RecoveryStart,
             12 => EventKind::RecoveryPhase,
             13 => EventKind::RecoveryDone,
+            14 => EventKind::LeaseDispatch,
+            15 => EventKind::LeaseSegmentRotate,
+            16 => EventKind::LeaseSegmentRetire,
             _ => return None,
         })
     }
@@ -146,6 +158,9 @@ impl EventKind {
             EventKind::RecoveryStart => "recovery-start",
             EventKind::RecoveryPhase => "recovery-phase",
             EventKind::RecoveryDone => "recovery-done",
+            EventKind::LeaseDispatch => "lease-dispatch",
+            EventKind::LeaseSegmentRotate => "lease-segment-rotate",
+            EventKind::LeaseSegmentRetire => "lease-segment-retire",
         }
     }
 }
@@ -210,6 +225,18 @@ impl Event {
             }
             Some(EventKind::LeaseCompaction) => {
                 format!("ack log compacted to {} live records", self.a)
+            }
+            Some(EventKind::LeaseDispatch) => {
+                format!("item {} dispatched to {} group(s)", self.a, self.b)
+            }
+            Some(EventKind::LeaseSegmentRotate) => {
+                format!(
+                    "ack log rotated to segment {} ({} live in sealed segments)",
+                    self.a, self.b
+                )
+            }
+            Some(EventKind::LeaseSegmentRetire) => {
+                format!("ack-log segment {} retired", self.a)
             }
             Some(EventKind::RecoveryStart) => {
                 format!("recovery started over {} shards", self.a)

@@ -22,6 +22,17 @@ pub const CACHE_LINE: usize = 64;
 /// `tid`-indexed arrays of the paper's implementation.
 pub const MAX_THREADS: usize = 64;
 
+/// Maximum number of consumer groups a single pool's exactly-once ack
+/// cursor may address.
+///
+/// The cursor area (root slot 7) is laid out as `groups × MAX_THREADS`
+/// 16-byte `(lease id, generation)` entries, one stripe of `MAX_THREADS`
+/// entries per group; the group count rides the high half of the root
+/// word (as `groups − 1`, so single-group pools keep the legacy bare
+/// offset encoding). The cap bounds the area at
+/// `MAX_GROUPS × MAX_THREADS × 16` = 64 KiB.
+pub const MAX_GROUPS: usize = 64;
+
 /// Byte offset of the queue root block. A queue stores its persistent global
 /// state (or offsets leading to it) starting here, so that `recover()` can
 /// find it after a crash without any volatile help.

@@ -77,7 +77,7 @@ pub mod stats;
 
 pub use backend::{MapPin, MapRef, PoolBackend, ROOT_SLOTS};
 pub use latency::LatencyModel;
-pub use layout::{CACHE_LINE, MAX_THREADS};
+pub use layout::{CACHE_LINE, MAX_GROUPS, MAX_THREADS};
 pub use pool::{PmemPool, PoolConfig, PoolExhausted};
 pub use pref::PRef;
 pub use stats::StatsSnapshot;

@@ -90,6 +90,33 @@ pub struct LeaseRecovery {
     pub log_records: u64,
 }
 
+/// One consumer group's recovery summary, filled in by the `lease` crate's
+/// grouped directory open path — one entry per group, in stripe order, so
+/// a restart of a fan-out deployment reports every group's cursor repair
+/// in the same place as the shard replay it depends on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroupRecovery {
+    /// The group's name.
+    pub name: String,
+    /// Leases in this group's consumers' hands at the crash, requeued with
+    /// an incremented delivery count.
+    pub unacked: u64,
+    /// Total items requeued for redelivery in this group.
+    pub redelivered: u64,
+    /// Items moved to this group's dead-letter queue during recovery.
+    pub dead_lettered: u64,
+    /// Leases repaired because the group's `(group, tid)` cursor stripe
+    /// proved their ack transaction committed.
+    pub tx_acked: u64,
+    /// Segment-log records replayed for this group.
+    pub log_records: u64,
+    /// Segment files present after replay.
+    pub segments: u32,
+    /// Already-retired segment files deleted on open (interrupted
+    /// retirement rolled forward).
+    pub retired_leftovers: u32,
+}
+
 /// Per-shard recovery latencies, recorded into the process-global
 /// histogram so straggler shards show up in exported percentiles too.
 static RECOVER_SHARD_NS: LazyHistogram = LazyHistogram::new("shard.recover_ns");
@@ -141,6 +168,9 @@ pub struct RecoveryReport {
     /// Lease-state recovery, when the deployment consumes through the
     /// peek-lock layer (`None` for plain destructive-dequeue deployments).
     pub lease: Option<LeaseRecovery>,
+    /// Per-consumer-group recovery, in stripe order, when the deployment
+    /// fans out to consumer groups (empty otherwise).
+    pub groups: Vec<GroupRecovery>,
     /// Timed phases in execution order (manifest resolution, shard replay,
     /// and — filled in by the lease layer — lease repair). Simulated-crash
     /// recoveries have only the replay phase.
@@ -204,8 +234,23 @@ impl RecoveryReport {
                 )
             }
         };
+        let groups = if self.groups.is_empty() {
+            String::new()
+        } else {
+            let redelivered: u64 = self.groups.iter().map(|g| g.redelivered).sum();
+            let dead: u64 = self.groups.iter().map(|g| g.dead_lettered).sum();
+            let repaired: u64 = self.groups.iter().map(|g| g.tx_acked).sum();
+            let repaired = match repaired {
+                0 => String::new(),
+                n => format!(", {n} tx-repaired"),
+            };
+            format!(
+                "; {} group(s): {redelivered} redelivered, {dead} dead-lettered{repaired}",
+                self.groups.len()
+            )
+        };
         format!(
-            "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x{}){}",
+            "recovered {} shards on {} threads in {:?} (sequential cost {:?}, critical path {:?}, speedup {:.2}x{}){}{}",
             self.per_shard.len(),
             self.threads,
             self.wall,
@@ -213,7 +258,8 @@ impl RecoveryReport {
             self.critical_path(),
             self.speedup(),
             growth,
-            lease
+            lease,
+            groups
         )
     }
 }
@@ -316,6 +362,7 @@ impl RecoveryOrchestrator {
             wall,
             threads: self.threads.min(n).max(1),
             lease: None,
+            groups: Vec::new(),
             phases: vec![replay_phase],
         };
         (queue, report)
@@ -503,6 +550,7 @@ impl RecoveryOrchestrator {
             wall,
             threads: self.threads.min(n).max(1),
             lease: None,
+            groups: Vec::new(),
             phases: vec![resolution_phase, replay_phase],
         };
         Ok((queue, report, manifest))

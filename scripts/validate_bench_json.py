@@ -185,6 +185,38 @@ def check_lease(obj, ctx):
     )
 
 
+def check_lease_groups(obj, ctx):
+    for key in ("algorithm", "policy", "sync"):
+        require(obj, key, *STR, ctx)
+    for key in ("ops", "nack_percent", "consumers", "groups", "work_ns"):
+        require(obj, key, *NUM, ctx)
+    if obj["consumers"] < 1 or obj["groups"] < 1:
+        raise SystemExit(f"{ctx}: consumers and groups must be >= 1")
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("shards", *NUM),
+            ("wall_ms", *NUM),
+            ("acked_per_sec", *NUM),
+            ("granted", *NUM),
+            ("redelivered", *NUM),
+            ("nacked", *NUM),
+            ("dead_lettered", *NUM),
+            ("rotations", *NUM),
+            ("segments_retired", *NUM),
+            ("log_records", *NUM),
+            ("segments", *NUM),
+        ],
+    )
+    for i, row in enumerate(obj["rows"]):
+        # Every group acks every item, so the aggregate ack throughput a
+        # row reports can never fall below one item: a zero (or negative)
+        # rate means the sweep silently did no work.
+        if row["acked_per_sec"] <= 0:
+            raise SystemExit(f"{ctx} rows[{i}]: acked_per_sec must be positive")
+
+
 def check_fastpath(obj, ctx):
     require(obj, "ops", is_num, "a number", ctx)
     require(obj, "trials", is_num, "a number", ctx)
@@ -260,6 +292,7 @@ CHECKERS = {
     "restart": check_restart,
     "fastpath": check_fastpath,
     "lease": check_lease,
+    "lease_groups": check_lease_groups,
     "metrics": check_metrics,
     "blackbox": check_blackbox,
 }

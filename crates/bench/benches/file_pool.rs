@@ -1,7 +1,7 @@
 //! Sim vs. file persist costs: what a store+flush+fence round trip and a
 //! full queue operation cost on each backend.
 //!
-//! Five pool variants:
+//! Six pool variants:
 //!
 //! * `sim-zero` — simulated backend, zero modelled latency (the cost of
 //!   the simulator's own bookkeeping),
@@ -13,6 +13,12 @@
 //!   with zero mapping synchronization,
 //! * `file-power-fail` — pool file with `msync(MS_SYNC)` at every fence
 //!   (durable against power loss on ordinary storage),
+//! * `file-power-fail-coalesced` — the same msync discipline behind the
+//!   group-commit layer (zero batch window): fences submit their dirty
+//!   pages to a leader that msyncs merged contiguous runs. The delta
+//!   against `file-power-fail` is the single-threaded cost/benefit of the
+//!   batching protocol itself; the multi-producer win is measured by
+//!   `harness fsweep`,
 //! * `file-epoch` — elastic pool file (non-zero `grow_step`): every access
 //!   pins the current mapping generation in a hazard slot. The delta
 //!   against `file-process-crash` is the price of the lock-free pin.
@@ -30,9 +36,20 @@ use std::time::Duration;
 use store::{FileConfig, FilePool, SyncPolicy};
 
 fn file_pool(tag: &str, sync: SyncPolicy, grow_step: usize) -> Arc<PmemPool> {
+    file_pool_with(tag, sync, grow_step, None)
+}
+
+fn file_pool_with(
+    tag: &str,
+    sync: SyncPolicy,
+    grow_step: usize,
+    group_commit: Option<u64>,
+) -> Arc<PmemPool> {
     let path =
         std::env::temp_dir().join(format!("bench-file-pool-{tag}-{}.pool", std::process::id()));
-    let mut config = FileConfig::with_size(64 << 20).with_sync(sync);
+    let mut config = FileConfig::with_size(64 << 20)
+        .with_sync(sync)
+        .with_group_commit(group_commit);
     if grow_step > 0 {
         config = config.with_growth(grow_step);
     }
@@ -63,6 +80,10 @@ fn pool_variants() -> Vec<(&'static str, Arc<PmemPool>)> {
         (
             "file-power-fail",
             file_pool("power-fail", SyncPolicy::PowerFail, 0),
+        ),
+        (
+            "file-power-fail-coalesced",
+            file_pool_with("power-fail-coalesced", SyncPolicy::PowerFail, 0, Some(0)),
         ),
         (
             "file-epoch",

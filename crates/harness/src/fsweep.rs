@@ -1,0 +1,337 @@
+//! The `fsweep` experiment: power-fail fence throughput, per-thread vs
+//! group commit.
+//!
+//! Under [`store::SyncPolicy::PowerFail`] every fence `msync`s the fencing
+//! thread's dirty pages — N producers fencing concurrently issue N
+//! independent rounds of syscalls against the same pool file, all
+//! serialized by the kernel on the file's mapping locks. The group-commit
+//! layer ([`store::FileConfig::group_commit`]) batches those rounds: one
+//! leader per commit submits every concurrent producer's pages as minimal
+//! contiguous ranges.
+//!
+//! This sweep measures exactly that amortization: `producers` threads each
+//! dirty `pages` private pages and fence, `fences` times over, and the
+//! aggregate fence rate (`producers * fences / wall`) is reported per
+//! producer count × fence mode (per-thread, plus one group-commit mode per
+//! configured window). The JSON object (`"experiment": "group_commit"`)
+//! feeds the perf-track regression gate.
+
+use std::sync::Arc;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use pmem::PmemPool;
+use store::{FileConfig, FilePool, SyncPolicy};
+
+/// Configuration for the [`run_fsweep`] measurement.
+#[derive(Clone, Debug)]
+pub struct FsweepConfig {
+    /// Producer counts to sweep (one table block each).
+    pub producers: Vec<usize>,
+    /// Fences each producer performs per measured point.
+    pub fences: u64,
+    /// Distinct private pages each producer dirties before every fence.
+    pub pages: usize,
+    /// Group-commit windows to sweep, in microseconds (`0` = submit
+    /// immediately). The per-thread baseline always runs too.
+    pub windows_us: Vec<u64>,
+    /// Pool file size in bytes.
+    pub pool_bytes: usize,
+}
+
+impl Default for FsweepConfig {
+    fn default() -> Self {
+        FsweepConfig {
+            producers: vec![1, 2, 4, 8],
+            fences: 400,
+            pages: 16,
+            windows_us: vec![0, 50, 200],
+            pool_bytes: 16 << 20,
+        }
+    }
+}
+
+impl FsweepConfig {
+    /// CI-sized variant: small enough for the perf-track smoke lane.
+    pub fn quick() -> Self {
+        FsweepConfig {
+            producers: vec![1, 2, 4, 8],
+            fences: 150,
+            windows_us: vec![0, 100],
+            pool_bytes: 8 << 20,
+            ..FsweepConfig::default()
+        }
+    }
+}
+
+/// One measured (producer count × fence mode) point.
+#[derive(Clone, Debug)]
+pub struct FsweepRow {
+    /// Concurrent fencing producers.
+    pub producers: usize,
+    /// `"per-thread"` or `"group-commit"`.
+    pub mode: &'static str,
+    /// Group-commit window in microseconds (`None` for the per-thread row).
+    pub window_us: Option<u64>,
+    /// Wall-clock time of the point.
+    pub wall: Duration,
+    /// Aggregate fence rate: `producers * fences / wall`.
+    pub fences_per_sec: f64,
+}
+
+fn sweep_pool(tag: &str, cfg: &FsweepConfig, group_commit: Option<u64>) -> Arc<PmemPool> {
+    let path =
+        std::env::temp_dir().join(format!("harness-fsweep-{tag}-{}.pool", std::process::id()));
+    let pool = FilePool::create(
+        &path,
+        FileConfig::with_size(cfg.pool_bytes)
+            .with_sync(SyncPolicy::PowerFail)
+            .with_group_commit(group_commit),
+    )
+    .expect("fsweep: create pool file")
+    .into_pool();
+    // The mapping keeps the file alive; nothing is left behind in $TMPDIR.
+    #[cfg(unix)]
+    let _ = std::fs::remove_file(&path);
+    #[cfg(not(unix))]
+    let _ = path;
+    pool
+}
+
+/// Runs one point: `producers` threads each flush `pages` private pages
+/// and fence, `fences` times, all against one power-fail pool.
+fn measure(
+    cfg: &FsweepConfig,
+    producers: usize,
+    mode: &'static str,
+    window_us: Option<u64>,
+) -> FsweepRow {
+    let tag = format!("{producers}p-{mode}{}", window_us.unwrap_or(0));
+    let pool = sweep_pool(&tag, cfg, window_us.map(|us| us * 1_000));
+    let page = store::mmap::page_size() as u32;
+    // One contiguous region, producer `t` owning pages [t*K, (t+1)*K) of
+    // it: adjacent across producers, so a coalesced batch merges into few
+    // contiguous msync ranges — the geometry the group-commit layer is
+    // built to exploit.
+    let region = pool.alloc_raw(producers as u32 * cfg.pages as u32 * page, 64);
+    let barrier = Barrier::new(producers + 1);
+    let mut wall = Duration::ZERO;
+    std::thread::scope(|scope| {
+        for tid in 0..producers {
+            let (pool, barrier) = (&pool, &barrier);
+            let pages = cfg.pages;
+            let fences = cfg.fences;
+            scope.spawn(move || {
+                let base = region + (tid * pages) as u32 * page;
+                barrier.wait();
+                for i in 0..fences {
+                    for k in 0..pages {
+                        let off = base + k as u32 * page;
+                        pool.store_u64(off, i);
+                        pool.flush(tid, off);
+                    }
+                    pool.sfence(tid);
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait(); // release the producers together
+        let started = Instant::now();
+        barrier.wait(); // all producers done
+        wall = started.elapsed();
+    });
+    let total = (producers as u64 * cfg.fences) as f64;
+    FsweepRow {
+        producers,
+        mode,
+        window_us,
+        wall,
+        fences_per_sec: total / wall.as_secs_f64(),
+    }
+}
+
+/// Runs the full sweep: per producer count, the per-thread baseline plus
+/// one group-commit row per configured window.
+pub fn run_fsweep(cfg: &FsweepConfig) -> Vec<FsweepRow> {
+    assert!(!cfg.producers.is_empty(), "fsweep: no producer counts");
+    assert!(cfg.fences > 0 && cfg.pages > 0, "fsweep: empty measurement");
+    let mut rows = Vec::new();
+    for &producers in &cfg.producers {
+        rows.push(measure(cfg, producers, "per-thread", None));
+        for &us in &cfg.windows_us {
+            rows.push(measure(cfg, producers, "group-commit", Some(us)));
+        }
+    }
+    rows
+}
+
+/// The headline number: at the highest swept producer count, the best
+/// group-commit rate over the per-thread rate. Returns
+/// `(producers, speedup, best_window_us)`.
+pub fn speedup_at_max(rows: &[FsweepRow]) -> Option<(usize, f64, u64)> {
+    let max_p = rows.iter().map(|r| r.producers).max()?;
+    let base = rows
+        .iter()
+        .find(|r| r.producers == max_p && r.window_us.is_none())?;
+    let best = rows
+        .iter()
+        .filter(|r| r.producers == max_p && r.window_us.is_some())
+        .max_by(|a, b| a.fences_per_sec.total_cmp(&b.fences_per_sec))?;
+    Some((
+        max_p,
+        best.fences_per_sec / base.fences_per_sec,
+        best.window_us.unwrap_or(0),
+    ))
+}
+
+/// Renders the sweep as the verb's report table.
+pub fn render_fsweep(cfg: &FsweepConfig, rows: &[FsweepRow]) -> String {
+    let mut out = format!(
+        "\n=== fsweep: power-fail fence throughput, {} fences x {} pages per producer ===\n\
+         {:<11}{:<14}{:>11}{:>11}{:>15}\n",
+        cfg.fences, cfg.pages, "producers", "mode", "window us", "wall ms", "fences/s (agg)"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11}{:<14}{:>11}{:>11.1}{:>15.0}\n",
+            r.producers,
+            r.mode,
+            r.window_us
+                .map(|us| us.to_string())
+                .unwrap_or_else(|| String::from("-")),
+            r.wall.as_secs_f64() * 1e3,
+            r.fences_per_sec,
+        ));
+    }
+    if let Some((producers, speedup, window)) = speedup_at_max(rows) {
+        out.push_str(&format!(
+            "group-commit speedup at {producers} producers: {speedup:.2}x \
+             (best window {window} us)\n"
+        ));
+    }
+    out
+}
+
+/// Renders the rows as one machine-readable JSON experiment object
+/// (`"experiment": "group_commit"`; schema documented in the README under
+/// "Machine-readable results").
+pub fn fsweep_json(cfg: &FsweepConfig, rows: &[FsweepRow]) -> String {
+    let mut obj = crate::jsonio::ExperimentObject::new("group_commit", "file", Some("power-fail"));
+    obj.field("fences", cfg.fences);
+    obj.field("pages", cfg.pages);
+    for r in rows {
+        obj.row(format!(
+            "{{\"producers\": {}, \"mode\": \"{}\", \"window_us\": {}, \
+             \"wall_ms\": {}, \"fences_per_sec\": {}}}",
+            r.producers,
+            r.mode,
+            r.window_us
+                .map(|us| us.to_string())
+                .unwrap_or_else(|| String::from("null")),
+            r.wall.as_secs_f64() * 1e3,
+            r.fences_per_sec,
+        ));
+    }
+    if let Some((producers, speedup, window)) = speedup_at_max(rows) {
+        obj.section(
+            "speedup",
+            format!(
+                "{{\"producers\": {producers}, \"speedup\": {speedup}, \
+                 \"best_window_us\": {window}}}"
+            ),
+        );
+    }
+    obj.finish()
+}
+
+/// Parses the `fsweep` verb's flags into a config (shared with tests).
+pub fn config_from_flags(flags: &std::collections::HashMap<String, String>) -> FsweepConfig {
+    let mut cfg = if flags.contains_key("quick") {
+        FsweepConfig::quick()
+    } else {
+        FsweepConfig::default()
+    };
+    if let Some(p) = flags.get("producers") {
+        cfg.producers = p
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --producers"))
+            .collect();
+    }
+    if let Some(f) = flags.get("fences") {
+        cfg.fences = f.parse().expect("bad --fences");
+    }
+    if let Some(p) = flags.get("pages") {
+        cfg.pages = p.parse().expect("bad --pages");
+    }
+    if let Some(w) = flags.get("windows") {
+        cfg.windows_us = w
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --windows"))
+            .collect();
+    }
+    if let Some(p) = flags.get("pool-bytes") {
+        cfg.pool_bytes = p.parse().expect("bad --pool-bytes");
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FsweepConfig {
+        FsweepConfig {
+            producers: vec![1, 2],
+            fences: 20,
+            pages: 4,
+            windows_us: vec![0],
+            pool_bytes: 4 << 20,
+        }
+    }
+
+    #[test]
+    fn fsweep_measures_both_modes_per_producer_count() {
+        let cfg = tiny();
+        let rows = run_fsweep(&cfg);
+        assert_eq!(rows.len(), 4); // 2 producer counts x (baseline + 1 window)
+        for r in &rows {
+            assert!(r.fences_per_sec > 0.0 && r.fences_per_sec.is_finite());
+        }
+        assert_eq!(rows[0].mode, "per-thread");
+        assert_eq!(rows[1].mode, "group-commit");
+        let (producers, speedup, window) = speedup_at_max(&rows).unwrap();
+        assert_eq!(producers, 2);
+        assert_eq!(window, 0);
+        assert!(speedup > 0.0);
+        let rendered = render_fsweep(&cfg, &rows);
+        assert!(rendered.contains("per-thread"));
+        assert!(rendered.contains("group-commit speedup at 2 producers"));
+    }
+
+    #[test]
+    fn fsweep_json_is_well_formed() {
+        let cfg = tiny();
+        let rows = run_fsweep(&cfg);
+        let json = fsweep_json(&cfg, &rows);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"experiment\": \"group_commit\""));
+        assert!(json.contains("\"mode\": \"per-thread\""));
+        assert!(json.contains("\"mode\": \"group-commit\""));
+        assert!(json.contains("\"window_us\": null"));
+        assert!(json.contains("\"speedup\":"));
+    }
+
+    #[test]
+    fn flags_override_the_defaults() {
+        let mut flags = std::collections::HashMap::new();
+        flags.insert("quick".into(), "true".into());
+        flags.insert("producers".into(), "1,4".into());
+        flags.insert("windows".into(), "0,25".into());
+        flags.insert("fences".into(), "33".into());
+        let cfg = config_from_flags(&flags);
+        assert_eq!(cfg.producers, vec![1, 4]);
+        assert_eq!(cfg.windows_us, vec![0, 25]);
+        assert_eq!(cfg.fences, 33);
+        assert_eq!(cfg.pages, FsweepConfig::quick().pages);
+    }
+}

@@ -69,6 +69,9 @@ pub struct LeaseVerbConfig {
     pub policy: RoutePolicy,
     /// Per-pool file size in bytes.
     pub pool_bytes: usize,
+    /// Power-fail group-commit window in nanoseconds for the shard pools
+    /// (`None` = per-thread fences); see [`store::FileConfig::group_commit`].
+    pub group_commit: Option<u64>,
     /// Competing consumers per group (`> 1`, or `groups > 1`, selects the
     /// grouped sweep).
     pub consumers: usize,
@@ -90,6 +93,7 @@ impl Default for LeaseVerbConfig {
             sync: SyncPolicy::ProcessCrash,
             policy: RoutePolicy::RoundRobin,
             pool_bytes: 64 << 20,
+            group_commit: None,
             consumers: 1,
             groups: 1,
             work_ns: 20_000,
@@ -164,7 +168,9 @@ fn run_one(cfg: &LeaseVerbConfig, shards: usize) -> LeaseRow {
                 pool: pmem::PoolConfig::test_with_size(cfg.pool_bytes),
                 policy: cfg.policy,
             },
-            FileConfig::with_size(cfg.pool_bytes).with_sync(cfg.sync),
+            FileConfig::with_size(cfg.pool_bytes)
+                .with_sync(cfg.sync)
+                .with_group_commit(cfg.group_commit),
             &lease_cfg,
         )
         .expect("lease: create leased dir");
@@ -250,6 +256,12 @@ pub fn lease_json(cfg: &LeaseVerbConfig, rows: &[LeaseRow]) -> String {
     obj.str_field("sync", cfg.sync.key());
     obj.field("ops", cfg.ops);
     obj.field("nack_percent", cfg.nack_percent);
+    obj.field(
+        "group_commit_us",
+        cfg.group_commit
+            .map(|ns| (ns / 1_000).to_string())
+            .unwrap_or_else(|| String::from("null")),
+    );
     for r in rows {
         obj.row(format!(
             "{{\"shards\": {}, \"wall_ms\": {}, \"acked_per_sec\": {}, \
@@ -353,7 +365,9 @@ fn run_one_grouped(cfg: &LeaseVerbConfig, shards: usize) -> LeaseGroupRow {
                 pool: pmem::PoolConfig::test_with_size(cfg.pool_bytes),
                 policy: cfg.policy,
             },
-            FileConfig::with_size(cfg.pool_bytes).with_sync(cfg.sync),
+            FileConfig::with_size(cfg.pool_bytes)
+                .with_sync(cfg.sync)
+                .with_group_commit(cfg.group_commit),
             &group_cfg,
         )
         .expect("lease-groups: create grouped dir");
@@ -519,7 +533,12 @@ fn kill_lease_config(sync: SyncPolicy) -> LeaseDirConfig {
 /// one poison item, then produces and consumes forever — acking most
 /// deliveries (ack-logged), nacking some, and holding every `item % 7 == 0`
 /// lease un-acked so the parent's SIGKILL strands live leases.
-pub fn run_lease_child(algorithm: Algorithm, dir: &Path, sync: SyncPolicy) {
+pub fn run_lease_child(
+    algorithm: Algorithm,
+    dir: &Path,
+    sync: SyncPolicy,
+    group_commit: Option<u64>,
+) {
     std::fs::create_dir_all(dir).expect("lease-child: create dir");
     // Flight recorder next to the pool files: lease grants/acks/settlements
     // land in BLACKBOX.ring so the parent can replay the child's last
@@ -538,7 +557,9 @@ pub fn run_lease_child(algorithm: Algorithm, dir: &Path, sync: SyncPolicy) {
                 pool: pmem::PoolConfig::test_with_size(32 << 20),
                 policy: RoutePolicy::RoundRobin,
             },
-            FileConfig::with_size(32 << 20).with_sync(sync),
+            FileConfig::with_size(32 << 20)
+                .with_sync(sync)
+                .with_group_commit(group_commit),
             &kill_lease_config(sync),
         )
         .expect("lease-child: create leased dir");
@@ -618,6 +639,7 @@ pub fn run_lease_kill_round(
     algorithm: Algorithm,
     base_dir: &Path,
     sync: SyncPolicy,
+    group_commit: Option<u64>,
     min_acks: usize,
 ) -> LeaseKillOutcome {
     let dir = base_dir.join("round-lease");
@@ -625,16 +647,23 @@ pub fn run_lease_kill_round(
     std::fs::create_dir_all(&dir).expect("create lease round dir");
 
     let exe = std::env::current_exe().expect("harness binary path");
+    let mut args: Vec<String> = [
+        "lease-child",
+        "--algo",
+        algorithm.name(),
+        "--dir",
+        dir.to_str().expect("utf-8 dir"),
+        "--sync",
+        sync.key(),
+    ]
+    .map(String::from)
+    .to_vec();
+    if let Some(window_ns) = group_commit {
+        args.push("--group-commit".into());
+        args.push((window_ns / 1_000).to_string());
+    }
     let mut child = Command::new(exe)
-        .args([
-            "lease-child",
-            "--algo",
-            algorithm.name(),
-            "--dir",
-            dir.to_str().expect("utf-8 dir"),
-            "--sync",
-            sync.key(),
-        ])
+        .args(args)
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())
         .spawn()

@@ -4,8 +4,9 @@
 //! ([`workloads`]), a thread-sweep runner producing the throughput and
 //! ratio-to-DurableMSQ tables ([`runner`]), the per-operation
 //! persistence-count experiment ([`counts`]), the file-pool mapping
-//! fast-path comparison ([`fastpath`]), and a crash/durable-
-//! linearizability checker spanning every implemented queue ([`checker`]).
+//! fast-path comparison ([`fastpath`]), the group-commit fence-throughput
+//! sweep ([`fsweep`]), and a crash/durable-linearizability checker
+//! spanning every implemented queue ([`checker`]).
 //!
 //! The `harness` binary exposes all of it on the command line; the `bench`
 //! crate drives the same code from Criterion benchmarks.
@@ -16,6 +17,7 @@ pub mod algorithms;
 pub mod checker;
 pub mod counts;
 pub mod fastpath;
+pub mod fsweep;
 pub mod jsonio;
 pub mod lease_verb;
 pub mod obs_verbs;

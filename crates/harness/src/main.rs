@@ -22,6 +22,7 @@ use harness::counts::{
     counts_json, persist_counts_table, persist_counts_table_sharded, render_counts,
 };
 use harness::fastpath::{self, fastpath_json, render_fastpath, run_fastpath};
+use harness::fsweep::{self, fsweep_json, render_fsweep, run_fsweep};
 use harness::jsonio::JsonSink;
 use harness::lease_verb::{
     lease_groups_json, lease_json, render_lease, render_lease_groups, render_lease_kill_outcome,
@@ -120,8 +121,23 @@ fn parse_sync(flags: &HashMap<String, String>) -> SyncPolicy {
     }
 }
 
-/// `--backend {sim,file}` plus the file backend's `--dir PATH` and
-/// `--sync process-crash|power-fail` companions.
+/// `--group-commit [WINDOW_US]` (file backend, power-fail sync): bare flag
+/// means window 0 (submit the batch as soon as a leader claims it); a value
+/// is the batch window in microseconds. Returned in nanoseconds, the unit
+/// [`store::FileConfig::group_commit`] takes.
+fn parse_group_commit(flags: &HashMap<String, String>) -> Option<u64> {
+    flags.get("group-commit").map(|v| {
+        if v == "true" {
+            0
+        } else {
+            let us: u64 = v.parse().expect("bad --group-commit");
+            us * 1_000
+        }
+    })
+}
+
+/// `--backend {sim,file}` plus the file backend's `--dir PATH`,
+/// `--sync process-crash|power-fail` and `--group-commit` companions.
 fn backend_from_flags(flags: &HashMap<String, String>) -> BackendChoice {
     match flags.get("backend").map(|s| s.as_str()) {
         None | Some("sim") => BackendChoice::Sim,
@@ -130,6 +146,7 @@ fn backend_from_flags(flags: &HashMap<String, String>) -> BackendChoice {
                 std::env::temp_dir().join(format!("harness-pools-{}", std::process::id()))
             }),
             sync: parse_sync(flags),
+            group_commit: parse_group_commit(flags),
         },
         Some(other) => {
             eprintln!("unknown backend '{other}' (expected sim|file)");
@@ -295,6 +312,7 @@ fn restart_config(flags: &HashMap<String, String>) -> RestartConfig {
         cfg.policy = parse_policy(p);
     }
     cfg.sync = parse_sync(flags);
+    cfg.group_commit = parse_group_commit(flags);
     if flags.contains_key("quick") {
         cfg.min_acks = cfg.min_acks.min(500);
         cfg.pool_bytes = cfg.pool_bytes.min(64 << 20);
@@ -364,6 +382,7 @@ fn cmd_restart(flags: &HashMap<String, String>) {
             base.algorithm,
             &base.dir,
             base.sync,
+            base.group_commit,
             base.min_acks.min(1_000),
         );
         print!("{}", render_lease_kill_outcome(base.algorithm, &outcome));
@@ -458,6 +477,7 @@ fn cmd_lease(flags: &HashMap<String, String>) {
         cfg.work_ns = w.parse().expect("bad --work-ns");
     }
     cfg.sync = parse_sync(flags);
+    cfg.group_commit = parse_group_commit(flags);
     let mut json = JsonSink::from_flags(flags);
     if cfg.is_grouped() {
         let rows = run_lease_groups(&cfg);
@@ -477,6 +497,15 @@ fn cmd_fastpath(flags: &HashMap<String, String>) {
     let rows = run_fastpath(&cfg);
     print!("{}", render_fastpath(&cfg, &rows));
     json.push(fastpath_json(&cfg, &rows));
+    json.write();
+}
+
+fn cmd_fsweep(flags: &HashMap<String, String>) {
+    let cfg = fsweep::config_from_flags(flags);
+    let mut json = JsonSink::from_flags(flags);
+    let rows = run_fsweep(&cfg);
+    print!("{}", render_fsweep(&cfg, &rows));
+    json.push(fsweep_json(&cfg, &rows));
     json.write();
 }
 
@@ -548,6 +577,7 @@ fn main() {
         "restart" => cmd_restart(&flags),
         "reshard" => cmd_reshard(&flags),
         "fastpath" => cmd_fastpath(&flags),
+        "fsweep" => cmd_fsweep(&flags),
         "lease" => cmd_lease(&flags),
         "metrics" => cmd_metrics(&flags),
         "blackbox" => cmd_blackbox(
@@ -561,7 +591,7 @@ fn main() {
         // Hidden: the leased consumer the restart verb SIGKILLs mid-lease.
         "lease-child" => {
             let cfg = restart_config(&flags);
-            run_lease_child(cfg.algorithm, &cfg.dir, cfg.sync);
+            run_lease_child(cfg.algorithm, &cfg.dir, cfg.sync, cfg.group_commit);
         }
         // Hidden: the process the reshard-kill round spawns and kills.
         "reshard-child" => {
@@ -583,7 +613,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|fastpath|lease|metrics|blackbox|all> [flags]\n\
+                "usage: harness <fig2|counts|crashtest|shards|restart|reshard|fastpath|fsweep|lease|metrics|blackbox|all> [flags]\n\
                  \n\
                  fig2       regenerate the Figure 2 panels (throughput + ratio tables)\n\
                  counts     per-operation persistence counts (experiments E7/E8)\n\
@@ -598,6 +628,10 @@ fn main() {
                             (crash-safe two-phase manifest protocol)\n\
                  fastpath   time the file pool's direct vs epoch-pinned mapping\n\
                             modes (per-op load / persist / map_ref costs)\n\
+                 fsweep     power-fail fence throughput sweep: per-thread\n\
+                            msync vs group commit, across producer counts\n\
+                            and batch windows (--producers 1,2,4,8\n\
+                            --windows 0,50,200 --fences N --pages K)\n\
                  lease      peek-lock producer/consumer throughput through a\n\
                             leased deployment (ack rate, redelivery, compaction);\n\
                             --groups G / --consumers N switch to the consumer-\n\
@@ -616,13 +650,16 @@ fn main() {
                                --recovery-threads N --nvram-read-ns N --no-latency\n\
                  backends:     --backend sim|file --dir PATH\n\
                                --sync process-crash|power-fail   (file backend)\n\
+                               --group-commit [WINDOW_US]   (power-fail file\n\
+                               pools: coalesce concurrent fences into one\n\
+                               msync batch; bare flag = 0us window)\n\
                                --pool-bytes N --grow-step N   (file pools grow by\n\
                                >= N bytes on exhaustion; 0 = fixed size)\n\
                  lease:        --ops N --nack-percent P --shards 1,2,4\n\
                                --consumers N --groups G --work-ns X\n\
                  output:       --json PATH   (counts, shards, restart, fastpath,\n\
-                               lease, metrics, blackbox: JSON array of\n\
-                               experiment objects; schema in README)\n\
+                               fsweep, lease, metrics, blackbox: JSON array\n\
+                               of experiment objects; schema in README)\n\
                  restart:      --algo A --shards N --min-acks N --pool-bytes N\n\
                                --grow-step N  (undersized pools grow under kill)\n\
                  reshard:      --dir D --to N' [--algo A] [--create N --items M]\n\

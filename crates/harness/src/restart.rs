@@ -45,6 +45,11 @@ pub struct RestartConfig {
     pub grow_step: usize,
     /// Fence durability policy of the file pools.
     pub sync: SyncPolicy,
+    /// Power-fail group-commit window in nanoseconds for the child's pools
+    /// (`None` = per-thread fences). The kill then lands with batched
+    /// `msync` submissions in flight, which is exactly the protocol window
+    /// the round must prove safe.
+    pub group_commit: Option<u64>,
     /// Confirmed enqueues to wait for before the kill.
     pub min_acks: usize,
     /// Routing policy for sharded rounds.
@@ -60,6 +65,7 @@ impl Default for RestartConfig {
             pool_bytes: 128 << 20,
             grow_step: 0,
             sync: SyncPolicy::ProcessCrash,
+            group_commit: None,
             min_acks: 2_000,
             policy: RoutePolicy::RoundRobin,
         }
@@ -94,7 +100,8 @@ pub fn run_child(cfg: &RestartConfig) {
     with_recoverable!(cfg.algorithm, Q => {
         let file_cfg = FileConfig::with_size(cfg.pool_bytes)
             .with_sync(cfg.sync)
-            .with_growth(cfg.grow_step);
+            .with_growth(cfg.grow_step)
+            .with_group_commit(cfg.group_commit);
         if cfg.shards == 1 {
             let pool = FilePool::create(cfg.dir.join(POOL_FILE), file_cfg)
                 .expect("restart-child: create pool")
@@ -199,24 +206,32 @@ pub fn run_round(cfg: &RestartConfig) -> RestartOutcome {
     std::fs::create_dir_all(&cfg.dir).expect("create restart dir");
 
     let exe = std::env::current_exe().expect("harness binary path");
+    let mut args: Vec<String> = [
+        "restart-child",
+        "--algo",
+        cfg.algorithm.name(),
+        "--shards",
+        &cfg.shards.to_string(),
+        "--dir",
+        cfg.dir.to_str().expect("utf-8 dir"),
+        "--pool-bytes",
+        &cfg.pool_bytes.to_string(),
+        "--grow-step",
+        &cfg.grow_step.to_string(),
+        "--sync",
+        cfg.sync.key(),
+        "--policy",
+        cfg.policy.key(),
+    ]
+    .map(String::from)
+    .to_vec();
+    if let Some(window_ns) = cfg.group_commit {
+        // The CLI flag speaks microseconds (see `harness --help`).
+        args.push("--group-commit".into());
+        args.push((window_ns / 1_000).to_string());
+    }
     let mut child = Command::new(exe)
-        .args([
-            "restart-child",
-            "--algo",
-            cfg.algorithm.name(),
-            "--shards",
-            &cfg.shards.to_string(),
-            "--dir",
-            cfg.dir.to_str().expect("utf-8 dir"),
-            "--pool-bytes",
-            &cfg.pool_bytes.to_string(),
-            "--grow-step",
-            &cfg.grow_step.to_string(),
-            "--sync",
-            cfg.sync.key(),
-            "--policy",
-            cfg.policy.key(),
-        ])
+        .args(args)
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())
         .spawn()
@@ -388,7 +403,7 @@ pub fn restart_json(
     for (cfg, outcome) in rounds {
         obj.row(format!(
             "{{\"algorithm\": \"{}\", \"shards\": {}, \"policy\": \"{}\", \"sync\": \"{}\", \
-             \"pool_bytes\": {}, \"grow_step\": {}, \"mapping\": \"{}\", \
+             \"pool_bytes\": {}, \"grow_step\": {}, \"group_commit_us\": {}, \"mapping\": \"{}\", \
              \"growth_epochs\": {}, \"blackbox_events\": {}, \
              \"confirmed_enqueues\": {}, \"confirmed_dequeues\": {}, \"recovered\": {}, \
              \"recovery_ms\": {}}}",
@@ -398,6 +413,9 @@ pub fn restart_json(
             cfg.sync.key(),
             cfg.pool_bytes,
             cfg.grow_step,
+            cfg.group_commit
+                .map(|ns| (ns / 1_000).to_string())
+                .unwrap_or_else(|| String::from("null")),
             if cfg.grow_step == 0 {
                 "direct"
             } else {
@@ -459,6 +477,13 @@ pub fn render_outcome(cfg: &RestartConfig, outcome: &RestartOutcome) -> String {
     } else {
         ""
     };
+    let mapping = format!(
+        "{mapping}{}",
+        match cfg.group_commit {
+            Some(ns) => format!(" [group-commit {}us]", ns / 1_000),
+            None => String::new(),
+        }
+    );
     format!(
         "restart {} x{} [{}{}]: {} confirmed enqueues, {} confirmed dequeues, \
          {} recovered in {:.3} ms — no loss, no duplication, FIFO intact{} \

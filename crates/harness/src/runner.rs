@@ -26,6 +26,9 @@ pub enum BackendChoice {
         dir: PathBuf,
         /// Fence durability policy of the pool files.
         sync: SyncPolicy,
+        /// Power-fail group-commit window in nanoseconds (`None` =
+        /// per-thread fences); see [`store::FileConfig::group_commit`].
+        group_commit: Option<u64>,
     },
 }
 
@@ -207,19 +210,28 @@ pub fn measure_point(
         );
         match &sweep.backend {
             BackendChoice::Sim => alg.create_sharded(shard_cfg),
-            BackendChoice::File { dir, sync } => {
+            BackendChoice::File {
+                dir,
+                sync,
+                group_commit,
+            } => {
                 let subdir = dir.join(format!("{}-{}shards", point_tag(), sweep.shards));
                 cleanup = Some((subdir.clone(), true));
                 let file_cfg = FileConfig::with_size(shard_cfg.pool.size)
                     .with_sync(*sync)
-                    .with_growth(sweep.grow_step);
+                    .with_growth(sweep.grow_step)
+                    .with_group_commit(*group_commit);
                 alg.create_sharded_dir(&subdir, shard_cfg, file_cfg)
             }
         }
     } else {
         let pool = match &sweep.backend {
             BackendChoice::Sim => Arc::new(PmemPool::new(pool_cfg)),
-            BackendChoice::File { dir, sync } => {
+            BackendChoice::File {
+                dir,
+                sync,
+                group_commit,
+            } => {
                 std::fs::create_dir_all(dir).expect("create --dir");
                 let path = dir.join(format!("{}.pool", point_tag()));
                 cleanup = Some((path.clone(), false));
@@ -227,7 +239,8 @@ pub fn measure_point(
                     &path,
                     FileConfig::with_size(sweep.pool_bytes)
                         .with_sync(*sync)
-                        .with_growth(sweep.grow_step),
+                        .with_growth(sweep.grow_step)
+                        .with_group_commit(*group_commit),
                 )
                 .expect("create pool file")
                 .into_pool()
@@ -419,6 +432,7 @@ mod tests {
         sweep.backend = BackendChoice::File {
             dir: dir.clone(),
             sync: SyncPolicy::ProcessCrash,
+            group_commit: None,
         };
         // Single pool file per point.
         let cell = measure_point(Algorithm::DurableMsq, Workload::Pairs, 1, &sweep);
@@ -453,6 +467,7 @@ mod tests {
         sweep.backend = BackendChoice::File {
             dir: dir.clone(),
             sync: SyncPolicy::ProcessCrash,
+            group_commit: None,
         };
         let cell = measure_point(Algorithm::OptUnlinked, Workload::Pairs, 2, &sweep);
         assert!(cell.mops > 0.0, "the point must complete via growth");

@@ -115,6 +115,12 @@ pub enum EventKind {
     /// A fully-settled ack-log segment was retired (unlinked): `a` =
     /// segment seq.
     LeaseSegmentRetire = 16,
+    /// A file pool's first coalesced group-commit batch: `a` = fences
+    /// sharing the batch, `b` = pages in the batched `msync`. Recorded
+    /// once per pool (not per batch — a per-batch event would flood the
+    /// ring and evict the growth/reshard lifecycle), as the durable marker
+    /// that this deployment ran under fence coalescing.
+    FenceGroupCommit = 17,
 }
 
 impl EventKind {
@@ -138,6 +144,7 @@ impl EventKind {
             14 => EventKind::LeaseDispatch,
             15 => EventKind::LeaseSegmentRotate,
             16 => EventKind::LeaseSegmentRetire,
+            17 => EventKind::FenceGroupCommit,
             _ => return None,
         })
     }
@@ -161,6 +168,7 @@ impl EventKind {
             EventKind::LeaseDispatch => "lease-dispatch",
             EventKind::LeaseSegmentRotate => "lease-segment-rotate",
             EventKind::LeaseSegmentRetire => "lease-segment-retire",
+            EventKind::FenceGroupCommit => "fence-group-commit",
         }
     }
 }
@@ -252,6 +260,12 @@ impl Event {
             }
             Some(EventKind::RecoveryDone) => {
                 format!("recovery done: {} shards in {} ns", self.a, self.b)
+            }
+            Some(EventKind::FenceGroupCommit) => {
+                format!(
+                    "group commit active: first coalesced batch had {} fence(s) over {} page(s)",
+                    self.a, self.b
+                )
             }
             None => format!("unknown kind {} (a={}, b={})", self.kind, self.a, self.b),
         }

@@ -33,6 +33,29 @@ use std::sync::atomic::AtomicU64;
 /// [`crate::layout::QUEUE_ROOT`] block instead.
 pub const ROOT_SLOTS: usize = 8;
 
+/// How a backend's [`sfence`](PoolBackend::sfence) turns a thread's pending
+/// flushes into durable storage — advisory information for callers that
+/// tune their fence cadence (batching enqueuers, the harness sweeps), not a
+/// behavioural switch: the durability contract of `flush` + `sfence` is
+/// identical under every hint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FenceHint {
+    /// Every fencing thread submits its own write-back (the default, and
+    /// the only mode simulated pools have: their fences are per-thread by
+    /// construction).
+    #[default]
+    PerThread,
+    /// Concurrent fences are coalesced: one leader submits a single
+    /// batched write-back covering every waiter's pages, so N threads
+    /// fencing together pay ~1 submission instead of N.
+    GroupCommit {
+        /// Extra nanoseconds a leader holds the batch open for stragglers
+        /// (`0` = submit immediately; arrivals during the submission still
+        /// coalesce into the next batch).
+        window_ns: u64,
+    },
+}
+
 /// Release half of the [`MapRef`] capability: a backend that hands out
 /// pinned mapping views implements this so the view can drop its pin
 /// without `MapRef` knowing anything about the backend's reclamation
@@ -264,6 +287,16 @@ pub trait PoolBackend: Send + Sync {
     /// lifetime (`0` for fixed-size backends).
     fn growth_epoch(&self) -> u32 {
         0
+    }
+
+    /// How this backend's `sfence` reaches stable storage (see
+    /// [`FenceHint`]). Purely advisory — the flush + fence durability
+    /// contract is the same under every answer. The default is the
+    /// per-thread discipline every backend starts from; the `store` file
+    /// pool reports [`FenceHint::GroupCommit`] when configured to coalesce
+    /// concurrent power-fail fences into one batched `msync`.
+    fn fence_hint(&self) -> FenceHint {
+        FenceHint::default()
     }
 
     /// Hands out a pinned direct-pointer view of the pool space, or `None`

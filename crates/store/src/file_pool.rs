@@ -99,6 +99,30 @@
 //! checkpoint, and an orderly drop marks the header clean; a killed process
 //! leaves the dirty flag set, which [`FilePool::was_clean`] reports on
 //! reopen.
+//!
+//! ## Group commit
+//!
+//! Under [`SyncPolicy::PowerFail`] every fence pays one `msync` per dirty
+//! page, per thread — N producers fencing concurrently issue N independent
+//! rounds of syscalls against the same file. [`FileConfig::group_commit`]
+//! amortizes that the way write-ahead-log group commit does: a fencing
+//! thread publishes its dirty pages to a pool-wide **open batch** and the
+//! first thread to find no leader active becomes the **leader** for that
+//! batch. The leader (optionally holding the batch open for a configurable
+//! window to catch stragglers) takes every participant's pages, sorts,
+//! dedups and merges adjacent pages into minimal contiguous runs, issues
+//! one `msync` per run, then bumps the pool's **commit sequence** and wakes
+//! the batch — every follower returns from its fence having paid zero
+//! syscalls. Fences that arrive while a leader is submitting accumulate
+//! into the next batch, so even a zero-length window coalesces under load.
+//!
+//! The durability contract is unchanged: a fence returns only once a batch
+//! containing *its* pages has fully `msync`ed (batches commit strictly in
+//! order, and a fence's pages are in the batch that was open when it
+//! published them). What changes is only who performs the syscalls and how
+//! many there are. The `store.fence.{leader,follower,coalesced}` counters
+//! and the `store.msync_batch_pages` histogram expose the batching, and
+//! backends advertise the mode through [`PoolBackend::fence_hint`].
 
 use crate::crc::crc32;
 use crate::mmap::{self, page_size};
@@ -108,6 +132,7 @@ use obs::{LazyCounter, LazyHistogram};
 use pmem::layout::{self, CACHE_LINE};
 use pmem::{MapPin, PmemPool, PoolBackend, MAX_THREADS, ROOT_SLOTS};
 use std::cell::UnsafeCell;
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -115,7 +140,7 @@ use std::ptr;
 #[cfg(not(unix))]
 use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 // Named instruments (see docs/OBSERVABILITY.md for the catalogue). Path
 // counters split mapping accesses by which fast path served them; the
@@ -126,6 +151,13 @@ static FENCES: LazyCounter = LazyCounter::new("store.fence");
 static GROWTHS: LazyCounter = LazyCounter::new("store.growth");
 static GROWTH_NS: LazyHistogram = LazyHistogram::new("store.growth_ns");
 static MSYNC_NS: LazyHistogram = LazyHistogram::new("store.msync_ns");
+// Group-commit accounting: batches led, fences that rode another thread's
+// submission, fences that shared a batch with at least one other fence,
+// and how many pages each batched submission covered.
+static FENCE_LEADER: LazyCounter = LazyCounter::new("store.fence.leader");
+static FENCE_FOLLOWER: LazyCounter = LazyCounter::new("store.fence.follower");
+static FENCE_COALESCED: LazyCounter = LazyCounter::new("store.fence.coalesced");
+static MSYNC_BATCH_PAGES: LazyHistogram = LazyHistogram::new("store.msync_batch_pages");
 
 /// `"DQSTORE1"` in little-endian byte order.
 pub const MAGIC: u64 = u64::from_le_bytes(*b"DQSTORE1");
@@ -226,6 +258,15 @@ pub struct FileConfig {
     /// least this many bytes (more if one allocation needs more) and the
     /// allocation retried. See the [module docs](self#elastic-growth).
     pub grow_step: usize,
+    /// Power-fail group commit: `Some(window_ns)` coalesces concurrent
+    /// threads' fence `msync`s into one batched submission per commit
+    /// (`window_ns` extra nanoseconds a leader holds the batch open for
+    /// stragglers; `0` submits immediately and still coalesces under
+    /// load). `None` (the default) keeps the per-thread discipline: every
+    /// fencing thread `msync`s its own pages. Ignored under
+    /// [`SyncPolicy::ProcessCrash`], whose fences never `msync`. See the
+    /// [module docs](self#group-commit).
+    pub group_commit: Option<u64>,
 }
 
 impl FileConfig {
@@ -235,6 +276,7 @@ impl FileConfig {
             size,
             sync: SyncPolicy::default(),
             grow_step: 0,
+            group_commit: None,
         }
     }
 
@@ -249,11 +291,80 @@ impl FileConfig {
         self.grow_step = grow_step;
         self
     }
+
+    /// Sets the power-fail group-commit window (`Some(window_ns)`) or
+    /// restores the per-thread fence discipline (`None`).
+    pub fn with_group_commit(mut self, group_commit: Option<u64>) -> Self {
+        self.group_commit = group_commit;
+        self
+    }
 }
 
 impl Default for FileConfig {
     fn default() -> Self {
         Self::with_size(64 << 20)
+    }
+}
+
+/// Shared state of the power-fail group-commit protocol: one per pool,
+/// present only when [`FileConfig::group_commit`] is set. Fencing threads
+/// publish their dirty pages to the open batch under the mutex; the first
+/// one to find no leader active becomes the leader, coalesces every
+/// participant's pages into minimal contiguous `msync` calls, bumps the
+/// commit sequence and wakes the batch. See the
+/// [module docs](self#group-commit).
+struct GroupCommit {
+    state: Mutex<GcState>,
+    cv: Condvar,
+    /// Extra nanoseconds a leader holds the batch open for stragglers
+    /// before submitting. `0` submits immediately (arrivals during the
+    /// leader's `msync` still coalesce into the next batch).
+    window_ns: u64,
+    /// Deterministic crash point (`DQ_FENCE_ABORT_BEFORE_WAKE=N`, read at
+    /// pool construction): the process aborts on the `N`th *coalesced*
+    /// batch, after its `msync`s complete but before the commit sequence
+    /// advances — no follower of that batch may have observed durability.
+    abort_before_wake: Option<u64>,
+    /// Coalesced (≥ 2 fences) batches submitted so far; drives the crash
+    /// point above and the once-per-pool flight-recorder event.
+    coalesced_batches: AtomicU64,
+}
+
+/// Mutex-protected core of [`GroupCommit`]. Invariant: whenever
+/// `leader_active` is `false`, `commit_seq == open_batch - 1` — so a
+/// waiter that finds no leader and an uncommitted batch is necessarily
+/// part of the *open* batch and can lead it. Batches therefore commit
+/// strictly in order.
+struct GcState {
+    /// Pages published by fences of the currently open batch.
+    pending: Vec<usize>,
+    /// Fences participating in the currently open batch.
+    fences: u64,
+    /// Number of the currently open batch (first batch is 1).
+    open_batch: u64,
+    /// Highest batch number whose batched `msync` has fully completed.
+    commit_seq: u64,
+    /// Whether a leader is currently submitting a batch.
+    leader_active: bool,
+}
+
+impl GroupCommit {
+    fn new(window_ns: u64) -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GcState {
+                pending: Vec::new(),
+                fences: 0,
+                open_batch: 1,
+                commit_seq: 0,
+                leader_active: false,
+            }),
+            cv: Condvar::new(),
+            window_ns,
+            abort_before_wake: std::env::var("DQ_FENCE_ABORT_BEFORE_WAKE")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            coalesced_batches: AtomicU64::new(0),
+        }
     }
 }
 
@@ -700,6 +811,17 @@ pub struct FilePool {
     grow_step: usize,
     was_clean: bool,
     pending: Box<[CachePadded<PendingPages>]>,
+    /// Power-fail group commit; `None` keeps the per-thread fence path.
+    group: Option<GroupCommit>,
+    /// Test-support `msync` oracle (`DQ_TRACK_MSYNC`, read at pool
+    /// construction): every page any `msync` on this pool covered, file
+    /// page numbers. See [`synced_pages`](Self::synced_pages).
+    synced: Option<Mutex<BTreeSet<usize>>>,
+}
+
+/// Reads the `DQ_TRACK_MSYNC` test-support gate at pool construction.
+fn msync_tracker() -> Option<Mutex<BTreeSet<usize>>> {
+    std::env::var_os("DQ_TRACK_MSYNC").map(|_| Mutex::new(BTreeSet::new()))
 }
 
 fn invalid(msg: String) -> io::Error {
@@ -934,6 +1056,8 @@ impl FilePool {
             grow_step: config.grow_step,
             was_clean: true,
             pending: new_pending(),
+            group: config.group_commit.map(GroupCommit::new),
+            synced: msync_tracker(),
         };
         pool.write_header(size);
         pool.map().msync(0, HEADER_LEN)?;
@@ -963,6 +1087,19 @@ impl FilePool {
         sync: SyncPolicy,
         grow_step: usize,
     ) -> io::Result<FilePool> {
+        Self::open_with_config(
+            path,
+            FileConfig::with_size(0)
+                .with_sync(sync)
+                .with_growth(grow_step),
+        )
+    }
+
+    /// [`open`](Self::open) with the full [`FileConfig`] — fence policy,
+    /// growth step and group-commit window. Like growth, group commit is a
+    /// runtime property each session chooses for itself; `config.size` is
+    /// ignored (an existing pool's geometry comes from its header).
+    pub fn open_with_config(path: impl AsRef<Path>, config: FileConfig) -> io::Result<FilePool> {
         let path = path.as_ref().to_path_buf();
         let file = File::options().read(true).write(true).open(&path)?;
         let file_len = file.metadata()?.len();
@@ -985,13 +1122,15 @@ impl FilePool {
         let size = geometry.pool_size;
         let base = mmap::raw::map(&file, HEADER_LEN + size)?;
         let pool = FilePool {
-            maps: MapTable::new(base, HEADER_LEN + size, size, grow_step == 0),
+            maps: MapTable::new(base, HEADER_LEN + size, size, config.grow_step == 0),
             file,
             path,
-            policy: sync,
-            grow_step,
+            policy: config.sync,
+            grow_step: config.grow_step,
             was_clean: geometry.was_clean,
             pending: new_pending(),
+            group: config.group_commit.map(GroupCommit::new),
+            synced: msync_tracker(),
         };
         if journal_pending {
             pool.roll_forward_grow();
@@ -1403,9 +1542,26 @@ impl FilePool {
                 .is_some_and(|end| end <= HEADER_LEN + raw.size),
             "msync range out of bounds"
         );
+        if let Some(tracker) = &self.synced {
+            let page = page_size();
+            let mut synced = tracker.lock().unwrap();
+            synced.extend(offset / page..(offset + len).div_ceil(page));
+        }
         // SAFETY: bounds-checked against the pinned view, whose mapping is
         // live for at least HEADER_LEN + size bytes.
         unsafe { mmap::raw::msync(&self.file, raw.base, offset, len) }
+    }
+
+    /// Test support (`DQ_TRACK_MSYNC`): every file page number any `msync`
+    /// on this pool has covered, sorted. Empty when the gate was unset at
+    /// construction. The per-thread and group-commit fence paths must
+    /// produce identical sets for identical flush/fence histories — the
+    /// fence-semantics property tests compare exactly this.
+    pub fn synced_pages(&self) -> Vec<usize> {
+        self.synced
+            .as_ref()
+            .map(|t| t.lock().unwrap().iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Durably persists the header page when the policy demands it (rare
@@ -1450,6 +1606,123 @@ impl FilePool {
         // SAFETY: by the persist-API contract only the owner of `tid` calls
         // this, and the borrow is confined to the call.
         f(unsafe { &mut *self.pending[tid].0.get() })
+    }
+
+    /// The classic power-fail fence tail: the fencing thread `msync`s its
+    /// own dirty pages, one page at a time. `pages` is sorted, deduped and
+    /// non-empty.
+    fn fence_per_thread(&self, pages: Vec<usize>) {
+        let page = page_size();
+        let last = *pages.last().unwrap();
+        let _msync_timer = MSYNC_NS.start_timer();
+        // The flushed pages may postdate the generation a held
+        // MapRef has pinned; span-check so the msync targets a
+        // mapping that actually covers them.
+        let state = self.span_checked_map((last + 1) * page);
+        for p in pages {
+            let _ = state.msync(p * page, page);
+        }
+    }
+
+    /// The group-commit arm of [`sfence`](PoolBackend::sfence): publishes
+    /// this fence's pages to the pool-wide open batch; one participant per
+    /// batch leads, submitting a single coalesced round of `msync`s for
+    /// everyone. A fence only returns once a batch *containing its pages*
+    /// has fully committed — the durability contract is identical to the
+    /// per-thread path. `pages` is sorted, deduped and non-empty.
+    fn fence_grouped(&self, gc: &GroupCommit, pages: Vec<usize>) {
+        let mut st = gc.state.lock().unwrap();
+        st.pending.extend_from_slice(&pages);
+        st.fences += 1;
+        let my_batch = st.open_batch;
+        loop {
+            if st.commit_seq >= my_batch {
+                // A leader's submission covered this fence's pages.
+                FENCE_FOLLOWER.incr();
+                return;
+            }
+            if !st.leader_active {
+                // GcState's invariant: no leader + my batch uncommitted
+                // means my_batch == open_batch. Lead it.
+                st.leader_active = true;
+                if gc.window_ns > 0 {
+                    // Hold the batch open for stragglers — without the
+                    // lock, so they can publish their pages meanwhile.
+                    drop(st);
+                    std::thread::sleep(std::time::Duration::from_nanos(gc.window_ns));
+                    st = gc.state.lock().unwrap();
+                }
+                let batch = std::mem::take(&mut st.pending);
+                let fences = std::mem::take(&mut st.fences);
+                st.open_batch += 1;
+                drop(st);
+                self.submit_batch(gc, batch, fences);
+                let mut st = gc.state.lock().unwrap();
+                st.commit_seq = my_batch;
+                st.leader_active = false;
+                gc.cv.notify_all();
+                return;
+            }
+            st = gc.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Leader half of group commit: coalesces a batch's pages into minimal
+    /// contiguous runs and `msync`s each run once. Runs outside the batch
+    /// mutex — followers wait on the condvar, new fences accumulate into
+    /// the next batch.
+    fn submit_batch(&self, gc: &GroupCommit, mut pages: Vec<usize>, fences: u64) {
+        FENCE_LEADER.incr();
+        pages.sort_unstable();
+        pages.dedup();
+        // The leader itself always contributed pages, so the batch is
+        // never empty.
+        let last = *pages.last().unwrap();
+        let page = page_size();
+        let _msync_timer = MSYNC_NS.start_timer();
+        let state = self.span_checked_map((last + 1) * page);
+        MSYNC_BATCH_PAGES.record(pages.len() as u64);
+        if fences >= 2 {
+            FENCE_COALESCED.add(fences);
+            if gc.coalesced_batches.fetch_add(1, Ordering::Relaxed) == 0 {
+                // Once per pool, not per batch: the flight ring is tiny
+                // and a hot producer workload commits millions of batches.
+                obs::flight::record(EventKind::FenceGroupCommit, fences, pages.len() as u64);
+            }
+        }
+        let mut run = (pages[0], pages[0]);
+        for &p in &pages[1..] {
+            if p == run.1 + 1 {
+                run.1 = p;
+            } else {
+                let _ = state.msync(run.0 * page, (run.1 - run.0 + 1) * page);
+                run = (p, p);
+            }
+        }
+        let _ = state.msync(run.0 * page, (run.1 - run.0 + 1) * page);
+        // Deterministic crash point for the power-fail tests: die with the
+        // batch synced but its followers still parked — a survivor of this
+        // kill must find every page the batch promised already durable,
+        // and no follower may have acked work past this point.
+        if let Some(target) = gc.abort_before_wake {
+            if fences >= 2 && gc.coalesced_batches.load(Ordering::Relaxed) >= target {
+                std::process::abort();
+            }
+        }
+    }
+
+    /// A map guaranteed to cover `[0, end)` of the pool file (mapping
+    /// coordinates, header included): flushed pages may postdate the
+    /// generation a held MapRef pinned, so fences span-check before
+    /// `msync`ing.
+    fn span_checked_map(&self, end: usize) -> Map<'_> {
+        let state = self.map();
+        if end <= HEADER_LEN + state.size {
+            state
+        } else {
+            drop(state);
+            self.map_slow(end - HEADER_LEN)
+        }
     }
 }
 
@@ -1545,23 +1818,22 @@ impl PoolBackend for FilePool {
             let mut pages = self.with_pending(tid, std::mem::take);
             pages.sort_unstable();
             pages.dedup();
-            let page = page_size();
-            let Some(&last) = pages.last() else { return };
-            let _msync_timer = MSYNC_NS.start_timer();
-            // The flushed pages may postdate the generation a held
-            // MapRef has pinned; span-check so the msync targets a
-            // mapping that actually covers them.
-            let end = (last + 1) * page;
-            let state = self.map();
-            let state = if end <= HEADER_LEN + state.size {
-                state
-            } else {
-                drop(state);
-                self.map_slow(end - HEADER_LEN)
-            };
-            for p in pages {
-                let _ = state.msync(p * page, page);
+            if pages.is_empty() {
+                return;
             }
+            match &self.group {
+                Some(gc) => self.fence_grouped(gc, pages),
+                None => self.fence_per_thread(pages),
+            }
+        }
+    }
+
+    fn fence_hint(&self) -> pmem::FenceHint {
+        match &self.group {
+            Some(gc) => pmem::FenceHint::GroupCommit {
+                window_ns: gc.window_ns,
+            },
+            None => pmem::FenceHint::PerThread,
         }
     }
 
@@ -1720,6 +1992,93 @@ mod tests {
             // strictly above it.
             assert!(p.alloc_raw(64, 64) >= off + 64);
         }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_fences_are_durable_and_advertised() {
+        let path = temp_path("gc-roundtrip");
+        let off;
+        {
+            let pool = FilePool::create(
+                &path,
+                small()
+                    .with_sync(SyncPolicy::PowerFail)
+                    .with_group_commit(Some(0)),
+            )
+            .unwrap();
+            assert_eq!(
+                PoolBackend::fence_hint(&pool),
+                pmem::FenceHint::GroupCommit { window_ns: 0 }
+            );
+            let p = pool.into_pool();
+            assert_eq!(
+                p.fence_hint(),
+                pmem::FenceHint::GroupCommit { window_ns: 0 }
+            );
+            off = p.alloc_raw(64, 64);
+            p.store_u64(off, 0xC0A1E5CE);
+            p.flush(0, off);
+            p.sfence(0); // a lone fence leads its own batch of one
+            p.set_root_u64(0, off as u64);
+        }
+        {
+            let pool = FilePool::open(&path).unwrap();
+            assert_eq!(PoolBackend::fence_hint(&pool), pmem::FenceHint::PerThread);
+            let p = pool.into_pool();
+            assert_eq!(p.root_u64(0), off as u64);
+            assert_eq!(p.load_u64(off), 0xC0A1E5CE);
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    /// With a 2 ms batch window and barrier-synchronized producers, at
+    /// least one fence must ride another thread's submission. (Counter
+    /// deltas are `>=` because instruments are process-global.)
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn group_commit_coalesces_concurrent_fences() {
+        use std::sync::Barrier;
+        let path = temp_path("gc-coalesce");
+        let before = obs::snapshot();
+        {
+            let pool = FilePool::create(
+                &path,
+                small()
+                    .with_sync(SyncPolicy::PowerFail)
+                    .with_group_commit(Some(2_000_000)),
+            )
+            .unwrap();
+            let p = pool.into_pool();
+            let threads = 4;
+            let fences = 16u64;
+            let barrier = Barrier::new(threads);
+            std::thread::scope(|s| {
+                for tid in 0..threads {
+                    let (p, barrier) = (&p, &barrier);
+                    s.spawn(move || {
+                        let base = p.alloc_raw(fences as u32 * 64, 64);
+                        barrier.wait();
+                        for i in 0..fences {
+                            let off = base + i as u32 * 64;
+                            p.store_u64(off, ((tid as u64) << 32) | i);
+                            p.flush(tid, off);
+                            p.sfence(tid);
+                        }
+                    });
+                }
+            });
+        }
+        let after = obs::snapshot();
+        let leaders = after.counter("store.fence.leader") - before.counter("store.fence.leader");
+        let followers =
+            after.counter("store.fence.follower") - before.counter("store.fence.follower");
+        assert!(leaders >= 1, "some fence must have led a batch");
+        assert!(
+            followers >= 1,
+            "4 synchronized producers under a 2 ms window must coalesce \
+             (leaders {leaders}, followers {followers})"
+        );
         fs::remove_file(&path).unwrap();
     }
 

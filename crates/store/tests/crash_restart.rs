@@ -29,10 +29,13 @@ use std::path::Path;
 use std::process::Child;
 use std::sync::Arc;
 use std::time::Duration;
-use store::{FileConfig, FilePool};
+use store::{FileConfig, FilePool, SyncPolicy};
 
 const ENV_DIR: &str = "STORE_CRASH_CHILD_DIR";
 const ENV_ALGO: &str = "STORE_CRASH_CHILD_ALGO";
+/// When set, the child runs the pool under `SyncPolicy::PowerFail` with
+/// group commit at this batch window (nanoseconds).
+const ENV_GC: &str = "STORE_CRASH_CHILD_GC";
 
 fn queue_config() -> QueueConfig {
     QueueConfig {
@@ -57,7 +60,13 @@ fn crash_child_entry() {
 }
 
 fn run_child(dir: &Path, algo: &str) {
-    let pool = FilePool::create(dir.join("pool.dq"), FileConfig::with_size(256 << 20))
+    let mut config = FileConfig::with_size(256 << 20);
+    if let Ok(window) = std::env::var(ENV_GC) {
+        config = config
+            .with_sync(SyncPolicy::PowerFail)
+            .with_group_commit(Some(window.parse().expect("bad GC window")));
+    }
+    let pool = FilePool::create(dir.join("pool.dq"), config)
         .expect("child: create pool")
         .into_pool();
     match algo {
@@ -95,11 +104,13 @@ fn drive_traffic<Q: DurableQueue>(queue: Q, dir: &Path) {
 // Parent side
 // ---------------------------------------------------------------------
 
-fn spawn_child(dir: &Path, algo: &str) -> Child {
-    ChildProc::new("crash_child_entry")
-        .env(ENV_DIR, dir)
-        .env(ENV_ALGO, algo)
-        .spawn()
+fn spawn_child(dir: &Path, algo: &str, group_commit: Option<u64>) -> Child {
+    let mut child = ChildProc::new("crash_child_entry");
+    child = child.env(ENV_DIR, dir).env(ENV_ALGO, algo);
+    if let Some(window_ns) = group_commit {
+        child = child.env(ENV_GC, window_ns.to_string());
+    }
+    child.spawn()
 }
 
 struct SuffixCheck {
@@ -186,9 +197,14 @@ fn check_linearizable_suffix(
 }
 
 fn crash_round<Q: RecoverableQueue>(algo: &str) {
-    let dir = scratch_dir(&format!("store-crash-{algo}"));
+    crash_round_with::<Q>(algo, None)
+}
 
-    let mut child = spawn_child(&dir, algo);
+fn crash_round_with<Q: RecoverableQueue>(algo: &str, group_commit: Option<u64>) {
+    let tag = if group_commit.is_some() { "-gc" } else { "" };
+    let dir = scratch_dir(&format!("store-crash-{algo}{tag}"));
+
+    let mut child = spawn_child(&dir, algo, group_commit);
     wait_for_lines(
         &mut child,
         &dir.join("enq.log"),
@@ -235,6 +251,22 @@ fn killed_durable_msq_recovers_without_loss_or_duplication() {
 #[test]
 fn killed_opt_unlinked_recovers_without_loss_or_duplication() {
     crash_round::<OptUnlinkedQueue>("opt_unlinked");
+}
+
+/// The same SIGKILL matrix with the child's pool running power-fail sync
+/// behind the group-commit layer: batching fences across the enqueuer and
+/// dequeuer must not weaken the linearizable-suffix contract. Zero window
+/// (batches form only from genuinely concurrent fences) keeps traffic fast.
+#[test]
+fn killed_group_commit_durable_msq_recovers_without_loss_or_duplication() {
+    crash_round_with::<DurableMsQueue>("durable_msq", Some(0));
+}
+
+/// As above with a real batch window, so most fences ride a leader's
+/// coalesced msync rather than their own.
+#[test]
+fn killed_group_commit_opt_unlinked_recovers_without_loss_or_duplication() {
+    crash_round_with::<OptUnlinkedQueue>("opt_unlinked", Some(100_000));
 }
 
 /// The non-crash baseline of the same protocol: a child that is allowed to

@@ -12,6 +12,7 @@ schema is additive — unknown keys are allowed, required keys must keep their
 meaning and type.
 
 Usage: validate_bench_json.py FILE.json [FILE.json ...]
+       validate_bench_json.py --self-test
 """
 
 import json
@@ -286,8 +287,44 @@ def check_blackbox(obj, ctx):
         raise SystemExit(f"{ctx}: blackbox rows must be in ascending seq order")
 
 
+def check_group_commit(obj, ctx):
+    """`harness fsweep`: power-fail fence throughput, per-thread msync vs
+    coalesced group commit, across producer counts and batch windows."""
+    for key in ("fences", "pages"):
+        require(obj, key, *NUM, ctx)
+    check_rows(
+        obj,
+        ctx,
+        [
+            ("producers", *NUM),
+            ("mode", lambda v: v in ("per-thread", "group-commit"),
+             "'per-thread' or 'group-commit'"),
+            ("window_us", lambda v: v is None or is_num(v), "a number or null"),
+            ("wall_ms", *NUM),
+            ("fences_per_sec", *NUM),
+        ],
+    )
+    modes = {row["mode"] for row in obj["rows"]}
+    if modes != {"per-thread", "group-commit"}:
+        raise SystemExit(
+            f"{ctx}: group_commit needs both fence modes, got {sorted(modes)!r}"
+        )
+    for i, row in enumerate(obj["rows"]):
+        if row["fences_per_sec"] <= 0:
+            raise SystemExit(f"{ctx} rows[{i}]: fences_per_sec must be positive")
+        if (row["mode"] == "per-thread") != (row["window_us"] is None):
+            raise SystemExit(
+                f"{ctx} rows[{i}]: window_us must be null exactly for per-thread rows"
+            )
+    if "speedup" in obj:
+        sctx = f"{ctx} speedup"
+        for key in ("producers", "speedup", "best_window_us"):
+            require(obj["speedup"], key, *NUM, sctx)
+
+
 CHECKERS = {
     "counts": check_counts,
+    "group_commit": check_group_commit,
     "shards": check_shards,
     "restart": check_restart,
     "fastpath": check_fastpath,
@@ -298,9 +335,7 @@ CHECKERS = {
 }
 
 
-def validate(path):
-    with open(path, encoding="utf-8") as fh:
-        data = json.load(fh)
+def validate_data(data, path):
     if not isinstance(data, list) or not data:
         raise SystemExit(f"{path}: must be a non-empty JSON array of experiment objects")
     for n, obj in enumerate(data):
@@ -316,12 +351,111 @@ def validate(path):
             )
         check_meta(obj, ctx)
         checker(obj, ctx)
+
+
+def validate(path):
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    validate_data(data, path)
     print(f"{path}: {len(data)} experiment object(s) valid")
+
+
+def self_test():
+    """Validates the validator: a known-good document must pass and each
+    targeted mutation of it must be rejected. Run from CI so a refactor
+    that silently stops checking anything fails the build."""
+    import copy
+
+    def meta():
+        return {
+            "schema": META_SCHEMA,
+            "backend": "file",
+            "sync": "power-fail",
+            "metrics": {
+                "counters": {"store.fence": 12},
+                "histograms": {
+                    "store.msync_batch_pages": {
+                        "count": 3, "sum": 9.0, "mean": 3.0,
+                        "p50": 3.0, "p99": 4.0, "buckets": [],
+                    }
+                },
+            },
+        }
+
+    good = [
+        {
+            "experiment": "group_commit",
+            "meta": meta(),
+            "fences": 150,
+            "pages": 16,
+            "rows": [
+                {"producers": 8, "mode": "per-thread", "window_us": None,
+                 "wall_ms": 700.0, "fences_per_sec": 1700.0},
+                {"producers": 8, "mode": "group-commit", "window_us": 0,
+                 "wall_ms": 230.0, "fences_per_sec": 5200.0},
+            ],
+            "speedup": {"producers": 8, "speedup": 3.05, "best_window_us": 0},
+        },
+        {
+            "experiment": "counts",
+            "meta": meta(),
+            "ops": 2000,
+            "shards": 1,
+            "policy": "rr",
+            "rows": [
+                {"algorithm": "DurableMSQ", "enq_fences": 2.0, "deq_fences": 2.0,
+                 "enq_flushes": 3.0, "nt_stores_per_op": 0.0,
+                 "post_flush_per_op": 0.0},
+            ],
+        },
+    ]
+    validate_data(good, "self-test:good")
+
+    def mutated(apply):
+        doc = copy.deepcopy(good)
+        apply(doc)
+        return doc
+
+    def del_key(obj, key):
+        def apply(doc):
+            del_from = doc
+            for step in obj:
+                del_from = del_from[step]
+            del del_from[key]
+        return apply
+
+    rejects = [
+        ("unknown experiment",
+         mutated(lambda d: d[0].update(experiment="nonsense"))),
+        ("missing meta", mutated(del_key([0], "meta"))),
+        ("wrong meta schema",
+         mutated(lambda d: d[0]["meta"].update(schema=1))),
+        ("missing rows", mutated(del_key([0], "rows"))),
+        ("missing row key", mutated(del_key([0, "rows", 0], "fences_per_sec"))),
+        ("one-mode sweep", mutated(lambda d: d[0]["rows"].pop())),
+        ("zero throughput",
+         mutated(lambda d: d[0]["rows"][1].update(fences_per_sec=0))),
+        ("window on per-thread row",
+         mutated(lambda d: d[0]["rows"][0].update(window_us=5))),
+        ("string count",
+         mutated(lambda d: d[1]["rows"][0].update(enq_fences="2"))),
+        ("non-list document", {"experiment": "counts"}),
+    ]
+    for what, doc in rejects:
+        try:
+            validate_data(doc, f"self-test:{what}")
+        except SystemExit:
+            continue
+        raise SystemExit(f"self-test: validator accepted a document with {what}")
+    print(f"self-test: 1 good document accepted, {len(rejects)} mutations rejected")
 
 
 def main(argv):
     if len(argv) < 2:
-        raise SystemExit(__doc__.strip().splitlines()[-1])
+        raise SystemExit(__doc__.strip().splitlines()[-2])
+    if argv[1] == "--self-test":
+        self_test()
+        return
     for path in argv[1:]:
         validate(path)
 
